@@ -1,0 +1,225 @@
+// Package basker is a pure-Go reimplementation of Basker, the threaded
+// sparse LU factorization with hierarchical parallelism and data layouts of
+// Booth, Rajamanickam and Thornquist (IPDPS 2016). It targets unsymmetric,
+// low fill-in matrices from circuit and power-grid simulation.
+//
+// The solver permutes the matrix to block triangular form (BTF), factors
+// the many small diagonal blocks embarrassingly in parallel with the
+// Gilbert–Peierls algorithm, and factors each large block through a
+// nested-dissection 2D block hierarchy in which multiple goroutines
+// cooperate on a single block column with point-to-point synchronization —
+// the paper's parallel Gilbert–Peierls.
+//
+// Quick start:
+//
+//	tr := basker.NewTriplets(n, n)
+//	tr.Add(i, j, v) // stamp the matrix
+//	A := tr.Matrix()
+//	s, err := basker.New(basker.Options{Threads: 4}).Factor(A)
+//	if err != nil { ... }
+//	s.Solve(b) // b becomes x with A·x = b
+//
+// For repeated factorizations of matrices with a fixed sparsity pattern
+// (transient circuit simulation), use Refactor, which reuses the symbolic
+// analysis and pivot sequences.
+package basker
+
+import (
+	"errors"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/gp"
+	"repro/internal/order/matching"
+	"repro/internal/sparse"
+)
+
+// Matrix is a sparse matrix in compressed sparse column form.
+type Matrix = sparse.CSC
+
+// Triplets is a coordinate-format accumulator for building matrices;
+// duplicate entries are summed, matching circuit-stamping semantics.
+type Triplets struct {
+	coo *sparse.COO
+}
+
+// NewTriplets returns an empty m×n accumulator.
+func NewTriplets(m, n int) *Triplets {
+	return &Triplets{coo: sparse.NewCOO(m, n, 64)}
+}
+
+// Add accumulates v at position (i, j).
+func (t *Triplets) Add(i, j int, v float64) { t.coo.Add(i, j, v) }
+
+// Matrix compresses the triplets into CSC form.
+func (t *Triplets) Matrix() *Matrix { return t.coo.ToCSC(false) }
+
+// ReadMatrixMarket parses a MatrixMarket coordinate stream.
+func ReadMatrixMarket(r io.Reader) (*Matrix, error) { return sparse.ReadMatrixMarket(r) }
+
+// WriteMatrixMarket writes m in MatrixMarket coordinate format.
+func WriteMatrixMarket(w io.Writer, m *Matrix) error { return sparse.WriteMatrixMarket(w, m) }
+
+// Options configures a Solver.
+type Options struct {
+	// Threads is the number of worker goroutines (the fine-ND engine uses
+	// the largest power of two ≤ Threads). Default 1.
+	Threads int
+	// DisableBTF turns off the coarse block triangular form.
+	DisableBTF bool
+	// DisableMWCM replaces the bottleneck weighted matching with a plain
+	// maximum cardinality matching.
+	DisableMWCM bool
+	// PivotTol is the partial-pivoting diagonal preference tolerance in
+	// (0, 1]; 0 selects KLU's default 0.001. 1 forces partial pivoting.
+	PivotTol float64
+	// BigBlockMin is the smallest BTF block factored with the parallel
+	// nested-dissection engine (default 128).
+	BigBlockMin int
+	// DisableLocalAMD turns off AMD ordering inside ND diagonal blocks.
+	DisableLocalAMD bool
+	// Barrier switches the ND engine from point-to-point synchronization
+	// to global barriers (slower; exists for the paper's ablation).
+	Barrier bool
+}
+
+func (o Options) internal() core.Options {
+	c := core.DefaultOptions()
+	c.Threads = o.Threads
+	c.UseBTF = !o.DisableBTF
+	c.UseMWCM = !o.DisableMWCM
+	if o.PivotTol > 0 {
+		c.PivotTol = o.PivotTol
+	}
+	if o.BigBlockMin > 0 {
+		c.BigBlockMin = o.BigBlockMin
+	}
+	c.LocalAMD = !o.DisableLocalAMD
+	if o.Barrier {
+		c.Sync = core.SyncBarrier
+	}
+	return c
+}
+
+// ErrSingular reports a numerically or structurally singular matrix.
+var ErrSingular = errors.New("basker: matrix is singular")
+
+// Solver is a configured Basker instance.
+type Solver struct {
+	opts core.Options
+}
+
+// New returns a Solver with the given options.
+func New(opts Options) *Solver {
+	return &Solver{opts: opts.internal()}
+}
+
+// Factorization holds the result of a factorization; it can solve systems
+// and be numerically refreshed for same-pattern matrices.
+type Factorization struct {
+	num *core.Numeric
+}
+
+// Factor analyzes and numerically factors a.
+func (s *Solver) Factor(a *Matrix) (*Factorization, error) {
+	num, err := core.FactorDirect(a, s.opts)
+	if err != nil {
+		return nil, wrapErr(err)
+	}
+	return &Factorization{num: num}, nil
+}
+
+// Solve solves A·x = b in place: b is overwritten with x.
+func (f *Factorization) Solve(b []float64) { f.num.Solve(b) }
+
+// Refactor recomputes the numeric factorization for a matrix with the same
+// sparsity pattern, reusing orderings, factor patterns and pivot
+// sequences. This is the fast path of transient simulation.
+func (f *Factorization) Refactor(a *Matrix) error {
+	return wrapErr(f.num.Refactor(a))
+}
+
+// SolveRefined solves A·x = b with iterative refinement: after the direct
+// solve, up to iters refinement steps (x += A⁻¹(b − A·x)) sharpen the
+// answer — useful when the KLU-style pivot tolerance traded stability for
+// sparsity. a must be the matrix that was factored (or refactored). b is
+// overwritten with x; the returned value is the final residual ∞-norm
+// relative to ‖b‖∞.
+func (f *Factorization) SolveRefined(a *Matrix, b []float64, iters int) float64 {
+	n := a.N
+	rhs := append([]float64(nil), b...)
+	f.Solve(b)
+	r := make([]float64, n)
+	scale := 0.0
+	for _, v := range rhs {
+		if v < 0 {
+			v = -v
+		}
+		if v > scale {
+			scale = v
+		}
+	}
+	if scale == 0 {
+		scale = 1
+	}
+	res := 0.0
+	for it := 0; it <= iters; it++ {
+		a.MulVec(r, b)
+		res = 0
+		for i := range r {
+			r[i] = rhs[i] - r[i]
+			d := r[i]
+			if d < 0 {
+				d = -d
+			}
+			if d > res {
+				res = d
+			}
+		}
+		res /= scale
+		if it == iters || res == 0 {
+			break
+		}
+		f.Solve(r)
+		for i := range b {
+			b[i] += r[i]
+		}
+	}
+	return res
+}
+
+// Stats summarizes a factorization (the paper's Table I statistics).
+type Stats struct {
+	// NnzLU is |L+U|, counting each factor's diagonal once.
+	NnzLU int
+	// FillDensity is |L+U| / |A| (can be below 1 with BTF).
+	FillDensity float64
+	// BTFBlocks is the number of coarse BTF diagonal blocks.
+	BTFBlocks int
+	// BTFPercent is the share of rows in small BTF blocks.
+	BTFPercent float64
+	// NDBlocks counts coarse blocks factored by the parallel ND engine.
+	NDBlocks int
+}
+
+// Stats reports factorization statistics relative to the matrix a that was
+// factored.
+func (f *Factorization) Stats(a *Matrix) Stats {
+	return Stats{
+		NnzLU:       f.num.NnzLU(),
+		FillDensity: f.num.FillDensity(a),
+		BTFBlocks:   f.num.Sym.NumBlocks(),
+		BTFPercent:  f.num.Sym.BTFPercent,
+		NDBlocks:    f.num.Sym.NumNDBlocks(),
+	}
+}
+
+func wrapErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, gp.ErrSingular) || errors.Is(err, matching.ErrStructurallySingular) {
+		return errors.Join(ErrSingular, err)
+	}
+	return err
+}

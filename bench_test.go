@@ -1,0 +1,351 @@
+// Benchmarks regenerating the measurements behind every table and figure of
+// the paper, as testing.B benchmarks (the cmd/baskerbench harness prints
+// the full formatted tables; these benches integrate with `go test -bench`).
+//
+// Naming: BenchmarkTable1_*, BenchmarkTable2_*, BenchmarkFig5_*, ... map to
+// the experiment index of DESIGN.md §4. Numeric factorization only, like
+// the paper. BENCH_SCALE can shrink the workloads (default 0.5).
+package basker
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/klu"
+	"repro/internal/matgen"
+	"repro/internal/pmkl"
+	"repro/internal/slumt"
+	"repro/internal/sparse"
+)
+
+func benchScale() float64 {
+	if v := os.Getenv("BENCH_SCALE"); v != "" {
+		if f, err := strconv.ParseFloat(v, 64); err == nil && f > 0 {
+			return f
+		}
+	}
+	return 0.5
+}
+
+func suiteMatrix(b *testing.B, name string) *sparse.CSC {
+	for _, m := range matgen.TableISuite(benchScale()) {
+		if m.Name == name {
+			return m.Gen()
+		}
+	}
+	b.Fatalf("unknown suite matrix %q", name)
+	return nil
+}
+
+func benchKLU(b *testing.B, a *sparse.CSC) {
+	sym, err := klu.Analyze(a, klu.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := klu.Factor(a, sym); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(a.Nnz()), "nnz")
+}
+
+func benchBasker(b *testing.B, a *sparse.CSC, threads int, mod func(*core.Options)) {
+	opts := core.DefaultOptions()
+	opts.Threads = threads
+	if mod != nil {
+		mod(&opts)
+	}
+	sym, err := core.Analyze(a, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sim float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		num, err := core.Factor(a, sym)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim = num.SimulatedSeconds()
+	}
+	b.ReportMetric(sim*1e3, "sim-ms")
+}
+
+func benchPMKL(b *testing.B, a *sparse.CSC, threads int) {
+	opts := pmkl.DefaultOptions()
+	opts.Threads = threads
+	sym, err := pmkl.Analyze(a, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sim float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		num, err := pmkl.Factor(a, sym)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim = num.SimulatedSeconds(threads)
+	}
+	b.ReportMetric(sim*1e3, "sim-ms")
+}
+
+// ---- Table I: factor-size and numeric-factor cost per suite matrix ----
+
+func BenchmarkTable1_KLU(b *testing.B) {
+	for _, m := range matgen.TableISuite(benchScale()) {
+		a := m.Gen()
+		b.Run(m.Name, func(b *testing.B) { benchKLU(b, a) })
+	}
+}
+
+func BenchmarkTable1_Basker8(b *testing.B) {
+	for _, m := range matgen.TableISuite(benchScale()) {
+		a := m.Gen()
+		b.Run(m.Name, func(b *testing.B) { benchBasker(b, a, 8, nil) })
+	}
+}
+
+func BenchmarkTable1_PMKL8(b *testing.B) {
+	for _, m := range matgen.TableISuite(benchScale()) {
+		a := m.Gen()
+		b.Run(m.Name, func(b *testing.B) { benchPMKL(b, a, 8) })
+	}
+}
+
+// ---- Table II: the mesh suite (PMKL's ideal inputs) ----
+
+func BenchmarkTable2_PMKL(b *testing.B) {
+	for _, m := range matgen.TableIISuite(benchScale()) {
+		a := m.Gen()
+		b.Run(m.Name, func(b *testing.B) { benchPMKL(b, a, 8) })
+	}
+}
+
+// ---- Figure 5: raw time, three solvers on the six-matrix subset ----
+
+func BenchmarkFig5(b *testing.B) {
+	for _, m := range matgen.Fig5Subset(benchScale()) {
+		a := m.Gen()
+		for _, cores := range []int{1, 8, 16} {
+			b.Run(fmt.Sprintf("%s/basker-%d", m.Name, cores), func(b *testing.B) {
+				benchBasker(b, a, cores, nil)
+			})
+			b.Run(fmt.Sprintf("%s/pmkl-%d", m.Name, cores), func(b *testing.B) {
+				benchPMKL(b, a, cores)
+			})
+			b.Run(fmt.Sprintf("%s/slumt-%d", m.Name, cores), func(b *testing.B) {
+				sym, err := pmkl.Analyze(a, pmkl.Options{Threads: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				var sim float64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					num, err := slumt.FactorWithSymbolic(a, sym, slumt.Options{Threads: cores})
+					if err != nil {
+						b.Skip("slumt failed (matches the paper's rajat21 failure)")
+					}
+					sim = num.SimulatedSeconds(cores)
+				}
+				b.ReportMetric(sim*1e3, "sim-ms")
+			})
+		}
+	}
+}
+
+// ---- Figure 6: core sweep for the speedup-vs-KLU plots ----
+
+func BenchmarkFig6_Basker(b *testing.B) {
+	for _, m := range matgen.Fig5Subset(benchScale()) {
+		a := m.Gen()
+		for _, cores := range []int{1, 2, 4, 8, 16} {
+			b.Run(fmt.Sprintf("%s/p%d", m.Name, cores), func(b *testing.B) {
+				benchBasker(b, a, cores, nil)
+			})
+		}
+	}
+}
+
+func BenchmarkFig6_PMKL(b *testing.B) {
+	for _, m := range matgen.Fig5Subset(benchScale()) {
+		a := m.Gen()
+		for _, cores := range []int{1, 2, 4, 8, 16} {
+			b.Run(fmt.Sprintf("%s/p%d", m.Name, cores), func(b *testing.B) {
+				benchPMKL(b, a, cores)
+			})
+		}
+	}
+}
+
+// ---- Figure 7: the performance-profile inputs (per-solver suite sweep) ----
+
+func BenchmarkFig7_Serial(b *testing.B) {
+	for _, m := range matgen.TableISuite(benchScale())[:8] { // representative slice
+		a := m.Gen()
+		b.Run(m.Name+"/klu", func(b *testing.B) { benchKLU(b, a) })
+		b.Run(m.Name+"/basker", func(b *testing.B) { benchBasker(b, a, 1, nil) })
+		b.Run(m.Name+"/pmkl", func(b *testing.B) { benchPMKL(b, a, 1) })
+	}
+}
+
+// ---- Figure 8: self-relative scaling on ideal inputs ----
+
+func BenchmarkFig8_BaskerIdeal(b *testing.B) {
+	for _, m := range matgen.BaskerIdealSubset(benchScale())[:3] {
+		a := m.Gen()
+		for _, cores := range []int{1, 4, 16} {
+			b.Run(fmt.Sprintf("%s/p%d", m.Name, cores), func(b *testing.B) {
+				benchBasker(b, a, cores, nil)
+			})
+		}
+	}
+}
+
+func BenchmarkFig8_PMKLIdeal(b *testing.B) {
+	for _, m := range matgen.TableIISuite(benchScale())[:3] {
+		a := m.Gen()
+		for _, cores := range []int{1, 4, 16} {
+			b.Run(fmt.Sprintf("%s/p%d", m.Name, cores), func(b *testing.B) {
+				benchPMKL(b, a, cores)
+			})
+		}
+	}
+}
+
+// ---- §V-F: the Xyce transient sequence (refactorization path) ----
+
+func BenchmarkXyceSequence(b *testing.B) {
+	base := matgen.XyceSequenceBase(benchScale())
+	const steps = 20
+	mats := make([]*sparse.CSC, steps)
+	for t := range mats {
+		mats[t] = matgen.TransientStep(base, t, 777)
+	}
+	b.Run("basker-refactor", func(b *testing.B) {
+		opts := core.DefaultOptions()
+		opts.Threads = 8
+		num, err := core.FactorDirect(mats[0], opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := num.Refactor(mats[1+i%(steps-1)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("klu-refactor", func(b *testing.B) {
+		num, err := klu.FactorDirect(mats[0], klu.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := num.Refactor(mats[1+i%(steps-1)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("pmkl-factor", func(b *testing.B) {
+		opts := pmkl.DefaultOptions()
+		opts.Threads = 8
+		sym, err := pmkl.Analyze(mats[0], opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := pmkl.Factor(mats[1+i%(steps-1)], sym); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// ---- §IV: synchronization ablation (wall-clock, real goroutines) ----
+
+func BenchmarkSyncAblation(b *testing.B) {
+	a := suiteMatrix(b, "G2_Circuit")
+	for _, cores := range []int{4, 8} {
+		b.Run(fmt.Sprintf("p2p-%d", cores), func(b *testing.B) {
+			benchWall(b, a, cores, core.SyncPointToPoint)
+		})
+		b.Run(fmt.Sprintf("barrier-%d", cores), func(b *testing.B) {
+			benchWall(b, a, cores, core.SyncBarrier)
+		})
+	}
+}
+
+func benchWall(b *testing.B, a *sparse.CSC, threads int, mode core.SyncMode) {
+	opts := core.DefaultOptions()
+	opts.Threads = threads
+	opts.Sync = mode
+	sym, err := core.Analyze(a, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Factor(a, sym); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- DESIGN.md §5 ablations: BTF / MWCM / local AMD ----
+
+func BenchmarkAblationBTF(b *testing.B) {
+	a := suiteMatrix(b, "rajat21")
+	b.Run("with-btf", func(b *testing.B) { benchBasker(b, a, 8, nil) })
+	b.Run("no-btf", func(b *testing.B) {
+		benchBasker(b, a, 8, func(o *core.Options) { o.UseBTF = false })
+	})
+}
+
+func BenchmarkAblationMWCM(b *testing.B) {
+	a := suiteMatrix(b, "Xyce1")
+	b.Run("with-mwcm", func(b *testing.B) { benchBasker(b, a, 8, nil) })
+	b.Run("no-mwcm", func(b *testing.B) {
+		benchBasker(b, a, 8, func(o *core.Options) { o.UseMWCM = false })
+	})
+}
+
+func BenchmarkAblationLocalAMD(b *testing.B) {
+	a := suiteMatrix(b, "Xyce3")
+	b.Run("with-amd", func(b *testing.B) { benchBasker(b, a, 8, nil) })
+	b.Run("no-amd", func(b *testing.B) {
+		benchBasker(b, a, 8, func(o *core.Options) { o.LocalAMD = false })
+	})
+}
+
+// ---- substrate micro-benchmarks ----
+
+func BenchmarkGPFactorSerial(b *testing.B) {
+	a := suiteMatrix(b, "bcircuit")
+	benchKLU(b, a)
+}
+
+func BenchmarkSolveOnly(b *testing.B) {
+	a := suiteMatrix(b, "Power0")
+	opts := core.DefaultOptions()
+	opts.Threads = 4
+	num, err := core.FactorDirect(a, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rhs := make([]float64, a.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range rhs {
+			rhs[j] = 1
+		}
+		num.Solve(rhs)
+	}
+}

@@ -1,0 +1,86 @@
+// Command matgen emits the synthetic benchmark matrices of this repository
+// as MatrixMarket files, so they can be inspected or fed to other tools.
+//
+// Usage:
+//
+//	matgen -kind=circuit -n=4000 -btf=60 -blocks=100 -core=ladder -out=a.mtx
+//	matgen -kind=mesh2d  -k=50 -out=mesh.mtx
+//	matgen -kind=suite   -scale=1.0 -dir=matrices/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/matgen"
+	"repro/internal/sparse"
+)
+
+var (
+	kind   = flag.String("kind", "circuit", "circuit | powergrid | mesh2d | mesh3d | suite")
+	n      = flag.Int("n", 4000, "dimension (circuit/powergrid)")
+	k      = flag.Int("k", 40, "grid side (mesh2d/mesh3d)")
+	btf    = flag.Float64("btf", 50, "percent of rows in small BTF blocks (circuit)")
+	blocks = flag.Int("blocks", 100, "number of small BTF blocks")
+	coreK  = flag.String("core", "ladder", "ladder | grid | grid3d (circuit core kind)")
+	extra  = flag.Float64("extra", 0.3, "extra stamp density inside the core")
+	seed   = flag.Int64("seed", 1, "generator seed")
+	out    = flag.String("out", "", "output file (default stdout)")
+	dir    = flag.String("dir", ".", "output directory for -kind=suite")
+	scale  = flag.Float64("scale", 1.0, "suite scale factor")
+)
+
+func main() {
+	flag.Parse()
+	switch *kind {
+	case "suite":
+		for _, m := range matgen.TableISuite(*scale) {
+			path := filepath.Join(*dir, m.Name+".mtx")
+			if err := writeTo(path, m.Gen()); err != nil {
+				fail(err)
+			}
+			fmt.Println("wrote", path)
+		}
+		return
+	case "circuit":
+		ck := map[string]matgen.CoreKind{"ladder": matgen.CoreLadder, "grid": matgen.CoreGrid, "grid3d": matgen.CoreGrid3D}[*coreK]
+		emit(matgen.Circuit(matgen.CircuitParams{N: *n, BTFPct: *btf, Blocks: *blocks, Core: ck, ExtraDensity: *extra, Seed: *seed}))
+	case "powergrid":
+		emit(matgen.PowerGrid(*n, *blocks, *seed))
+	case "mesh2d":
+		emit(matgen.Mesh2D(*k, *seed))
+	case "mesh3d":
+		emit(matgen.Mesh3D(*k, *seed))
+	default:
+		fail(fmt.Errorf("unknown kind %q", *kind))
+	}
+}
+
+func emit(a *sparse.CSC) {
+	if *out == "" {
+		if err := sparse.WriteMatrixMarket(os.Stdout, a); err != nil {
+			fail(err)
+		}
+		return
+	}
+	if err := writeTo(*out, a); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d×%d, %d nnz)\n", *out, a.M, a.N, a.Nnz())
+}
+
+func writeTo(path string, a *sparse.CSC) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return sparse.WriteMatrixMarket(f, a)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "matgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,433 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/etree"
+	"repro/internal/gp"
+	"repro/internal/order/amd"
+	"repro/internal/order/btf"
+	"repro/internal/order/matching"
+	"repro/internal/order/nd"
+	"repro/internal/sparse"
+)
+
+// Symbolic is Basker's reusable analysis: the coarse BTF structure, the
+// fine-BTF thread partition, and the fine-ND trees with all orderings
+// composed into a single pair of global permutations.
+type Symbolic struct {
+	N        int
+	Opts     Options
+	RowPerm  []int // new-to-old, all orderings composed
+	ColPerm  []int
+	BlockPtr []int // coarse BTF boundaries in permuted space
+
+	// kind[b]: blockSmall or blockND per coarse block.
+	kind []blockKind
+	// ndsym[b] is non-nil for fine-ND blocks.
+	ndsym []*ndSym
+	// partition[t] lists the small coarse blocks assigned to thread t
+	// (flop-balanced, Algorithm 2 line 5).
+	partition [][]int
+	// estNnz[b] is the factor size estimate for small blocks.
+	estNnz []int
+
+	BTFPercent float64
+}
+
+type blockKind uint8
+
+const (
+	blockSmall blockKind = iota
+	blockND
+)
+
+// NumBlocks reports the number of coarse BTF blocks.
+func (s *Symbolic) NumBlocks() int { return len(s.BlockPtr) - 1 }
+
+// NumNDBlocks reports how many coarse blocks use the fine-ND engine.
+func (s *Symbolic) NumNDBlocks() int {
+	n := 0
+	for _, k := range s.kind {
+		if k == blockND {
+			n++
+		}
+	}
+	return n
+}
+
+// Numeric holds a completed factorization.
+type Numeric struct {
+	Sym   *Symbolic
+	Perm  *sparse.CSC // fully permuted matrix (off-block entries for solve)
+	small []*gp.Factors
+	nd    []*ndNum
+	// SyncWaits aggregates contended point-to-point waits (ablation metric).
+	SyncWaits int64
+
+	// btfBusy[t] is thread t's summed compute time over its fine-BTF
+	// blocks; ndSim accumulates the simulated makespans of the ND engines.
+	btfBusy []float64
+	ndSim   float64
+}
+
+// SimulatedSeconds reports the numeric-factorization makespan of the static
+// schedule on an ideal machine with Sym.Opts.Threads cores: the maximum
+// per-thread fine-BTF compute time plus the dependency-tree makespan of
+// every fine-ND block. This is the hardware-substitution timing model used
+// when the host has fewer physical cores than the experiment sweeps
+// (DESIGN.md); matrix permutation/extraction overhead is excluded for all
+// solvers alike.
+func (num *Numeric) SimulatedSeconds() float64 {
+	total := num.ndSim
+	max := 0.0
+	for _, b := range num.btfBusy {
+		if b > max {
+			max = b
+		}
+	}
+	return total + max
+}
+
+// Analyze computes Basker's symbolic factorization: coarse BTF, block
+// classification, fine orderings and the thread partition.
+func Analyze(a *sparse.CSC, opts Options) (*Symbolic, error) {
+	if a.M != a.N {
+		return nil, fmt.Errorf("core: matrix must be square, got %d×%d", a.M, a.N)
+	}
+	n := a.N
+	sym := &Symbolic{N: n, Opts: opts}
+
+	// ---- Coarse structure (paper §III-A).
+	if opts.UseBTF {
+		form, err := btf.Compute(a, opts.UseMWCM)
+		if err != nil {
+			return nil, fmt.Errorf("core: btf: %w", err)
+		}
+		sym.RowPerm, sym.ColPerm, sym.BlockPtr = form.RowPerm, form.ColPerm, form.BlockPtr
+		sym.BTFPercent = form.PercentInSmallBlocks(opts.bigBlockMin())
+	} else {
+		sym.RowPerm = sparse.IdentityPerm(n)
+		sym.ColPerm = sparse.IdentityPerm(n)
+		sym.BlockPtr = []int{0, n}
+		sym.BTFPercent = 0
+	}
+	nblocks := sym.NumBlocks()
+	sym.kind = make([]blockKind, nblocks)
+	sym.ndsym = make([]*ndSym, nblocks)
+	sym.estNnz = make([]int, nblocks)
+
+	// A block is worth the fine-ND machinery only when it holds a
+	// significant share of the matrix (the paper's D2 averages 68% of the
+	// rows); medium blocks are cheaper as independent fine-BTF work.
+	ndThreshold := opts.bigBlockMin()
+	if t := n / 4; t > ndThreshold {
+		ndThreshold = t
+	}
+
+	b := a.Permute(sym.RowPerm, sym.ColPerm)
+	rowPerm := make([]int, n)
+	colPerm := make([]int, n)
+	copy(rowPerm, sym.RowPerm)
+	copy(colPerm, sym.ColPerm)
+
+	type smallStat struct {
+		blk   int
+		flops float64
+	}
+	var smalls []smallStat
+
+	for blk := 0; blk < nblocks; blk++ {
+		r0, r1 := sym.BlockPtr[blk], sym.BlockPtr[blk+1]
+		bs := r1 - r0
+		// Large blocks use the fine-ND engine; with BTF disabled the whole
+		// matrix is a single ND block regardless of size.
+		if bs >= ndThreshold || !opts.UseBTF {
+			sym.kind[blk] = blockND
+			if err := analyzeND(sym, b, blk, r0, r1, rowPerm, colPerm, opts); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		// ---- Fine BTF block (paper §III-B, Algorithm 2): AMD order.
+		sym.kind[blk] = blockSmall
+		if bs > 1 {
+			sub := b.ExtractBlock(r0, r1, r0, r1)
+			local := amd.Order(sub)
+			for k := 0; k < bs; k++ {
+				rowPerm[r0+k] = sym.RowPerm[r0+local[k]]
+				colPerm[r0+k] = sym.ColPerm[r0+local[k]]
+			}
+			ordered := sub.Permute(local, local)
+			parent := etree.Symmetric(ordered)
+			counts := etree.ColCounts(ordered, parent)
+			est := 0
+			for _, c := range counts {
+				est += c
+			}
+			sym.estNnz[blk] = 2 * est
+			smalls = append(smalls, smallStat{blk, etree.FlopEstimate(counts)})
+		} else {
+			sym.estNnz[blk] = 1
+			smalls = append(smalls, smallStat{blk, 1})
+		}
+	}
+	sym.RowPerm, sym.ColPerm = rowPerm, colPerm
+
+	// ---- Partition small blocks among threads by estimated flops
+	// (longest-processing-time greedy, Algorithm 2 line 5).
+	nt := opts.threads()
+	sym.partition = make([][]int, nt)
+	sort.Slice(smalls, func(i, j int) bool { return smalls[i].flops > smalls[j].flops })
+	loads := make([]float64, nt)
+	for _, st := range smalls {
+		best := 0
+		for t := 1; t < nt; t++ {
+			if loads[t] < loads[best] {
+				best = t
+			}
+		}
+		sym.partition[best] = append(sym.partition[best], st.blk)
+		loads[best] += st.flops
+	}
+	return sym, nil
+}
+
+// analyzeND builds the fine-ND symbolic structure for coarse block blk
+// (paper §III-C): local MWCM, nested dissection with one leaf per thread,
+// optional per-block AMD, composed into the global permutations.
+func analyzeND(sym *Symbolic, b *sparse.CSC, blk, r0, r1 int, rowPerm, colPerm []int, opts Options) error {
+	bs := r1 - r0
+	d := b.ExtractBlock(r0, r1, r0, r1)
+
+	// Local matching (Pm2) to concentrate weight on the diagonal and
+	// reduce the need to pivot.
+	localRow := sparse.IdentityPerm(bs)
+	if opts.UseMWCM {
+		m, err := matching.Bottleneck(d)
+		if err != nil {
+			return fmt.Errorf("core: nd block %d matching: %w", blk, err)
+		}
+		localRow = m.RowPerm
+		d = d.Permute(localRow, nil)
+	}
+
+	// Nested dissection with one leaf per ND thread.
+	tree, err := nd.Compute(d, opts.ndLeaves())
+	if err != nil {
+		return fmt.Errorf("core: nd block %d: %w", blk, err)
+	}
+	rowL := append([]int(nil), tree.Perm...)
+	colL := append([]int(nil), tree.Perm...)
+
+	// Optional AMD inside each tree diagonal block for local fill
+	// reduction; the composition keeps the tree's block boundaries.
+	if opts.LocalAMD {
+		d2 := d.Permute(tree.Perm, tree.Perm)
+		for nb := 0; nb < tree.NumBlocks(); nb++ {
+			b0, b1 := tree.BlockPtr[nb], tree.BlockPtr[nb+1]
+			if b1-b0 < 3 {
+				continue
+			}
+			sub := d2.ExtractBlock(b0, b1, b0, b1)
+			local := amd.Order(sub)
+			for k := 0; k < b1-b0; k++ {
+				rowL[b0+k] = tree.Perm[b0+local[k]]
+				colL[b0+k] = tree.Perm[b0+local[k]]
+			}
+		}
+	}
+
+	// Compose into the global permutations:
+	// global row = BTF ∘ localRow ∘ rowL ; global col = BTF ∘ colL.
+	for k := 0; k < bs; k++ {
+		rowPerm[r0+k] = sym.RowPerm[r0+localRow[rowL[k]]]
+		colPerm[r0+k] = sym.ColPerm[r0+colL[k]]
+	}
+	ns := newNDSym(tree)
+	// Algorithm 3: parallel symbolic estimation over the final 2D layout,
+	// so the numeric phase can pre-size factor storage.
+	ns.est = estimateND(d.Permute(rowL, colL), ns)
+	sym.ndsym[blk] = ns
+	return nil
+}
+
+// Factor numerically factors a with a prior analysis.
+func Factor(a *sparse.CSC, sym *Symbolic) (*Numeric, error) {
+	return factorOrRefactor(a, sym, nil)
+}
+
+// FactorDirect is the one-shot Analyze+Factor.
+func FactorDirect(a *sparse.CSC, opts Options) (*Numeric, error) {
+	sym, err := Analyze(a, opts)
+	if err != nil {
+		return nil, err
+	}
+	return Factor(a, sym)
+}
+
+// Refactor recomputes numeric values for a same-pattern matrix, reusing
+// the symbolic analysis and all diagonal-block pivot sequences — the
+// operation the Xyce transient sequence repeats thousands of times.
+func (num *Numeric) Refactor(a *sparse.CSC) error {
+	fresh, err := factorOrRefactor(a, num.Sym, num)
+	if err != nil {
+		return err
+	}
+	*num = *fresh
+	return nil
+}
+
+func factorOrRefactor(a *sparse.CSC, sym *Symbolic, prev *Numeric) (*Numeric, error) {
+	if a.N != sym.N || a.M != sym.N {
+		return nil, fmt.Errorf("core: dimension mismatch with symbolic analysis")
+	}
+	b := a.Permute(sym.RowPerm, sym.ColPerm)
+	num := &Numeric{Sym: sym, Perm: b}
+	num.small = make([]*gp.Factors, sym.NumBlocks())
+	num.nd = make([]*ndNum, sym.NumBlocks())
+	num.btfBusy = make([]float64, sym.Opts.threads())
+	if prev != nil {
+		copy(num.small, prev.small)
+	}
+
+	// ---- Fine-BTF numeric: embarrassingly parallel over the thread
+	// partition (each thread factors its assigned small blocks).
+	nt := sym.Opts.threads()
+	var wg sync.WaitGroup
+	errs := make([]error, nt)
+	for t := 0; t < nt; t++ {
+		if len(sym.partition[t]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			ws := gp.NewWorkspace(64)
+			for _, blk := range sym.partition[t] {
+				r0, r1 := sym.BlockPtr[blk], sym.BlockPtr[blk+1]
+				sub := b.ExtractBlock(r0, r1, r0, r1)
+				t0 := time.Now()
+				if prev != nil && num.small[blk] != nil {
+					err := num.small[blk].Refactor(sub, ws)
+					num.btfBusy[t] += time.Since(t0).Seconds()
+					if err != nil {
+						errs[t] = fmt.Errorf("core: refactor small block %d: %w", blk, err)
+						return
+					}
+					continue
+				}
+				f, err := gp.Factor(sub, sym.estNnz[blk], gp.Options{PivotTol: sym.Opts.PivotTol}, ws)
+				num.btfBusy[t] += time.Since(t0).Seconds()
+				if err != nil {
+					errs[t] = fmt.Errorf("core: small block %d: %w", blk, err)
+					return
+				}
+				num.small[blk] = f
+			}
+		}(t)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// ---- Fine-ND numeric: one parallel region per large block.
+	for blk := 0; blk < sym.NumBlocks(); blk++ {
+		if sym.kind[blk] != blockND {
+			continue
+		}
+		r0, r1 := sym.BlockPtr[blk], sym.BlockPtr[blk+1]
+		d := b.ExtractBlock(r0, r1, r0, r1)
+		var prevND *ndNum
+		if prev != nil {
+			prevND = prev.nd[blk]
+		}
+		ndn, err := factorND(d, sym.ndsym[blk], sym.Opts, prevND)
+		if err != nil {
+			return nil, fmt.Errorf("core: nd block %d: %w", blk, err)
+		}
+		num.nd[blk] = ndn
+		num.SyncWaits += ndn.SyncWaits
+		num.ndSim += ndn.simSeconds()
+	}
+	return num, nil
+}
+
+// Solve solves A x = rhs in place.
+func (num *Numeric) Solve(rhs []float64) {
+	sym := num.Sym
+	n := sym.N
+	y := make([]float64, n)
+	for k := 0; k < n; k++ {
+		y[k] = rhs[sym.RowPerm[k]]
+	}
+	// Coarse block back-substitution, last block first (upper BTF).
+	for blk := sym.NumBlocks() - 1; blk >= 0; blk-- {
+		r0, r1 := sym.BlockPtr[blk], sym.BlockPtr[blk+1]
+		switch sym.kind[blk] {
+		case blockSmall:
+			num.small[blk].Solve(y[r0:r1])
+		case blockND:
+			num.nd[blk].ndSolve(y[r0:r1])
+		}
+		// Subtract this block's solution from earlier rows (entries above
+		// the diagonal block in its columns).
+		for c := r0; c < r1; c++ {
+			xc := y[c]
+			if xc == 0 {
+				continue
+			}
+			for p := num.Perm.Colptr[c]; p < num.Perm.Colptr[c+1]; p++ {
+				i := num.Perm.Rowidx[p]
+				if i >= r0 {
+					break
+				}
+				y[i] -= num.Perm.Values[p] * xc
+			}
+		}
+	}
+	for k := 0; k < n; k++ {
+		rhs[sym.ColPerm[k]] = y[k]
+	}
+}
+
+// NnzLU reports |L+U|: all factored entries plus coarse off-block entries
+// used in the solve (the paper's Table I statistic).
+func (num *Numeric) NnzLU() int {
+	sym := num.Sym
+	total := 0
+	for blk := 0; blk < sym.NumBlocks(); blk++ {
+		switch sym.kind[blk] {
+		case blockSmall:
+			total += num.small[blk].NnzLU()
+		case blockND:
+			total += num.nd[blk].nnzLU()
+		}
+	}
+	blockOf := make([]int, sym.N)
+	for blk := 0; blk < sym.NumBlocks(); blk++ {
+		for i := sym.BlockPtr[blk]; i < sym.BlockPtr[blk+1]; i++ {
+			blockOf[i] = blk
+		}
+	}
+	for j := 0; j < sym.N; j++ {
+		bj := blockOf[j]
+		for p := num.Perm.Colptr[j]; p < num.Perm.Colptr[j+1]; p++ {
+			if blockOf[num.Perm.Rowidx[p]] != bj {
+				total++
+			}
+		}
+	}
+	return total
+}
+
+// FillDensity reports |L+U| / |A|.
+func (num *Numeric) FillDensity(a *sparse.CSC) float64 {
+	return float64(num.NnzLU()) / float64(a.Nnz())
+}

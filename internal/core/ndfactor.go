@@ -1,0 +1,639 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/gp"
+	"repro/internal/order/nd"
+	"repro/internal/sparse"
+)
+
+// ndSym is the symbolic structure of one fine-ND block (the paper's D2):
+// the dependency tree of Figure 3(b) plus the thread mapping.
+type ndSym struct {
+	tree *nd.Tree
+	nb   int // number of tree nodes (2p-1)
+	p    int // leaves / cooperating threads
+
+	subLo     []int   // subtree(K) spans block ids [subLo[K], K]
+	ancestors [][]int // ancestors[J]: path from parent(J) to root
+	owner     []int   // owning thread (leaf rank) of each node
+	leafLo    []int   // first leaf rank in subtree(K)
+	leafHi    []int   // last leaf rank in subtree(K)
+	height    []int
+	maxH      int
+
+	// est holds the Algorithm 3 nonzero estimates (may be nil when the
+	// symbolic phase was skipped, e.g. in unit tests of the numeric layer).
+	est *ndEstimates
+}
+
+func newNDSym(tree *nd.Tree) *ndSym {
+	nb := tree.NumBlocks()
+	s := &ndSym{
+		tree:      tree,
+		nb:        nb,
+		p:         tree.NumLeaves,
+		subLo:     make([]int, nb),
+		ancestors: make([][]int, nb),
+		owner:     make([]int, nb),
+		leafLo:    make([]int, nb),
+		leafHi:    make([]int, nb),
+		height:    tree.Height,
+	}
+	leafRank := make(map[int]int, len(tree.Leaves))
+	for r, leaf := range tree.Leaves {
+		leafRank[leaf] = r
+	}
+	// Postorder layout: children precede parents; compute subtree spans and
+	// leaf ranges bottom-up (ids ascending visit children first).
+	children := make([][]int, nb)
+	for b := 0; b < nb; b++ {
+		if par := tree.Parent[b]; par != -1 {
+			children[par] = append(children[par], b)
+		}
+	}
+	for b := 0; b < nb; b++ {
+		if len(children[b]) == 0 {
+			s.subLo[b] = b
+			s.leafLo[b] = leafRank[b]
+			s.leafHi[b] = leafRank[b]
+			continue
+		}
+		lo, llo, lhi := b, 1<<30, -1
+		for _, c := range children[b] {
+			if s.subLo[c] < lo {
+				lo = s.subLo[c]
+			}
+			if s.leafLo[c] < llo {
+				llo = s.leafLo[c]
+			}
+			if s.leafHi[c] > lhi {
+				lhi = s.leafHi[c]
+			}
+		}
+		s.subLo[b] = lo
+		s.leafLo[b] = llo
+		s.leafHi[b] = lhi
+	}
+	for b := 0; b < nb; b++ {
+		s.owner[b] = s.leafLo[b]
+		for a := tree.Parent[b]; a != -1; a = tree.Parent[a] {
+			s.ancestors[b] = append(s.ancestors[b], a)
+		}
+		if s.height[b] > s.maxH {
+			s.maxH = s.height[b]
+		}
+	}
+	return s
+}
+
+// ndNum is the numeric 2D factorization: one CSC per live block of the
+// hierarchical layout, exactly the paper's "hierarchy of two-dimensional
+// sparse matrix blocks" storing both the reordered matrix and its factors.
+type ndNum struct {
+	sym  *ndSym
+	n    int
+	diag []*gp.Factors
+	// lower[I][J] (I ancestor of J): L̃ block in unpermuted I-rows,
+	// elimination-step columns of J. upper[K][J] (K descendant of J):
+	// U block in pivot-space K-rows.
+	lower [][]*sparse.CSC
+	upper [][]*sparse.CSC
+	// a[I][J] holds the permuted input blocks for every coupled pair.
+	a [][]*sparse.CSC
+
+	opts   Options
+	flags  *blockFlags
+	barr   *barrier
+	refact bool
+
+	errMu    sync.Mutex
+	firstErr error
+
+	// SyncWaits counts point-to-point waits that actually blocked, for the
+	// synchronization ablation experiment.
+	SyncWaits int64
+
+	// phaseDur[t][phase] is thread t's compute time in each step of the
+	// static schedule. All threads traverse the same phase sequence, so the
+	// simulated p-core makespan of the schedule is Σ_phase max_t duration —
+	// the hardware-substitution timing model of DESIGN.md.
+	phaseDur [][]float64
+}
+
+// simSeconds returns the simulated parallel makespan of the recorded
+// schedule.
+func (num *ndNum) simSeconds() float64 {
+	total := 0.0
+	if len(num.phaseDur) == 0 {
+		return 0
+	}
+	phases := len(num.phaseDur[0])
+	for ph := 0; ph < phases; ph++ {
+		max := 0.0
+		for t := range num.phaseDur {
+			if ph < len(num.phaseDur[t]) && num.phaseDur[t][ph] > max {
+				max = num.phaseDur[t][ph]
+			}
+		}
+		total += max
+	}
+	return total
+}
+
+// blockRange returns the index range of tree block b within the ND matrix.
+func (s *ndSym) blockRange(b int) (int, int) {
+	return s.tree.BlockPtr[b], s.tree.BlockPtr[b+1]
+}
+
+// extractBlocks splits the permuted ND matrix d into the 2D block grid.
+func (num *ndNum) extractBlocks(d *sparse.CSC) {
+	s := num.sym
+	nb := s.nb
+	num.a = make([][]*sparse.CSC, nb)
+	num.lower = make([][]*sparse.CSC, nb)
+	num.upper = make([][]*sparse.CSC, nb)
+	for i := 0; i < nb; i++ {
+		num.a[i] = make([]*sparse.CSC, nb)
+		num.lower[i] = make([]*sparse.CSC, nb)
+		num.upper[i] = make([]*sparse.CSC, nb)
+	}
+	for j := 0; j < nb; j++ {
+		c0, c1 := s.blockRange(j)
+		// Diagonal.
+		num.a[j][j] = d.ExtractBlock(c0, c1, c0, c1)
+		// Lower: ancestors of j (larger ids, below in matrix order).
+		for _, i := range s.ancestors[j] {
+			r0, r1 := s.blockRange(i)
+			num.a[i][j] = d.ExtractBlock(r0, r1, c0, c1)
+		}
+		// Upper: all descendants of j.
+		for i := s.subLo[j]; i < j; i++ {
+			r0, r1 := s.blockRange(i)
+			num.a[i][j] = d.ExtractBlock(r0, r1, c0, c1)
+		}
+	}
+}
+
+// factorND runs the parallel numeric factorization of one fine-ND block
+// (Algorithm 4 at block granularity; column-level interleaving is replaced
+// by per-block point-to-point flags, which preserves the dependency
+// structure of the paper's dependency tree).
+func factorND(d *sparse.CSC, sym *ndSym, opts Options, prev *ndNum) (*ndNum, error) {
+	num := prev
+	refact := prev != nil
+	if num == nil {
+		num = &ndNum{sym: sym, n: d.N, opts: opts, diag: make([]*gp.Factors, sym.nb)}
+	}
+	num.refact = refact
+	num.opts = opts
+	num.extractBlocks(d)
+	num.flags = newBlockFlags(sym.nb)
+	num.phaseDur = make([][]float64, sym.p)
+	num.SyncWaits = 0
+	if opts.Sync == SyncBarrier {
+		num.barr = newBarrier(sym.p)
+	}
+	var wg sync.WaitGroup
+	for t := 0; t < sym.p; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			num.worker(t)
+		}(t)
+	}
+	wg.Wait()
+	if num.firstErr != nil {
+		return nil, num.firstErr
+	}
+	num.SyncWaits = num.flags.contended.Load()
+	return num, nil
+}
+
+func (num *ndNum) fail(err error) {
+	num.errMu.Lock()
+	if num.firstErr == nil {
+		num.firstErr = err
+	}
+	num.errMu.Unlock()
+	num.flags.fail()
+	if num.barr != nil {
+		num.barr.breakBarrier()
+	}
+}
+
+// sync points: in barrier mode every thread meets at every step; in
+// point-to-point mode these are no-ops and only flag waits synchronize.
+func (num *ndNum) phaseBarrier() bool {
+	if num.barr == nil {
+		return !num.flags.aborted()
+	}
+	return num.barr.await()
+}
+
+func (num *ndNum) wait(i, j int) bool {
+	return num.flags.wait(i, j)
+}
+
+// worker runs the static schedule of thread t. Each schedule step is
+// timed (compute only, not waits) into phaseDur for the simulated-makespan
+// model.
+func (num *ndNum) worker(t int) {
+	s := num.sym
+	leaf := s.tree.Leaves[t]
+	ws := gp.NewWorkspace(maxBlockDim(s))
+	mark := make([]int, num.n+1)
+	acc := make([]float64, num.n+1)
+	tag := 0
+	var busy float64
+	compute := func(f func() error) bool {
+		t0 := time.Now()
+		err := f()
+		busy += time.Since(t0).Seconds()
+		if err != nil {
+			num.fail(err)
+			return false
+		}
+		return true
+	}
+	endPhase := func() {
+		num.phaseDur[t] = append(num.phaseDur[t], busy)
+		busy = 0
+	}
+
+	// ---- treelevel -1: factor the leaf diagonal and its lower blocks.
+	ok := compute(func() error {
+		if err := num.factorDiag(leaf, num.a[leaf][leaf], ws); err != nil {
+			return err
+		}
+		num.flags.set(leaf, leaf)
+		for _, i := range s.ancestors[leaf] {
+			num.lower[i][leaf] = num.diag[leaf].LowerBlockSolve(num.a[i][leaf], mark, &tag, acc)
+			num.flags.set(i, leaf)
+		}
+		return nil
+	})
+	endPhase()
+	if !ok || !num.phaseBarrier() {
+		return
+	}
+
+	// ---- separator columns, bottom-up (the paper's slevel loop).
+	for slevel := 1; slevel <= s.maxH; slevel++ {
+		j := ancestorAtHeight(s, leaf, slevel)
+		// Step A (treelevel 0): my leaf's upper block U_{leaf,j}.
+		ok = compute(func() error {
+			num.upper[leaf][j] = num.solveUpper(leaf, num.a[leaf][j], nil, nil, ws, mark, &tag, acc)
+			num.flags.set(leaf, j)
+			return nil
+		})
+		endPhase()
+		if !ok || !num.phaseBarrier() {
+			return
+		}
+		// Step B: internal path nodes I owned by this thread.
+		for h := 1; h < slevel; h++ {
+			k := ancestorAtHeight(s, leaf, h)
+			if s.owner[k] == t {
+				lows, ups, ok2 := num.gatherReduction(k, j)
+				if !ok2 {
+					endPhase()
+					return
+				}
+				if !compute(func() error {
+					num.upper[k][j] = num.solveUpper(k, num.a[k][j], lows, ups, ws, mark, &tag, acc)
+					num.flags.set(k, j)
+					return nil
+				}) {
+					endPhase()
+					return
+				}
+			}
+			endPhase()
+			if !num.phaseBarrier() {
+				return
+			}
+		}
+		// Step C: the diagonal LU_jj by the owner of j.
+		if s.owner[j] == t {
+			lows, ups, ok2 := num.gatherReduction(j, j)
+			if !ok2 {
+				endPhase()
+				return
+			}
+			if !compute(func() error {
+				ahat := reduceBlock(num.a[j][j], lows, ups, mark, &tag, acc)
+				if err := num.factorDiag(j, ahat, ws); err != nil {
+					return err
+				}
+				num.flags.set(j, j)
+				return nil
+			}) {
+				endPhase()
+				return
+			}
+		}
+		endPhase()
+		if !num.phaseBarrier() {
+			return
+		}
+		// Step D: lower blocks L_ij for ancestors i of j, distributed
+		// round-robin over the threads of subtree(j).
+		if !num.wait(j, j) {
+			return
+		}
+		nsub := s.leafHi[j] - s.leafLo[j] + 1
+		for idx, i := range s.ancestors[j] {
+			if idx%nsub != t-s.leafLo[j] {
+				continue
+			}
+			lows, ups, ok2 := num.gatherRowReduction(i, j)
+			if !ok2 {
+				endPhase()
+				return
+			}
+			if !compute(func() error {
+				ahat := reduceBlock(num.a[i][j], lows, ups, mark, &tag, acc)
+				num.lower[i][j] = num.diag[j].LowerBlockSolve(ahat, mark, &tag, acc)
+				num.flags.set(i, j)
+				return nil
+			}) {
+				endPhase()
+				return
+			}
+		}
+		endPhase()
+		if !num.phaseBarrier() {
+			return
+		}
+	}
+}
+
+// factorDiag factors (or refactors) diagonal block b from matrix m.
+func (num *ndNum) factorDiag(b int, m *sparse.CSC, ws *gp.Workspace) error {
+	if num.refact && num.diag[b] != nil {
+		if err := num.diag[b].Refactor(m, ws); err != nil {
+			return fmt.Errorf("core: nd refactor diag block %d: %w", b, err)
+		}
+		return nil
+	}
+	hint := 0
+	if num.sym.est != nil {
+		hint = num.sym.est.diagNnz[b]
+	}
+	f, err := gp.Factor(m, hint, gp.Options{PivotTol: num.opts.PivotTol}, ws)
+	if err != nil {
+		return fmt.Errorf("core: nd diag block %d: %w", b, err)
+	}
+	num.diag[b] = f
+	return nil
+}
+
+// gatherReduction waits for and collects the (lower, upper) block pairs
+// feeding the reduction Â_kj = A_kj − Σ_{k' ∈ subtree(k)\{k}} L_kk'·U_k'j,
+// i.e. the paper's two-phase reduction of Figure 4(d).
+func (num *ndNum) gatherReduction(k, j int) (lows, ups []*sparse.CSC, ok bool) {
+	s := num.sym
+	for kp := s.subLo[k]; kp < k; kp++ {
+		if !num.wait(kp, j) || !num.wait(k, kp) {
+			return nil, nil, false
+		}
+		if num.upper[kp][j] == nil || num.lower[k][kp] == nil {
+			continue
+		}
+		lows = append(lows, num.lower[k][kp])
+		ups = append(ups, num.upper[kp][j])
+	}
+	return lows, ups, true
+}
+
+// gatherRowReduction collects pairs for a lower target row i (an ancestor
+// of column j): Â_ij = A_ij − Σ_{k' ∈ subtree(j)\{j}} L_ik'·U_k'j.
+func (num *ndNum) gatherRowReduction(i, j int) (lows, ups []*sparse.CSC, ok bool) {
+	s := num.sym
+	for kp := s.subLo[j]; kp < j; kp++ {
+		if !num.wait(kp, j) || !num.wait(i, kp) {
+			return nil, nil, false
+		}
+		if num.upper[kp][j] == nil || num.lower[i][kp] == nil {
+			continue
+		}
+		lows = append(lows, num.lower[i][kp])
+		ups = append(ups, num.upper[kp][j])
+	}
+	return lows, ups, true
+}
+
+// solveUpper computes U_kj = L_kk⁻¹ P_k (A_kj − Σ L·U) column by column
+// with Gilbert–Peierls pattern discovery.
+func (num *ndNum) solveUpper(k int, a0 *sparse.CSC, lows, ups []*sparse.CSC, ws *gp.Workspace, mark []int, tagp *int, acc []float64) *sparse.CSC {
+	ahat := a0
+	if len(lows) > 0 {
+		ahat = reduceBlock(a0, lows, ups, mark, tagp, acc)
+	}
+	f := num.diag[k]
+	out := sparse.NewCSC(ahat.M, ahat.N, ahat.Nnz()*2)
+	for c := 0; c < ahat.N; c++ {
+		bIdx := ahat.Rowidx[ahat.Colptr[c]:ahat.Colptr[c+1]]
+		bVal := ahat.Values[ahat.Colptr[c]:ahat.Colptr[c+1]]
+		patt := f.SolveSparseL(bIdx, bVal, ws)
+		// Copy out sorted.
+		start := len(out.Rowidx)
+		for _, r := range patt {
+			if v := ws.X[r]; v != 0 {
+				out.Rowidx = append(out.Rowidx, r)
+				out.Values = append(out.Values, v)
+			}
+		}
+		gp.ClearSparse(ws, patt)
+		sortColumnSegment(out.Rowidx[start:], out.Values[start:])
+		out.Colptr[c+1] = len(out.Rowidx)
+	}
+	return out
+}
+
+// reduceBlock assembles Â = A0 − Σ_t lows[t]·ups[t] as a fresh CSC with
+// sorted columns. A0 may be nil (treated as zero) when a block has no
+// original entries.
+func reduceBlock(a0 *sparse.CSC, lows, ups []*sparse.CSC, mark []int, tagp *int, acc []float64) *sparse.CSC {
+	m, n := 0, 0
+	if a0 != nil {
+		m, n = a0.M, a0.N
+	} else {
+		m, n = lows[0].M, ups[0].N
+	}
+	nnzHint := 0
+	if a0 != nil {
+		nnzHint = a0.Nnz()
+	}
+	out := sparse.NewCSC(m, n, nnzHint*2)
+	var patt []int
+	for c := 0; c < n; c++ {
+		*tagp++
+		tag := *tagp
+		patt = patt[:0]
+		if a0 != nil {
+			for p := a0.Colptr[c]; p < a0.Colptr[c+1]; p++ {
+				i := a0.Rowidx[p]
+				if mark[i] != tag {
+					mark[i] = tag
+					patt = append(patt, i)
+				}
+				acc[i] += a0.Values[p]
+			}
+		}
+		for t := range lows {
+			lo, up := lows[t], ups[t]
+			for p := up.Colptr[c]; p < up.Colptr[c+1]; p++ {
+				k := up.Rowidx[p]
+				ukc := up.Values[p]
+				if ukc == 0 {
+					continue
+				}
+				for q := lo.Colptr[k]; q < lo.Colptr[k+1]; q++ {
+					i := lo.Rowidx[q]
+					if mark[i] != tag {
+						mark[i] = tag
+						patt = append(patt, i)
+					}
+					acc[i] -= lo.Values[q] * ukc
+				}
+			}
+		}
+		sort.Ints(patt)
+		for _, i := range patt {
+			out.Rowidx = append(out.Rowidx, i)
+			out.Values = append(out.Values, acc[i])
+			acc[i] = 0
+		}
+		out.Colptr[c+1] = len(out.Rowidx)
+	}
+	return out
+}
+
+func sortColumnSegment(rows []int, vals []float64) {
+	if len(rows) < 2 {
+		return
+	}
+	type pair struct {
+		r int
+		v float64
+	}
+	tmp := make([]pair, len(rows))
+	for i := range rows {
+		tmp[i] = pair{rows[i], vals[i]}
+	}
+	sort.Slice(tmp, func(a, b int) bool { return tmp[a].r < tmp[b].r })
+	for i := range tmp {
+		rows[i] = tmp[i].r
+		vals[i] = tmp[i].v
+	}
+}
+
+func ancestorAtHeight(s *ndSym, leaf, h int) int {
+	b := leaf
+	for s.height[b] < h {
+		b = s.tree.Parent[b]
+	}
+	return b
+}
+
+func maxBlockDim(s *ndSym) int {
+	max := 1
+	for b := 0; b < s.nb; b++ {
+		if sz := s.tree.BlockSize(b); sz > max {
+			max = sz
+		}
+	}
+	return max
+}
+
+// ndSolve applies the 2D block forward/backward substitution to y (the
+// right-hand side in ND-permuted local coordinates), in place.
+func (num *ndNum) ndSolve(y []float64) {
+	s := num.sym
+	nb := s.nb
+	// Forward: block columns ascending (postorder = matrix order).
+	for k := 0; k < nb; k++ {
+		c0, c1 := s.blockRange(k)
+		if c0 == c1 {
+			continue
+		}
+		f := num.diag[k]
+		// Apply the block pivot then unit-lower solve.
+		z := make([]float64, c1-c0)
+		for i := range z {
+			z[i] = y[c0+f.P[i]]
+		}
+		f.LSolve(z)
+		copy(y[c0:c1], z)
+		// Subtract this block's influence on ancestor rows.
+		for _, i := range s.ancestors[k] {
+			lb := num.lower[i][k]
+			if lb == nil {
+				continue
+			}
+			r0, _ := s.blockRange(i)
+			for c := 0; c < lb.N; c++ {
+				xc := y[c0+c]
+				if xc == 0 {
+					continue
+				}
+				for p := lb.Colptr[c]; p < lb.Colptr[c+1]; p++ {
+					y[r0+lb.Rowidx[p]] -= lb.Values[p] * xc
+				}
+			}
+		}
+	}
+	// Backward: block columns descending; first subtract upper couplings
+	// from ancestor solutions, then solve the diagonal.
+	for k := nb - 1; k >= 0; k-- {
+		c0, c1 := s.blockRange(k)
+		if c0 == c1 {
+			continue
+		}
+		// y_k -= Σ_{j ancestor} U_kj · x_j.
+		for _, j := range s.ancestors[k] {
+			ub := num.upper[k][j]
+			if ub == nil {
+				continue
+			}
+			j0, _ := s.blockRange(j)
+			for c := 0; c < ub.N; c++ {
+				xc := y[j0+c]
+				if xc == 0 {
+					continue
+				}
+				for p := ub.Colptr[c]; p < ub.Colptr[c+1]; p++ {
+					y[c0+ub.Rowidx[p]] -= ub.Values[p] * xc
+				}
+			}
+		}
+		num.diag[k].USolve(y[c0:c1])
+	}
+}
+
+// nnzLU sums the factored entries of the 2D structure.
+func (num *ndNum) nnzLU() int {
+	total := 0
+	for _, f := range num.diag {
+		if f != nil {
+			total += f.NnzLU()
+		}
+	}
+	for i := range num.lower {
+		for j := range num.lower[i] {
+			if num.lower[i][j] != nil {
+				total += num.lower[i][j].Nnz()
+			}
+			if num.upper[i][j] != nil {
+				total += num.upper[i][j].Nnz()
+			}
+		}
+	}
+	return total
+}

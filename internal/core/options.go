@@ -1,0 +1,101 @@
+// Package core implements Basker, the paper's contribution: a threaded
+// sparse LU factorization with hierarchical parallelism and hierarchical 2D
+// data layouts.
+//
+// The solver composes two structural levels exactly as the paper describes:
+//
+//  1. a coarse block triangular form (BTF) over the whole matrix, found
+//     from a maximum weight-cardinality matching plus strongly connected
+//     components. Small diagonal blocks ("fine BTF structure", the paper's
+//     D1/D3) are AMD-ordered and factored embarrassingly in parallel with
+//     flop-balanced thread assignment (Algorithm 2);
+//  2. each large diagonal block ("fine ND structure", the paper's D2) is
+//     reordered by nested dissection into a 2D grid of sparse submatrices
+//     mapped onto a binary dependency tree, and factored by the parallel
+//     Gilbert–Peierls algorithm (Algorithms 3-4): multiple threads
+//     cooperate on a single block column, synchronizing point-to-point
+//     through atomic per-block flags (the paper's volatile-variable sync)
+//     or, for the ablation study, through global barriers.
+//
+// Partial pivoting happens inside diagonal blocks only, which the
+// fill-path theorem makes safe for the already-computed lower off-diagonal
+// structure, as the paper notes.
+package core
+
+import "repro/internal/gp"
+
+// SyncMode selects the synchronization strategy of the parallel numeric
+// phase of the fine-ND engine.
+type SyncMode int
+
+const (
+	// SyncPointToPoint uses one atomic flag per 2D block; a thread waits
+	// only on the exact blocks it consumes. This is Basker's default and
+	// the subject of the paper's §IV synchronization discussion.
+	SyncPointToPoint SyncMode = iota
+	// SyncBarrier synchronizes every thread of a subtree at every
+	// dependency-tree step — the traditional parallel-for behaviour the
+	// paper measured at 11% of runtime versus 2.3% for point-to-point.
+	SyncBarrier
+)
+
+// Options configures a Basker solver.
+type Options struct {
+	// Threads is the worker count. The fine-ND engine uses the largest
+	// power of two not exceeding it (the paper's Basker requires a power
+	// of two); remaining threads still help on fine-BTF blocks.
+	Threads int
+	// UseBTF enables the coarse block triangular form.
+	UseBTF bool
+	// UseMWCM selects the bottleneck weighted matching for zero-free
+	// diagonals (the paper's Pm1/Pm2); otherwise cardinality matching.
+	UseMWCM bool
+	// PivotTol is the Gilbert–Peierls diagonal-preference tolerance used
+	// inside every diagonal block.
+	PivotTol float64
+	// BigBlockMin is the smallest BTF diagonal block handled by the
+	// fine-ND structure; smaller blocks go to the fine-BTF engine.
+	BigBlockMin int
+	// LocalAMD applies an AMD ordering inside each ND diagonal block
+	// (leaves and separators) to cut fill within the 2D blocks.
+	LocalAMD bool
+	// Sync selects the synchronization mode of the ND numeric phase.
+	Sync SyncMode
+}
+
+// DefaultOptions returns the paper-faithful defaults: BTF + MWCM on,
+// KLU-style pivot tolerance, point-to-point synchronization.
+func DefaultOptions() Options {
+	return Options{
+		Threads:     1,
+		UseBTF:      true,
+		UseMWCM:     true,
+		PivotTol:    gp.DefaultPivotTol,
+		BigBlockMin: 128,
+		LocalAMD:    true,
+		Sync:        SyncPointToPoint,
+	}
+}
+
+func (o Options) threads() int {
+	if o.Threads < 1 {
+		return 1
+	}
+	return o.Threads
+}
+
+// ndLeaves returns the power-of-two leaf count for the ND tree.
+func (o Options) ndLeaves() int {
+	p := 1
+	for p*2 <= o.threads() {
+		p *= 2
+	}
+	return p
+}
+
+func (o Options) bigBlockMin() int {
+	if o.BigBlockMin <= 0 {
+		return 128
+	}
+	return o.BigBlockMin
+}

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/etree"
+	"repro/internal/sparse"
+)
+
+// ndEstimates is the product of the paper's Algorithm 3 (Fine ND Symbolic
+// Factorization): per-2D-block nonzero count estimates computed in
+// parallel, used to pre-size factor storage so the numeric phase avoids
+// reallocation inside the parallel region (the bottleneck the paper calls
+// out). Diagonal blocks get elimination-tree column counts (treelevel -1);
+// off-diagonal blocks get the lest/uest min/max row-range bounds: a column
+// whose lower and upper estimated ranges overlap is assumed dense between
+// its minimum and maximum row — "a reasonable upper bound and cheaper than
+// storing the whole nonzero pattern" (paper §III-C).
+type ndEstimates struct {
+	// diagNnz[b] estimates nnz(L)+nnz(U) of diagonal block b.
+	diagNnz []int
+	// lowerNnz[i][j] and upperNnz[i][j] estimate the off-diagonal blocks.
+	lowerNnz [][]int
+	upperNnz [][]int
+}
+
+// estimateND runs the parallel symbolic estimation over the 2D structure of
+// one fine-ND block. d is the fully permuted ND matrix.
+func estimateND(d *sparse.CSC, s *ndSym) *ndEstimates {
+	nb := s.nb
+	est := &ndEstimates{
+		diagNnz:  make([]int, nb),
+		lowerNnz: make([][]int, nb),
+		upperNnz: make([][]int, nb),
+	}
+	for i := 0; i < nb; i++ {
+		est.lowerNnz[i] = make([]int, nb)
+		est.upperNnz[i] = make([]int, nb)
+	}
+
+	// treelevel -1 / 0: per-leaf etrees, diagonal column counts and the
+	// lest/uest row ranges of every off-diagonal block — embarrassingly
+	// parallel over leaves (Algorithm 3 lines 2-9).
+	type ranges struct{ lo, hi []int } // per column of the target block
+	lest := make([][]ranges, nb)      // lest[i][path idx]
+	var wg sync.WaitGroup
+	for t := 0; t < s.p; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			leaf := s.tree.Leaves[t]
+			r0, r1 := s.blockRange(leaf)
+			diag := d.ExtractBlock(r0, r1, r0, r1)
+			parent := etree.Symmetric(diag)
+			counts := etree.ColCounts(diag, parent)
+			sum := 0
+			for _, c := range counts {
+				sum += c
+			}
+			est.diagNnz[leaf] = 2 * sum
+			// Lower off-diagonal row ranges L_k,leaf (Algorithm 3 line 6):
+			// pivoting inside the leaf cannot change them (fill-path
+			// theorem), so the input ranges bound the factor.
+			lest[leaf] = make([]ranges, len(s.ancestors[leaf]))
+			for ai, anc := range s.ancestors[leaf] {
+				a0, a1 := s.blockRange(anc)
+				blk := d.ExtractBlock(a0, a1, r0, r1)
+				lest[leaf][ai] = blockRowRanges(blk)
+				est.lowerNnz[anc][leaf] = rangeNnz(lest[leaf][ai], true)
+			}
+			// Upper off-diagonal U_leaf,k (line 8): bound each column by
+			// the reach estimate |subtree up to max row|.
+			for _, anc := range s.ancestors[leaf] {
+				a0, a1 := s.blockRange(anc)
+				blk := d.ExtractBlock(r0, r1, a0, a1)
+				est.upperNnz[leaf][anc] = reachBound(blk, counts)
+			}
+		}(t)
+	}
+	wg.Wait()
+
+	// Higher treelevels (Algorithm 3 lines 11-18): separator diagonal and
+	// off-diagonal estimates from the accumulated child bounds. Blocks at
+	// the same height are independent — parallel over nodes per level.
+	for h := 1; h <= s.maxH; h++ {
+		var lwg sync.WaitGroup
+		for j := 0; j < nb; j++ {
+			if s.height[j] != h {
+				continue
+			}
+			lwg.Add(1)
+			go func(j int) {
+				defer lwg.Done()
+				r0, r1 := s.blockRange(j)
+				w := r1 - r0
+				// Diagonal: input counts plus the dense-span upper bound of
+				// the products L_jk·U_kj over the subtree (line 14).
+				diag := d.ExtractBlock(r0, r1, r0, r1)
+				base := diag.Nnz()
+				fillBound := 0
+				for kp := s.subLo[j]; kp < j; kp++ {
+					lo := est.lowerNnz[j][kp]
+					up := est.upperNnz[kp][j]
+					if lo > 0 && up > 0 {
+						// Overlapping contributions assumed dense in the
+						// spanned rows, bounded by the block area.
+						f := lo + up
+						if f > w*w-base-fillBound {
+							f = w*w - base - fillBound
+						}
+						if f > 0 {
+							fillBound += f
+						}
+					}
+				}
+				est.diagNnz[j] = 2 * (base + fillBound)
+				// Off-diagonal blocks of the separator column/row (lines
+				// 15-16): input nnz plus the subtree products' spans.
+				for _, anc := range s.ancestors[j] {
+					a0, a1 := s.blockRange(anc)
+					low := d.ExtractBlock(a0, a1, r0, r1)
+					bound := low.Nnz()
+					for kp := s.subLo[j]; kp < j; kp++ {
+						if est.lowerNnz[anc][kp] > 0 && est.upperNnz[kp][j] > 0 {
+							bound += est.upperNnz[kp][j]
+						}
+					}
+					if cap := (a1 - a0) * w; bound > cap {
+						bound = cap
+					}
+					est.lowerNnz[anc][j] = bound
+
+					upb := d.ExtractBlock(r0, r1, a0, a1).Nnz()
+					for kp := s.subLo[j]; kp < j; kp++ {
+						if est.upperNnz[kp][anc] > 0 {
+							upb += est.upperNnz[kp][anc] / 2
+						}
+					}
+					if cap := w * (a1 - a0); upb > cap {
+						upb = cap
+					}
+					est.upperNnz[j][anc] = upb
+				}
+			}(j)
+		}
+		lwg.Wait()
+	}
+	return est
+}
+
+// blockRowRanges records the min/max row index of every column of a block —
+// the paper's lest/uest data structure.
+func blockRowRanges(b *sparse.CSC) struct{ lo, hi []int } {
+	lo := make([]int, b.N)
+	hi := make([]int, b.N)
+	for c := 0; c < b.N; c++ {
+		p0, p1 := b.Colptr[c], b.Colptr[c+1]
+		if p0 == p1 {
+			lo[c], hi[c] = -1, -1
+			continue
+		}
+		lo[c] = b.Rowidx[p0]     // columns are sorted
+		hi[c] = b.Rowidx[p1-1]
+	}
+	return struct{ lo, hi []int }{lo, hi}
+}
+
+// rangeNnz sums the dense spans of the recorded ranges: the "dense between
+// minimum and maximum" upper bound.
+func rangeNnz(r struct{ lo, hi []int }, dense bool) int {
+	total := 0
+	for c := range r.lo {
+		if r.lo[c] < 0 {
+			continue
+		}
+		if dense {
+			total += r.hi[c] - r.lo[c] + 1
+		} else {
+			total++
+		}
+	}
+	return total
+}
+
+// reachBound estimates the nnz of an upper block U_leaf,k: each column's
+// sparse triangular solve can fill at most up to the leaf's subtree column
+// counts; bound by column count sums capped at the block area.
+func reachBound(b *sparse.CSC, leafCounts []int) int {
+	total := 0
+	for c := 0; c < b.N; c++ {
+		span := 0
+		for p := b.Colptr[c]; p < b.Colptr[c+1]; p++ {
+			i := b.Rowidx[p]
+			if i < len(leafCounts) {
+				span += leafCounts[i]
+			}
+		}
+		if span > b.M {
+			span = b.M
+		}
+		total += span
+	}
+	if cap := b.M * b.N; total > cap {
+		total = cap
+	}
+	return total
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// blockFlags is the point-to-point synchronization fabric: one completion
+// signal per 2D block of the fine-ND structure. A producing thread signals
+// after its block is complete; a consuming thread waits only on the exact
+// blocks it needs — the Go analogue of the paper's write-to-volatile
+// point-to-point synchronization. Signals are implemented as closed
+// channels so waiting goroutines consume no CPU even when the host has
+// fewer cores than workers (which matters for the simulated-makespan
+// timing mode described in DESIGN.md).
+type blockFlags struct {
+	n     int
+	done  []chan struct{}
+	abort chan struct{}
+	once  sync.Once
+	// contended counts waits that actually had to block (ablation metric).
+	contended atomic.Int64
+}
+
+func newBlockFlags(nblocks int) *blockFlags {
+	f := &blockFlags{
+		n:     nblocks,
+		done:  make([]chan struct{}, nblocks*nblocks),
+		abort: make(chan struct{}),
+	}
+	for i := range f.done {
+		f.done[i] = make(chan struct{})
+	}
+	return f
+}
+
+func (f *blockFlags) idx(i, j int) int { return i*f.n + j }
+
+// set marks block (i, j) complete. Each block has exactly one producer.
+func (f *blockFlags) set(i, j int) { close(f.done[f.idx(i, j)]) }
+
+// wait blocks until block (i, j) is complete. It returns false if the
+// computation has been aborted (another thread hit an error), so waiters
+// can unwind instead of deadlocking.
+func (f *blockFlags) wait(i, j int) bool {
+	ch := f.done[f.idx(i, j)]
+	select {
+	case <-ch:
+		return true
+	default:
+	}
+	f.contended.Add(1)
+	select {
+	case <-ch:
+		return true
+	case <-f.abort:
+		return false
+	}
+}
+
+// fail aborts the whole parallel region.
+func (f *blockFlags) fail() { f.once.Do(func() { close(f.abort) }) }
+
+func (f *blockFlags) aborted() bool {
+	select {
+	case <-f.abort:
+		return true
+	default:
+		return false
+	}
+}
+
+// barrier is a reusable counting barrier for the SyncBarrier ablation mode.
+// It deliberately models the heavyweight "rejoin everything" semantics of a
+// parallel-for: every participant waits for every other at each phase.
+type barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	parties int
+	count   int
+	gen     int
+	broken  atomic.Bool
+}
+
+func newBarrier(parties int) *barrier {
+	b := &barrier{parties: parties}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// await blocks until all parties arrive. Returns false if the barrier was
+// broken by an error.
+func (b *barrier) await() bool {
+	if b.broken.Load() {
+		return false
+	}
+	b.mu.Lock()
+	gen := b.gen
+	b.count++
+	if b.count == b.parties {
+		b.count = 0
+		b.gen++
+		b.mu.Unlock()
+		b.cond.Broadcast()
+		return !b.broken.Load()
+	}
+	for gen == b.gen && !b.broken.Load() {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+	return !b.broken.Load()
+}
+
+// breakBarrier releases all waiters with a failure indication.
+func (b *barrier) breakBarrier() {
+	b.broken.Store(true)
+	b.mu.Lock()
+	b.gen++
+	b.count = 0
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}

@@ -1,0 +1,116 @@
+// Package dense provides the small column-major dense kernels used by the
+// supernodal baseline solver: panel LU, triangular solves and rank-k
+// updates. They are deliberately simple loop nests — the point of the
+// supernodal baseline is to capture the *algorithmic* behaviour of a
+// BLAS-based solver (dense panels amortize memory traffic on high-fill
+// matrices), not to compete with vendor BLAS.
+package dense
+
+import "errors"
+
+// ErrSingular reports a zero pivot during unpivoted panel factorization.
+var ErrSingular = errors.New("dense: zero pivot")
+
+// Matrix is a column-major dense matrix view: element (i,j) is
+// Data[j*LD+i].
+type Matrix struct {
+	Rows, Cols int
+	LD         int
+	Data       []float64
+}
+
+// New allocates a zeroed rows×cols matrix with LD = rows.
+func New(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, LD: rows, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[j*m.LD+i] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[j*m.LD+i] = v }
+
+// Col returns the slice backing column j (length Rows).
+func (m *Matrix) Col(j int) []float64 { return m.Data[j*m.LD : j*m.LD+m.Rows] }
+
+// LUNoPivot factors the leading kxk block of the panel in place without
+// pivoting and updates the rows below: on return the strictly lower part of
+// the first k columns holds L (unit diagonal implicit), the upper part U.
+// The panel has Rows >= k rows; rows k..Rows-1 of the first k columns hold
+// the off-diagonal L block after the call.
+//
+// minPiv implements static pivot perturbation à la Pardiso/SuperLU-Dist:
+// a pivot smaller in magnitude than minPiv is replaced by ±minPiv. With
+// minPiv == 0 a zero pivot returns ErrSingular instead.
+func (m *Matrix) LUNoPivot(k int, minPiv float64) error {
+	for d := 0; d < k; d++ {
+		piv := m.At(d, d)
+		if piv < minPiv && piv > -minPiv {
+			if minPiv == 0 {
+				return ErrSingular
+			}
+			if piv < 0 {
+				piv = -minPiv
+			} else {
+				piv = minPiv
+			}
+			m.Set(d, d, piv)
+		}
+		if piv == 0 {
+			return ErrSingular
+		}
+		cd := m.Col(d)
+		inv := 1 / piv
+		for i := d + 1; i < m.Rows; i++ {
+			cd[i] *= inv
+		}
+		for j := d + 1; j < k; j++ {
+			cj := m.Col(j)
+			f := cj[d]
+			if f == 0 {
+				continue
+			}
+			for i := d + 1; i < m.Rows; i++ {
+				cj[i] -= f * cd[i]
+			}
+		}
+	}
+	return nil
+}
+
+// TRSMLowerUnit solves L·X = B in place where L is the kxk unit lower
+// triangle stored in the first k rows/cols of lu, and B is the kxcols
+// matrix b (overwritten by X).
+func TRSMLowerUnit(lu *Matrix, k int, b *Matrix) {
+	for j := 0; j < b.Cols; j++ {
+		col := b.Col(j)
+		for d := 0; d < k; d++ {
+			xd := col[d]
+			if xd == 0 {
+				continue
+			}
+			ld := lu.Col(d)
+			for i := d + 1; i < k; i++ {
+				col[i] -= ld[i] * xd
+			}
+		}
+	}
+}
+
+// GEMMSub computes C -= A·B where A is m×k, B is k×n, C is m×n.
+func GEMMSub(c *Matrix, a *Matrix, b *Matrix) {
+	for j := 0; j < c.Cols; j++ {
+		cj := c.Col(j)
+		bj := b.Col(j)
+		for l := 0; l < a.Cols; l++ {
+			f := bj[l]
+			if f == 0 {
+				continue
+			}
+			al := a.Col(l)
+			for i := 0; i < c.Rows; i++ {
+				cj[i] -= al[i] * f
+			}
+		}
+	}
+}

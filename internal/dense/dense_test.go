@@ -1,0 +1,105 @@
+package dense
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestLUNoPivotReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	rows, k := 7, 4
+	m := New(rows, k)
+	orig := New(rows, k)
+	for j := 0; j < k; j++ {
+		for i := 0; i < rows; i++ {
+			v := rng.NormFloat64()
+			if i == j {
+				v += 5 // keep pivots healthy
+			}
+			m.Set(i, j, v)
+			orig.Set(i, j, v)
+		}
+	}
+	if err := m.LUNoPivot(k, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Reconstruct: A = L*U with L unit lower (rows x k), U upper (k x k).
+	for i := 0; i < rows; i++ {
+		for j := 0; j < k; j++ {
+			sum := 0.0
+			for d := 0; d <= j && d < k; d++ {
+				var lid float64
+				switch {
+				case i == d:
+					lid = 1
+				case i > d:
+					lid = m.At(i, d)
+				default:
+					lid = 0
+				}
+				sum += lid * m.At(d, j) * b2f(d <= j)
+			}
+			if math.Abs(sum-orig.At(i, j)) > 1e-10 {
+				t.Fatalf("LU(%d,%d) = %v, want %v", i, j, sum, orig.At(i, j))
+			}
+		}
+	}
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func TestLUNoPivotSingular(t *testing.T) {
+	m := New(2, 2)
+	m.Set(0, 0, 0)
+	m.Set(1, 1, 1)
+	if err := m.LUNoPivot(2, 0); err != ErrSingular {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestLUNoPivotPerturbs(t *testing.T) {
+	m := New(2, 2)
+	m.Set(0, 0, 0)
+	m.Set(0, 1, 1)
+	m.Set(1, 0, 1)
+	m.Set(1, 1, 1)
+	if err := m.LUNoPivot(2, 1e-8); err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 0) != 1e-8 {
+		t.Fatalf("pivot = %v, want perturbed 1e-8", m.At(0, 0))
+	}
+}
+
+func TestTRSMLowerUnit(t *testing.T) {
+	// L = [[1,0],[2,1]], B = [[1],[4]] -> X = [[1],[2]].
+	lu := New(2, 2)
+	lu.Set(1, 0, 2)
+	b := New(2, 1)
+	b.Set(0, 0, 1)
+	b.Set(1, 0, 4)
+	TRSMLowerUnit(lu, 2, b)
+	if b.At(0, 0) != 1 || b.At(1, 0) != 2 {
+		t.Fatalf("X = [%v %v], want [1 2]", b.At(0, 0), b.At(1, 0))
+	}
+}
+
+func TestGEMMSub(t *testing.T) {
+	a := New(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(1, 1, 2)
+	b := New(2, 2)
+	b.Set(0, 0, 3)
+	b.Set(1, 0, 4)
+	c := New(2, 2)
+	GEMMSub(c, a, b)
+	if c.At(0, 0) != -3 || c.At(1, 0) != -8 {
+		t.Fatalf("C = [[%v],[%v]], want [-3,-8]", c.At(0, 0), c.At(1, 0))
+	}
+}

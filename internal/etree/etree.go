@@ -1,0 +1,185 @@
+// Package etree provides elimination-tree machinery: tree construction for
+// symmetric patterns (A+Aᵀ) and for AᵀA (column elimination trees), postorder
+// computation, Cholesky-style column counts used as fill estimates for LU
+// factor allocation, and level sets used for 1D level-scheduled parallelism
+// (the SLU-MT baseline) — the paper's Algorithm 3 builds per-block versions
+// of exactly these quantities.
+package etree
+
+import "repro/internal/sparse"
+
+// Symmetric computes the elimination tree of the symmetric pattern of
+// a + aᵀ. parent[j] is the etree parent of column j, or -1 for roots.
+func Symmetric(a *sparse.CSC) []int {
+	g := a.SymbolicUnion()
+	n := g.N
+	parent := make([]int, n)
+	ancestor := make([]int, n)
+	for j := 0; j < n; j++ {
+		parent[j] = -1
+		ancestor[j] = -1
+		for p := g.Colptr[j]; p < g.Colptr[j+1]; p++ {
+			i := g.Rowidx[p]
+			// Walk from i up to the root of its subtree with path
+			// compression, attaching to j.
+			for i < j && i != -1 {
+				next := ancestor[i]
+				ancestor[i] = j
+				if next == -1 {
+					parent[i] = j
+				}
+				i = next
+			}
+		}
+	}
+	return parent
+}
+
+// ColEtree computes the column elimination tree, the etree of AᵀA without
+// forming AᵀA (Gilbert–Ng). It bounds LU fill under arbitrary partial
+// pivoting and is the tree Basker consults when pivoting is enabled.
+func ColEtree(a *sparse.CSC) []int {
+	m, n := a.M, a.N
+	parent := make([]int, n)
+	root := make([]int, n)     // root of current subtree containing col j
+	firstCol := make([]int, m) // first column whose pattern contains row i
+	for i := range firstCol {
+		firstCol[i] = -1
+	}
+	for j := 0; j < n; j++ {
+		parent[j] = -1
+		root[j] = j
+		for p := a.Colptr[j]; p < a.Colptr[j+1]; p++ {
+			i := a.Rowidx[p]
+			if firstCol[i] == -1 {
+				firstCol[i] = j
+				continue
+			}
+			// Row i links column firstCol[i]'s subtree to j.
+			k := firstCol[i]
+			// Find root with path compression.
+			r := k
+			for root[r] != r {
+				r = root[r]
+			}
+			for root[k] != r {
+				k, root[k] = root[k], r
+			}
+			if r != j {
+				parent[r] = j
+				root[r] = j
+			}
+			firstCol[i] = j
+		}
+	}
+	return parent
+}
+
+// Postorder returns a postordering of the forest given by parent (children
+// visited before parents, trees in index order).
+func Postorder(parent []int) []int {
+	n := len(parent)
+	head := make([]int, n)
+	next := make([]int, n)
+	for i := range head {
+		head[i] = -1
+	}
+	// Build child lists in reverse so traversal visits children ascending.
+	for v := n - 1; v >= 0; v-- {
+		p := parent[v]
+		if p != -1 {
+			next[v] = head[p]
+			head[p] = v
+		}
+	}
+	post := make([]int, 0, n)
+	stack := make([]int, 0, 64)
+	for r := 0; r < n; r++ {
+		if parent[r] != -1 {
+			continue
+		}
+		stack = append(stack[:0], r)
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			c := head[v]
+			if c == -1 {
+				post = append(post, v)
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			head[v] = next[c]
+			stack = append(stack, c)
+		}
+	}
+	return post
+}
+
+// ColCounts returns, for each column j, the number of nonzeros in column j
+// of the Cholesky factor of the symmetric pattern of a + aᵀ (including the
+// diagonal). This is the fill estimate the solvers use to size LU factor
+// storage. It runs the row-subtree traversal: O(|L|) time.
+func ColCounts(a *sparse.CSC, parent []int) []int {
+	g := a.SymbolicUnion()
+	n := g.N
+	count := make([]int, n)
+	mark := make([]int, n)
+	for i := range mark {
+		mark[i] = -1
+	}
+	for i := 0; i < n; i++ {
+		count[i]++ // diagonal
+		mark[i] = i
+		// Row subtree of i: paths from each k (k<i, a[i,k]!=0) up to i.
+		for p := g.Colptr[i]; p < g.Colptr[i+1]; p++ {
+			k := g.Rowidx[p]
+			if k >= i {
+				continue
+			}
+			for j := k; j != -1 && mark[j] != i; j = parent[j] {
+				mark[j] = i
+				count[j]++
+			}
+		}
+	}
+	return count
+}
+
+// LevelSets partitions the forest into levels where level 0 holds leaves
+// and level l nodes depend only on strictly lower levels. Returns the level
+// of each node and the nodes grouped by level — the schedule used by the
+// 1D parallel baseline.
+func LevelSets(parent []int) (level []int, byLevel [][]int) {
+	n := len(parent)
+	level = make([]int, n)
+	// Children depth-first accumulation: level[v] = 1 + max(level of
+	// children). Process in topological (children-first) order: a postorder
+	// guarantees children come first.
+	post := Postorder(parent)
+	maxLevel := 0
+	for _, v := range post {
+		p := parent[v]
+		if p != -1 && level[v]+1 > level[p] {
+			level[p] = level[v] + 1
+		}
+		if level[v] > maxLevel {
+			maxLevel = level[v]
+		}
+	}
+	byLevel = make([][]int, maxLevel+1)
+	for v := 0; v < n; v++ {
+		byLevel[level[v]] = append(byLevel[level[v]], v)
+	}
+	return level, byLevel
+}
+
+// FlopEstimate estimates the floating point operations of a Cholesky-style
+// factorization with the given column counts: sum over columns of
+// count[j]^2 — the quantity Basker's fine-BTF symbolic phase uses to
+// balance blocks across threads.
+func FlopEstimate(counts []int) float64 {
+	f := 0.0
+	for _, c := range counts {
+		f += float64(c) * float64(c)
+	}
+	return f
+}

@@ -1,0 +1,158 @@
+package etree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sparse"
+)
+
+// tridiag returns a tridiagonal pattern: its etree is a path.
+func tridiag(n int) *sparse.CSC {
+	coo := sparse.NewCOO(n, n, 3*n)
+	for i := 0; i < n; i++ {
+		coo.Add(i, i, 2)
+		if i > 0 {
+			coo.Add(i, i-1, -1)
+			coo.Add(i-1, i, -1)
+		}
+	}
+	return coo.ToCSC(false)
+}
+
+func TestSymmetricEtreePath(t *testing.T) {
+	a := tridiag(10)
+	parent := Symmetric(a)
+	for j := 0; j < 9; j++ {
+		if parent[j] != j+1 {
+			t.Fatalf("parent[%d] = %d, want %d", j, parent[j], j+1)
+		}
+	}
+	if parent[9] != -1 {
+		t.Fatalf("root parent = %d, want -1", parent[9])
+	}
+}
+
+func TestSymmetricEtreeArrow(t *testing.T) {
+	// Arrow matrix: every column connected to the last; etree is a star at
+	// n-1 for the "borders last" pattern (each j's lowest fill ancestor is
+	// n-1 directly).
+	n := 8
+	coo := sparse.NewCOO(n, n, 3*n)
+	for i := 0; i < n; i++ {
+		coo.Add(i, i, 2)
+		coo.Add(n-1, i, 1)
+		coo.Add(i, n-1, 1)
+	}
+	parent := Symmetric(coo.ToCSC(false))
+	for j := 0; j < n-1; j++ {
+		if parent[j] != n-1 {
+			t.Fatalf("parent[%d] = %d, want %d", j, parent[j], n-1)
+		}
+	}
+}
+
+func TestPostorderIsValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(60)
+		// Random forest: parent[j] > j or -1.
+		parent := make([]int, n)
+		for j := 0; j < n; j++ {
+			if j == n-1 || rng.Float64() < 0.2 {
+				parent[j] = -1
+			} else {
+				parent[j] = j + 1 + rng.Intn(n-j-1)
+			}
+		}
+		post := Postorder(parent)
+		if !sparse.IsPerm(post) {
+			return false
+		}
+		// Children must appear before parents.
+		pos := make([]int, n)
+		for k, v := range post {
+			pos[v] = k
+		}
+		for j := 0; j < n; j++ {
+			if parent[j] != -1 && pos[j] >= pos[parent[j]] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestColCountsTridiag(t *testing.T) {
+	a := tridiag(6)
+	parent := Symmetric(a)
+	counts := ColCounts(a, parent)
+	// Tridiagonal Cholesky has 2 nonzeros per column except the last.
+	for j := 0; j < 5; j++ {
+		if counts[j] != 2 {
+			t.Fatalf("count[%d] = %d, want 2", j, counts[j])
+		}
+	}
+	if counts[5] != 1 {
+		t.Fatalf("count[5] = %d, want 1", counts[5])
+	}
+}
+
+func TestColCountsDense(t *testing.T) {
+	n := 7
+	coo := sparse.NewCOO(n, n, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			coo.Add(i, j, 1)
+		}
+	}
+	a := coo.ToCSC(false)
+	counts := ColCounts(a, Symmetric(a))
+	for j := 0; j < n; j++ {
+		if counts[j] != n-j {
+			t.Fatalf("count[%d] = %d, want %d", j, counts[j], n-j)
+		}
+	}
+}
+
+func TestLevelSets(t *testing.T) {
+	// Balanced binary tree of 7 nodes: 0,1,2,3 leaves? Build explicitly:
+	// parent: 0->4, 1->4, 2->5, 3->5, 4->6, 5->6, 6 root.
+	parent := []int{4, 4, 5, 5, 6, 6, -1}
+	level, byLevel := LevelSets(parent)
+	want := []int{0, 0, 0, 0, 1, 1, 2}
+	for i := range want {
+		if level[i] != want[i] {
+			t.Fatalf("level[%d] = %d, want %d", i, level[i], want[i])
+		}
+	}
+	if len(byLevel) != 3 || len(byLevel[0]) != 4 || len(byLevel[2]) != 1 {
+		t.Fatalf("byLevel shape wrong: %v", byLevel)
+	}
+}
+
+func TestColEtreeRect(t *testing.T) {
+	// Column etree of a bidiagonal rectangular matrix is a path.
+	m, n := 6, 5
+	coo := sparse.NewCOO(m, n, 2*n)
+	for j := 0; j < n; j++ {
+		coo.Add(j, j, 1)
+		coo.Add(j+1, j, 1)
+	}
+	parent := ColEtree(coo.ToCSC(false))
+	for j := 0; j < n-1; j++ {
+		if parent[j] != j+1 {
+			t.Fatalf("col etree parent[%d] = %d, want %d", j, parent[j], j+1)
+		}
+	}
+}
+
+func TestFlopEstimate(t *testing.T) {
+	if f := FlopEstimate([]int{2, 3}); f != 13 {
+		t.Fatalf("FlopEstimate = %v, want 13", f)
+	}
+}

@@ -1,0 +1,406 @@
+// Package gp implements the Gilbert–Peierls left-looking sparse LU
+// factorization with partial pivoting (SIAM J. Sci. Stat. Comput. 9(5),
+// 1988): the nonzero pattern of each factor column is discovered by a
+// depth-first search in the graph of L, so the total work is proportional
+// to the number of arithmetic operations. This is the algorithm KLU applies
+// to every BTF diagonal block and the kernel Basker parallelizes.
+//
+// Factor invariants (checked by tests):
+//   - L and U columns are sorted ascending by row index;
+//   - L has a unit diagonal stored explicitly as the first entry of each
+//     column; all indices of L and U are in pivot (final) order;
+//   - U's diagonal pivot is the last entry of each column;
+//   - L·U = A(P, :) up to roundoff, where P is the pivot row permutation.
+package gp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/sparse"
+)
+
+// ErrSingular is returned when no acceptable pivot exists for some column
+// (the matrix is numerically or structurally singular).
+var ErrSingular = errors.New("gp: matrix is singular")
+
+// Options controls pivoting behaviour.
+type Options struct {
+	// PivotTol is the diagonal preference threshold: the diagonal entry is
+	// chosen as pivot when |a_kk| >= PivotTol * max|column|. 1.0 forces
+	// true partial pivoting; small values preserve the fill-reducing
+	// ordering. KLU's default is 0.001.
+	PivotTol float64
+	// NoPivot disables row pivoting entirely (static pivoting à la
+	// SuperLU-Dist/PMKL after an MWCM permutation). Fails if a zero
+	// diagonal pivot is met.
+	NoPivot bool
+}
+
+// DefaultPivotTol mirrors KLU's diagonal-preference default.
+const DefaultPivotTol = 0.001
+
+func (o Options) tol() float64 {
+	if o.PivotTol <= 0 {
+		return DefaultPivotTol
+	}
+	return o.PivotTol
+}
+
+// Factors holds the LU factorization L·U = A(P,:).
+type Factors struct {
+	N    int
+	L, U *sparse.CSC
+	// P is new-to-old: original row P[k] is the pivot of step k.
+	P []int
+	// Pinv is old-to-new: Pinv[P[k]] = k.
+	Pinv []int
+	// Flops counts multiply-add pairs performed during factorization.
+	Flops int64
+}
+
+// NnzLU reports nnz(L)+nnz(U) counting both diagonals once each (the |L+U|
+// statistic of the paper's Table I counts the unit diagonal of L once).
+func (f *Factors) NnzLU() int { return f.L.Nnz() + f.U.Nnz() - f.N }
+
+// Workspace holds the reusable scratch arrays for factorizations of
+// matrices up to a given dimension; reuse across columns and across
+// factorizations avoids repeated allocation (critical inside parallel
+// regions, as the paper's symbolic-phase discussion stresses).
+type Workspace struct {
+	X      []float64 // dense accumulator
+	Xi     []int     // DFS output: topological pattern
+	Pstack []int     // DFS pointer stack
+	Mark   []int     // visited tags
+	Tag    int
+}
+
+// NewWorkspace returns a workspace for dimension n.
+func NewWorkspace(n int) *Workspace {
+	return &Workspace{
+		X:      make([]float64, n),
+		Xi:     make([]int, 2*n),
+		Pstack: make([]int, n),
+		Mark:   make([]int, n),
+	}
+}
+
+// Grow ensures the workspace covers dimension n.
+func (w *Workspace) Grow(n int) {
+	if len(w.X) >= n {
+		return
+	}
+	w.X = make([]float64, n)
+	w.Xi = make([]int, 2*n)
+	w.Pstack = make([]int, n)
+	w.Mark = make([]int, n)
+	w.Tag = 0
+}
+
+// Factor computes the LU factorization of the square matrix a. estNnz is a
+// capacity hint for each factor (e.g. from a symbolic column-count pass);
+// storage grows on demand if the hint is low. ws may be nil.
+func Factor(a *sparse.CSC, estNnz int, opts Options, ws *Workspace) (*Factors, error) {
+	if a.M != a.N {
+		return nil, fmt.Errorf("gp: matrix must be square, got %d×%d", a.M, a.N)
+	}
+	n := a.N
+	if ws == nil {
+		ws = NewWorkspace(n)
+	} else {
+		ws.Grow(n)
+	}
+	if estNnz < a.Nnz()+n {
+		estNnz = a.Nnz() + n
+	}
+	f := &Factors{
+		N:    n,
+		L:    sparse.NewCSC(n, n, estNnz),
+		U:    sparse.NewCSC(n, n, estNnz),
+		P:    make([]int, n),
+		Pinv: make([]int, n),
+	}
+	for i := range f.Pinv {
+		f.Pinv[i] = -1
+	}
+	tol := opts.tol()
+
+	for k := 0; k < n; k++ {
+		// --- Symbolic: pattern of x = L \ A(:,k) by DFS from A(:,k).
+		top := reach(f.L, f.Pinv, a, k, ws)
+		// --- Numeric: sparse forward solve in topological order.
+		x := ws.X
+		for p := a.Colptr[k]; p < a.Colptr[k+1]; p++ {
+			x[a.Rowidx[p]] = a.Values[p]
+		}
+		xi := ws.Xi
+		for t := top; t < n; t++ {
+			i := xi[t]     // original row id
+			j := f.Pinv[i] // pivot position, or -1
+			if j < 0 {
+				continue
+			}
+			xj := x[i]
+			if xj == 0 {
+				continue
+			}
+			// x -= L(:,j) * xj, skipping the unit diagonal (first entry).
+			lp0 := f.L.Colptr[j]
+			lp1 := f.L.Colptr[j+1]
+			for t2 := lp0 + 1; t2 < lp1; t2++ {
+				x[f.L.Rowidx[t2]] -= f.L.Values[t2] * xj
+			}
+			f.Flops += int64(lp1 - lp0 - 1)
+		}
+
+		// --- Pivot selection among unpivoted rows in the pattern.
+		pivRow := -1
+		pivVal := 0.0
+		maxAbs := 0.0
+		for t := top; t < n; t++ {
+			i := xi[t]
+			if f.Pinv[i] >= 0 {
+				continue
+			}
+			v := math.Abs(x[i])
+			if v > maxAbs {
+				maxAbs = v
+				pivRow = i
+				pivVal = x[i]
+			}
+		}
+		if opts.NoPivot {
+			if f.Pinv[k] == -1 {
+				if v := math.Abs(x[k]); v > 0 {
+					pivRow, pivVal = k, x[k]
+				} else {
+					pivRow = -1
+				}
+			} else {
+				pivRow = -1
+			}
+		} else if pivRow != -1 && f.Pinv[k] == -1 {
+			// Diagonal preference: keep the natural pivot when acceptable.
+			if v := math.Abs(x[k]); v >= tol*maxAbs && v > 0 {
+				pivRow, pivVal = k, x[k]
+			}
+		}
+		if pivRow == -1 || pivVal == 0 {
+			clearX(x, xi, top, n, a, k)
+			return nil, fmt.Errorf("gp: column %d: %w", k, ErrSingular)
+		}
+		f.P[k] = pivRow
+		f.Pinv[pivRow] = k
+
+		// --- Emit U(:,k): pivoted rows (positions < k) plus pivot last.
+		for t := top; t < n; t++ {
+			i := xi[t]
+			if j := f.Pinv[i]; j >= 0 && j < k {
+				if v := x[i]; v != 0 {
+					f.U.Rowidx = append(f.U.Rowidx, j)
+					f.U.Values = append(f.U.Values, v)
+				}
+			}
+		}
+		f.U.Rowidx = append(f.U.Rowidx, k)
+		f.U.Values = append(f.U.Values, pivVal)
+		f.U.Colptr[k+1] = len(f.U.Rowidx)
+
+		// --- Emit L(:,k): unit diagonal first, then unpivoted rows scaled.
+		f.L.Rowidx = append(f.L.Rowidx, pivRow) // original id; remapped later
+		f.L.Values = append(f.L.Values, 1)
+		for t := top; t < n; t++ {
+			i := xi[t]
+			if f.Pinv[i] == -1 {
+				if v := x[i]; v != 0 {
+					f.L.Rowidx = append(f.L.Rowidx, i)
+					f.L.Values = append(f.L.Values, v/pivVal)
+					f.Flops++
+				}
+			}
+		}
+		f.L.Colptr[k+1] = len(f.L.Rowidx)
+
+		clearX(x, xi, top, n, a, k)
+	}
+
+	// Remap L's row indices from original ids to pivot order and sort both
+	// factors so downstream solves and refactorization can rely on order.
+	for t := 0; t < f.L.Nnz(); t++ {
+		f.L.Rowidx[t] = f.Pinv[f.L.Rowidx[t]]
+	}
+	f.L.SortColumns()
+	f.U.SortColumns()
+	return f, nil
+}
+
+func clearX(x []float64, xi []int, top, n int, a *sparse.CSC, k int) {
+	for t := top; t < n; t++ {
+		x[xi[t]] = 0
+	}
+	for p := a.Colptr[k]; p < a.Colptr[k+1]; p++ {
+		x[a.Rowidx[p]] = 0
+	}
+}
+
+// reach computes the pattern of L⁻¹ A(:,k) by depth-first search from the
+// nonzeros of A(:,k) in the graph of the partially built L. Nodes are
+// original row ids; a node i with Pinv[i] = j >= 0 has out-edges to the
+// rows of L(:,j). The topological order lands in ws.Xi[top:n].
+func reach(l *sparse.CSC, pinv []int, a *sparse.CSC, k int, ws *Workspace) int {
+	n := l.N
+	ws.Tag++
+	tag := ws.Tag
+	top := n
+	xi := ws.Xi
+	for p := a.Colptr[k]; p < a.Colptr[k+1]; p++ {
+		start := a.Rowidx[p]
+		if ws.Mark[start] == tag {
+			continue
+		}
+		top = dfs(start, l, pinv, xi, top, ws.Pstack, ws.Mark, tag)
+	}
+	return top
+}
+
+// dfs pushes the reverse-postorder of nodes reachable from start onto
+// xi[..top], returning the new top. Iterative with an explicit stack held
+// in xi[:n] (head section) and pstack.
+func dfs(start int, l *sparse.CSC, pinv []int, xi []int, top int, pstack, mark []int, tag int) int {
+	head := 0
+	xi[head] = start
+	for head >= 0 {
+		i := xi[head]
+		j := pinv[i]
+		if mark[i] != tag {
+			mark[i] = tag
+			if j < 0 {
+				pstack[head] = 0 // no children
+			} else {
+				pstack[head] = l.Colptr[j] + 1 // skip unit diagonal
+			}
+		}
+		done := true
+		if j >= 0 {
+			for p := pstack[head]; p < l.Colptr[j+1]; p++ {
+				child := l.Rowidx[p]
+				if mark[child] == tag {
+					continue
+				}
+				pstack[head] = p + 1
+				head++
+				xi[head] = child
+				done = false
+				break
+			}
+		}
+		if done {
+			head--
+			top--
+			xi[top] = i
+		}
+	}
+	return top
+}
+
+// Solve solves A x = b in place using the factors (b becomes x).
+func (f *Factors) Solve(b []float64) {
+	n := f.N
+	// y = P b
+	y := make([]float64, n)
+	for k := 0; k < n; k++ {
+		y[k] = b[f.P[k]]
+	}
+	f.LSolve(y)
+	f.USolve(y)
+	copy(b, y)
+}
+
+// LSolve solves L y = y in place (forward substitution, unit diagonal,
+// sorted columns with the diagonal first).
+func (f *Factors) LSolve(y []float64) {
+	for j := 0; j < f.N; j++ {
+		yj := y[j]
+		if yj == 0 {
+			continue
+		}
+		for p := f.L.Colptr[j] + 1; p < f.L.Colptr[j+1]; p++ {
+			y[f.L.Rowidx[p]] -= f.L.Values[p] * yj
+		}
+	}
+}
+
+// USolve solves U x = y in place (backward substitution, pivot last).
+func (f *Factors) USolve(y []float64) {
+	for j := f.N - 1; j >= 0; j-- {
+		p1 := f.U.Colptr[j+1]
+		piv := f.U.Values[p1-1] // diagonal is the largest row index: last
+		yj := y[j] / piv
+		y[j] = yj
+		if yj == 0 {
+			continue
+		}
+		for p := f.U.Colptr[j]; p < p1-1; p++ {
+			y[f.U.Rowidx[p]] -= f.U.Values[p] * yj
+		}
+	}
+}
+
+// Refactor recomputes the numeric values of f for a new matrix a with the
+// same nonzero pattern as the matrix originally factored, reusing the
+// pivot sequence and factor patterns (no pivoting). This is the kernel of
+// the Xyce transient-sequence experiment: one symbolic+pivoting
+// factorization followed by many cheap refactorizations.
+func (f *Factors) Refactor(a *sparse.CSC, ws *Workspace) error {
+	n := f.N
+	if a.M != n || a.N != n {
+		return fmt.Errorf("gp: refactor dimension mismatch")
+	}
+	if ws == nil {
+		ws = NewWorkspace(n)
+	} else {
+		ws.Grow(n)
+	}
+	x := ws.X
+	for k := 0; k < n; k++ {
+		// Scatter P·A(:,k) over pivot positions.
+		for p := a.Colptr[k]; p < a.Colptr[k+1]; p++ {
+			x[f.Pinv[a.Rowidx[p]]] = a.Values[p]
+		}
+		// Eliminate along U(:,k)'s pattern in ascending row order.
+		up0, up1 := f.U.Colptr[k], f.U.Colptr[k+1]
+		for p := up0; p < up1-1; p++ {
+			j := f.U.Rowidx[p]
+			xj := x[j]
+			f.U.Values[p] = xj
+			if xj == 0 {
+				continue
+			}
+			for t := f.L.Colptr[j] + 1; t < f.L.Colptr[j+1]; t++ {
+				x[f.L.Rowidx[t]] -= f.L.Values[t] * xj
+			}
+		}
+		piv := x[k]
+		if piv == 0 {
+			// Clear workspace before reporting.
+			for p := up0; p < up1; p++ {
+				x[f.U.Rowidx[p]] = 0
+			}
+			for t := f.L.Colptr[k]; t < f.L.Colptr[k+1]; t++ {
+				x[f.L.Rowidx[t]] = 0
+			}
+			return fmt.Errorf("gp: refactor column %d: %w", k, ErrSingular)
+		}
+		f.U.Values[up1-1] = piv
+		for t := f.L.Colptr[k] + 1; t < f.L.Colptr[k+1]; t++ {
+			i := f.L.Rowidx[t]
+			f.L.Values[t] = x[i] / piv
+			x[i] = 0
+		}
+		for p := up0; p < up1; p++ {
+			x[f.U.Rowidx[p]] = 0
+		}
+	}
+	return nil
+}

@@ -1,0 +1,150 @@
+package gp
+
+import "repro/internal/sparse"
+
+// SolveSparseL computes x = L⁻¹·(P·b) for a sparse right-hand side b given
+// as parallel (bIdx, bVal) with bIdx in the original row numbering of the
+// factored block. The nonzero pattern of x is discovered by depth-first
+// search in the graph of L (Gilbert–Peierls), so the cost is proportional
+// to the arithmetic performed. This is the kernel Basker uses to compute
+// the columns of upper off-diagonal blocks U_ij = L_ii⁻¹ P_i A_ij.
+//
+// The result pattern (pivot-space indices, topological order) is returned
+// as a slice into ws.Xi, and the values live in ws.X at those indices. Both
+// are valid only until the workspace is reused; callers must copy out and
+// then call ClearSparse with the same pattern.
+func (f *Factors) SolveSparseL(bIdx []int, bVal []float64, ws *Workspace) []int {
+	n := f.N
+	ws.Grow(n)
+	ws.Tag++
+	tag := ws.Tag
+	top := n
+	for _, r := range bIdx {
+		start := f.Pinv[r]
+		if ws.Mark[start] == tag {
+			continue
+		}
+		top = dfsFinal(start, f.L, ws.Xi, top, ws.Pstack, ws.Mark, tag)
+	}
+	pattern := ws.Xi[top:n]
+	for k, r := range bIdx {
+		ws.X[f.Pinv[r]] += bVal[k]
+	}
+	for _, j := range pattern {
+		xj := ws.X[j]
+		if xj == 0 {
+			continue
+		}
+		for p := f.L.Colptr[j] + 1; p < f.L.Colptr[j+1]; p++ {
+			ws.X[f.L.Rowidx[p]] -= f.L.Values[p] * xj
+		}
+	}
+	return pattern
+}
+
+// ClearSparse zeroes the workspace values over a pattern returned by
+// SolveSparseL.
+func ClearSparse(ws *Workspace, pattern []int) {
+	for _, j := range pattern {
+		ws.X[j] = 0
+	}
+}
+
+// dfsFinal is the DFS over a *finished* L whose row indices are already in
+// pivot order: node j's children are the below-diagonal rows of L(:,j).
+func dfsFinal(start int, l *sparse.CSC, xi []int, top int, pstack, mark []int, tag int) int {
+	head := 0
+	xi[head] = start
+	for head >= 0 {
+		j := xi[head]
+		if mark[j] != tag {
+			mark[j] = tag
+			pstack[head] = l.Colptr[j] + 1 // skip unit diagonal
+		}
+		done := true
+		for p := pstack[head]; p < l.Colptr[j+1]; p++ {
+			child := l.Rowidx[p]
+			if mark[child] == tag {
+				continue
+			}
+			pstack[head] = p + 1
+			head++
+			xi[head] = child
+			done = false
+			break
+		}
+		if done {
+			head--
+			top--
+			xi[top] = j
+		}
+	}
+	return top
+}
+
+// LowerBlockSolve computes X solving X·U = B column by column, where U is
+// this factorization's upper factor and B is a sparse block whose rows are
+// *outside* the factored block (so no pivoting interaction). This produces
+// Basker's lower off-diagonal blocks L_ki from A_ki: column c satisfies
+//
+//	X(:,c) = (B(:,c) − Σ_{t<c, U(t,c)≠0} X(:,t)·U(t,c)) / U(c,c).
+//
+// The returned block has sorted columns. mark/acc are caller-provided
+// workspaces of length ≥ B.M (acc zeroed); they come back clean.
+func (f *Factors) LowerBlockSolve(b *sparse.CSC, mark []int, tagp *int, acc []float64) *sparse.CSC {
+	x := sparse.NewCSC(b.M, b.N, b.Nnz()*2)
+	var patt []int
+	for c := 0; c < b.N; c++ {
+		*tagp++
+		tag := *tagp
+		patt = patt[:0]
+		for p := b.Colptr[c]; p < b.Colptr[c+1]; p++ {
+			i := b.Rowidx[p]
+			if mark[i] != tag {
+				mark[i] = tag
+				patt = append(patt, i)
+			}
+			acc[i] += b.Values[p]
+		}
+		// Accumulate -X(:,t)*U(t,c) for t < c in U(:,c)'s pattern.
+		up0, up1 := f.U.Colptr[c], f.U.Colptr[c+1]
+		for p := up0; p < up1-1; p++ {
+			t := f.U.Rowidx[p]
+			utc := f.U.Values[p]
+			if utc == 0 {
+				continue
+			}
+			for q := x.Colptr[t]; q < x.Colptr[t+1]; q++ {
+				i := x.Rowidx[q]
+				if mark[i] != tag {
+					mark[i] = tag
+					patt = append(patt, i)
+				}
+				acc[i] -= x.Values[q] * utc
+			}
+		}
+		piv := f.U.Values[up1-1]
+		insertionSortInts(patt)
+		for _, i := range patt {
+			if v := acc[i]; v != 0 {
+				x.Rowidx = append(x.Rowidx, i)
+				x.Values = append(x.Values, v/piv)
+			}
+			acc[i] = 0
+		}
+		x.Colptr[c+1] = len(x.Rowidx)
+	}
+	return x
+}
+
+func insertionSortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}

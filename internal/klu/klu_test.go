@@ -1,0 +1,217 @@
+package klu
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sparse"
+)
+
+// randCircuitLike builds a nonsingular matrix with many small strongly
+// connected blocks plus one larger coupled core, resembling a circuit
+// matrix after modified nodal analysis.
+func randCircuitLike(rng *rand.Rand, n int) *sparse.CSC {
+	coo := sparse.NewCOO(n, n, 6*n)
+	for i := 0; i < n; i++ {
+		coo.Add(i, i, 5+rng.Float64())
+	}
+	// A strongly connected core over the first third.
+	core := n / 3
+	if core < 2 {
+		core = 2
+	}
+	for i := 0; i < core; i++ {
+		coo.Add((i+1)%core, i, 1+rng.Float64())
+		if rng.Float64() < 0.6 {
+			coo.Add(rng.Intn(core), i, rng.NormFloat64())
+		}
+	}
+	// Small 2-cycles scattered through the rest.
+	for i := core; i+1 < n; i += 2 {
+		coo.Add(i, i+1, rng.NormFloat64()*0.5)
+		coo.Add(i+1, i, rng.NormFloat64()*0.5)
+	}
+	// Sparse upper coupling (keeps BTF nontrivial).
+	for e := 0; e < n; e++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i < j {
+			coo.Add(i, j, rng.NormFloat64()*0.3)
+		}
+	}
+	return coo.ToCSC(false)
+}
+
+func residual(a *sparse.CSC, x, b []float64) float64 {
+	r := make([]float64, a.M)
+	a.MulVec(r, x)
+	worst := 0.0
+	scale := 0.0
+	for i := range r {
+		if d := math.Abs(r[i] - b[i]); d > worst {
+			worst = d
+		}
+		if v := math.Abs(b[i]); v > scale {
+			scale = v
+		}
+	}
+	if scale == 0 {
+		scale = 1
+	}
+	return worst / scale
+}
+
+func solveCheck(t *testing.T, a *sparse.CSC, num *Numeric, tol float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(99))
+	x := make([]float64, a.N)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	b := make([]float64, a.N)
+	a.MulVec(b, x)
+	orig := append([]float64(nil), b...)
+	num.Solve(b)
+	if res := residual(a, b, orig); res > tol {
+		t.Fatalf("relative residual %g > %g", res, tol)
+	}
+}
+
+func TestFactorSolveCircuit(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randCircuitLike(rng, 120)
+	num, err := FactorDirect(a, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if num.Sym.NumBlocks() < 2 {
+		t.Fatalf("expected multiple BTF blocks, got %d", num.Sym.NumBlocks())
+	}
+	solveCheck(t, a, num, 1e-9)
+}
+
+func TestFactorWithoutBTF(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randCircuitLike(rng, 80)
+	opts := DefaultOptions()
+	opts.UseBTF = false
+	num, err := FactorDirect(a, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if num.Sym.NumBlocks() != 1 {
+		t.Fatalf("UseBTF=false should give 1 block, got %d", num.Sym.NumBlocks())
+	}
+	solveCheck(t, a, num, 1e-9)
+}
+
+func TestBTFReducesFactorSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randCircuitLike(rng, 200)
+	withBTF, err := FactorDirect(a, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.UseBTF = false
+	without, err := FactorDirect(a, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withBTF.NnzLU() > without.NnzLU() {
+		t.Fatalf("BTF |L+U| = %d > no-BTF %d", withBTF.NnzLU(), without.NnzLU())
+	}
+	t.Logf("|L+U|: with BTF %d, without %d", withBTF.NnzLU(), without.NnzLU())
+}
+
+func TestRefactorSequence(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randCircuitLike(rng, 100)
+	num, err := FactorDirect(a, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 5; trial++ {
+		b := a.Clone()
+		for i := range b.Values {
+			b.Values[i] *= 1 + 0.2*rng.Float64()
+		}
+		if err := num.Refactor(b); err != nil {
+			t.Fatal(err)
+		}
+		solveCheck(t, b, num, 1e-8)
+	}
+}
+
+func TestSolveRandomProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(120)
+		a := randCircuitLike(rng, n)
+		num, err := FactorDirect(a, DefaultOptions())
+		if err != nil {
+			return false
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		b := make([]float64, n)
+		a.MulVec(b, x)
+		num.Solve(b)
+		for i := range x {
+			if math.Abs(b[i]-x[i]) > 1e-7*(1+math.Abs(x[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStructurallySingular(t *testing.T) {
+	coo := sparse.NewCOO(3, 3, 3)
+	coo.Add(0, 0, 1)
+	coo.Add(1, 1, 1) // column 2 empty
+	if _, err := FactorDirect(coo.ToCSC(false), DefaultOptions()); err == nil {
+		t.Fatal("expected error for structurally singular matrix")
+	}
+}
+
+func TestRectangularRejected(t *testing.T) {
+	if _, err := Analyze(sparse.NewCSC(3, 4, 0), DefaultOptions()); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}
+
+func TestFillDensityCanBeBelowOne(t *testing.T) {
+	// A lower-triangular-ish matrix (after BTF: all 1×1 blocks) has
+	// |L+U| = |diag| + off entries involved, typically ≈ |A|; build a pure
+	// upper triangular matrix where factoring is trivial.
+	n := 50
+	rng := rand.New(rand.NewSource(5))
+	coo := sparse.NewCOO(n, n, 4*n)
+	for i := 0; i < n; i++ {
+		coo.Add(i, i, 2)
+	}
+	for e := 0; e < 3*n; e++ {
+		i := rng.Intn(n - 1)
+		j := i + 1 + rng.Intn(n-i-1)
+		coo.Add(i, j, rng.NormFloat64())
+	}
+	a := coo.ToCSC(false)
+	num, err := FactorDirect(a, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if num.Sym.NumBlocks() != n {
+		t.Fatalf("triangular matrix should give n 1×1 blocks, got %d", num.Sym.NumBlocks())
+	}
+	if fd := num.FillDensity(a); fd > 1.0001 {
+		t.Fatalf("fill density %v should not exceed 1 for triangular input", fd)
+	}
+	solveCheck(t, a, num, 1e-10)
+}

@@ -1,0 +1,197 @@
+package matgen
+
+import (
+	"testing"
+
+	"repro/internal/klu"
+	"repro/internal/order/btf"
+	"repro/internal/sparse"
+)
+
+func TestCircuitIsWellFormedAndFactorable(t *testing.T) {
+	a := Circuit(CircuitParams{N: 800, BTFPct: 40, Blocks: 30, Core: CoreLadder, ExtraDensity: 0.3, Seed: 1})
+	if err := a.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if a.N != 800 {
+		t.Fatalf("n = %d", a.N)
+	}
+	num, err := klu.FactorDirect(a, klu.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if num.Sym.NumBlocks() < 2 {
+		t.Error("expected multiple BTF blocks")
+	}
+}
+
+func TestCircuitBTFStructureMatchesParams(t *testing.T) {
+	// BTFPct=100 must yield no big block; BTFPct=0 must be one SCC.
+	all := Circuit(CircuitParams{N: 600, BTFPct: 100, Blocks: 40, Seed: 2})
+	form, err := btf.Compute(all, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if form.LargestBlock() > 100 {
+		t.Errorf("BTFPct=100: largest block %d, want small", form.LargestBlock())
+	}
+	one := Circuit(CircuitParams{N: 600, BTFPct: 0, Blocks: 1, Core: CoreLadder, Seed: 3})
+	form2, err := btf.Compute(one, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if form2.LargestBlock() < 590 {
+		t.Errorf("BTFPct=0: largest block %d, want ~600", form2.LargestBlock())
+	}
+}
+
+func TestCircuitDeterministic(t *testing.T) {
+	p := CircuitParams{N: 300, BTFPct: 30, Blocks: 10, Core: CoreGrid, ExtraDensity: 0.4, Seed: 7}
+	a := Circuit(p)
+	b := Circuit(p)
+	if a.Nnz() != b.Nnz() {
+		t.Fatal("same seed produced different matrices")
+	}
+	for i := range a.Values {
+		if a.Values[i] != b.Values[i] || a.Rowidx[i] != b.Rowidx[i] {
+			t.Fatal("same seed produced different matrices")
+		}
+	}
+}
+
+func TestMeshes(t *testing.T) {
+	m2 := Mesh2D(12, 1)
+	if m2.N != 144 {
+		t.Fatalf("Mesh2D n = %d", m2.N)
+	}
+	if err := m2.Check(); err != nil {
+		t.Fatal(err)
+	}
+	m3 := Mesh3D(5, 1)
+	if m3.N != 125 {
+		t.Fatalf("Mesh3D n = %d", m3.N)
+	}
+	if _, err := klu.FactorDirect(m2, klu.DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := klu.FactorDirect(m3, klu.DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableISuiteAllFactorable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite generation is moderately expensive")
+	}
+	suite := TableISuite(0.15)
+	if len(suite) != 22 {
+		t.Fatalf("Table I suite has %d matrices, want 22", len(suite))
+	}
+	for _, m := range suite {
+		a := m.Gen()
+		if err := a.Check(); err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		if _, err := klu.FactorDirect(a, klu.DefaultOptions()); err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestFillOrderingRoughlyIncreases(t *testing.T) {
+	// The suite is sorted by the paper's fill density; our replicas should
+	// put the low-fill group genuinely below the high-fill group.
+	if testing.Short() {
+		t.Skip("expensive")
+	}
+	suite := TableISuite(0.2)
+	lowMax, highMin := 0.0, 1e18
+	for _, m := range suite {
+		a := m.Gen()
+		num, err := klu.FactorDirect(a, klu.DefaultOptions())
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		fd := num.FillDensity(a)
+		t.Logf("%-12s paper=%5.1f got=%5.2f", m.Name, m.PaperFill, fd)
+		if m.LowFill && fd > lowMax {
+			lowMax = fd
+		}
+		if !m.LowFill && fd < highMin {
+			highMin = fd
+		}
+	}
+	if lowMax >= highMin*2 {
+		t.Errorf("fill classes poorly separated: low max %.2f vs high min %.2f", lowMax, highMin)
+	}
+}
+
+func TestTableIISuite(t *testing.T) {
+	suite := TableIISuite(0.3)
+	if len(suite) != 6 {
+		t.Fatalf("Table II suite has %d matrices, want 6", len(suite))
+	}
+	for _, m := range suite {
+		a := m.Gen()
+		if err := a.Check(); err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestFig5Subset(t *testing.T) {
+	sub := Fig5Subset(0.2)
+	if len(sub) != 6 {
+		t.Fatalf("Fig 5 subset has %d matrices", len(sub))
+	}
+	if sub[0].Name != "Power0" || sub[5].Name != "Xyce3" {
+		t.Fatalf("wrong subset order: %s..%s", sub[0].Name, sub[5].Name)
+	}
+}
+
+func TestTransientSequenceSamePattern(t *testing.T) {
+	base := XyceSequenceBase(0.1)
+	s1 := TransientStep(base, 1, 9)
+	s2 := TransientStep(base, 2, 9)
+	if s1.Nnz() != base.Nnz() || s2.Nnz() != base.Nnz() {
+		t.Fatal("transient steps changed the pattern size")
+	}
+	for i := range base.Rowidx {
+		if s1.Rowidx[i] != base.Rowidx[i] {
+			t.Fatal("transient step changed the pattern")
+		}
+	}
+	// Values must actually differ between steps.
+	same := true
+	for i := range s1.Values {
+		if s1.Values[i] != s2.Values[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("transient steps produced identical values")
+	}
+	// Refactorization across the sequence must stay numerically viable.
+	num, err := klu.FactorDirect(base, klu.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 1; step <= 5; step++ {
+		if err := num.Refactor(TransientStep(base, step, 9)); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+}
+
+func TestPowerGrid(t *testing.T) {
+	a := PowerGrid(500, 40, 3)
+	form, err := btf.Compute(a, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if form.PercentInSmallBlocks(128) < 99 {
+		t.Errorf("power grid should be ~100%% small blocks, got %.1f", form.PercentInSmallBlocks(128))
+	}
+	var _ = sparse.IsPerm(form.RowPerm)
+}

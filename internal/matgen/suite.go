@@ -1,0 +1,149 @@
+package matgen
+
+import "repro/internal/sparse"
+
+// Named is a test-suite matrix: a scaled structural replica of one of the
+// paper's benchmark matrices, together with the statistics the paper
+// records for the original (used in EXPERIMENTS.md comparisons).
+type Named struct {
+	Name string
+	// Gen produces the matrix (deterministic).
+	Gen func() *sparse.CSC
+	// PaperFill is the KLU fill-in density |L+U|/|A| from Table I/II.
+	PaperFill float64
+	// LowFill marks matrices below the paper's 4.0 fill-density line.
+	LowFill bool
+	// PaperBTFPct and PaperBlocks are Table I's BTF statistics.
+	PaperBTFPct float64
+	PaperBlocks int
+	PaperN      int
+	PaperNnz    float64
+	// KLUSeconds is Time(matrix, KLU, 1) from Figure 6's titles where the
+	// paper reports it (0 elsewhere).
+	KLUSeconds float64
+}
+
+func circuitGen(n int, btfPct float64, blocks int, core CoreKind, extra float64, seed int64) func() *sparse.CSC {
+	return func() *sparse.CSC {
+		return Circuit(CircuitParams{N: n, BTFPct: btfPct, Blocks: blocks, Core: core, ExtraDensity: extra, Seed: seed})
+	}
+}
+
+// TableISuite returns scaled replicas of the paper's 22-matrix circuit and
+// powergrid test suite, sorted (like Table I) by increasing fill density.
+// scale multiplies the default dimensions (1.0 ≈ a few thousand rows per
+// matrix, sized for laptop benchmarking).
+func TableISuite(scale float64) []Named {
+	if scale <= 0 {
+		scale = 1
+	}
+	s := func(n int) int {
+		v := int(float64(n) * scale)
+		if v < 64 {
+			v = 64
+		}
+		return v
+	}
+	sb := func(b int) int {
+		v := int(float64(b) * scale)
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	return []Named{
+		{Name: "RS_b39c30", Gen: circuitGen(s(3000), 100, sb(150), CoreLadder, 0, 101), PaperFill: 0.6, LowFill: true, PaperBTFPct: 100, PaperBlocks: 3000, PaperN: 60000, PaperNnz: 1.1e6},
+		{Name: "RS_b678c2", Gen: circuitGen(s(2400), 100, sb(30), CoreLadder, 0, 102), PaperFill: 0.7, LowFill: true, PaperBTFPct: 100, PaperBlocks: 271, PaperN: 36000, PaperNnz: 8.8e6},
+		{Name: "Power0", Gen: circuitGen(s(4000), 100, sb(320), CoreLadder, 0, 103), PaperFill: 1.3, LowFill: true, PaperBTFPct: 100, PaperBlocks: 7700, PaperN: 98000, PaperNnz: 4.8e5, KLUSeconds: 0.07},
+		{Name: "Circuit5M", Gen: circuitGen(s(4500), 0, 1, CoreLadder, 0.5, 104), PaperFill: 1.3, LowFill: true, PaperBTFPct: 0, PaperBlocks: 1, PaperN: 5600000, PaperNnz: 6.0e7},
+		{Name: "memplus", Gen: circuitGen(s(2000), 1, 4, CoreLadder, 0.3, 105), PaperFill: 1.4, LowFill: true, PaperBTFPct: 0.1, PaperBlocks: 23, PaperN: 12000, PaperNnz: 9.9e4},
+		{Name: "rajat21", Gen: circuitGen(s(3500), 2, sb(60), CoreLadder, 0.3, 106), PaperFill: 1.5, LowFill: true, PaperBTFPct: 2, PaperBlocks: 5900, PaperN: 410000, PaperNnz: 1.9e6, KLUSeconds: 0.53},
+		{Name: "trans5", Gen: circuitGen(s(2500), 0, 1, CoreLadder, 0.3, 107), PaperFill: 1.6, LowFill: true, PaperBTFPct: 0, PaperBlocks: 1, PaperN: 120000, PaperNnz: 7.5e5},
+		{Name: "circuit_4", Gen: circuitGen(s(2800), 34.8, sb(300), CoreLadder, 0.2, 108), PaperFill: 1.6, LowFill: true, PaperBTFPct: 34.8, PaperBlocks: 28000, PaperN: 80000, PaperNnz: 3.1e5},
+		{Name: "Xyce0", Gen: circuitGen(s(3500), 85, sb(500), CoreLadder, 0.2, 109), PaperFill: 1.8, LowFill: true, PaperBTFPct: 85, PaperBlocks: 580000, PaperN: 680000, PaperNnz: 3.9e6},
+		{Name: "Xyce4", Gen: circuitGen(s(4000), 12, sb(120), CoreLadder, 0.5, 110), PaperFill: 2.0, LowFill: true, PaperBTFPct: 12, PaperBlocks: 750000, PaperN: 6200000, PaperNnz: 7.3e7},
+		{Name: "Xyce1", Gen: circuitGen(s(3000), 21, sb(100), CoreLadder, 0.4, 111), PaperFill: 2.4, LowFill: true, PaperBTFPct: 21, PaperBlocks: 99000, PaperN: 430000, PaperNnz: 2.4e6},
+		{Name: "asic_680ks", Gen: circuitGen(s(3400), 86, sb(400), CoreLadder, 0.2, 112), PaperFill: 2.6, LowFill: true, PaperBTFPct: 86, PaperBlocks: 580000, PaperN: 680000, PaperNnz: 1.7e6, KLUSeconds: 1.4},
+		{Name: "bcircuit", Gen: circuitGen(s(2600), 0, 1, CoreLadder, 0.8, 113), PaperFill: 2.8, LowFill: true, PaperBTFPct: 0, PaperBlocks: 1, PaperN: 69000, PaperNnz: 3.8e5},
+		{Name: "scircuit", Gen: circuitGen(s(3000), 1, sb(10), CoreLadder, 0.8, 114), PaperFill: 2.8, LowFill: true, PaperBTFPct: 0.3, PaperBlocks: 48, PaperN: 170000, PaperNnz: 9.6e5},
+		{Name: "hvdc2", Gen: circuitGen(s(2800), 100, sb(60), CoreLadder, 0, 115), PaperFill: 2.8, LowFill: true, PaperBTFPct: 100, PaperBlocks: 67, PaperN: 190000, PaperNnz: 1.3e6, KLUSeconds: 0.55},
+		{Name: "Freescale1", Gen: circuitGen(s(4200), 0, 1, CoreGrid, 0.3, 116), PaperFill: 4.1, LowFill: false, PaperBTFPct: 0, PaperBlocks: 1, PaperN: 3400000, PaperNnz: 1.7e7, KLUSeconds: 14},
+		{Name: "hcircuit", Gen: circuitGen(s(2400), 13, sb(40), CoreGrid, 0.3, 117), PaperFill: 6.9, LowFill: false, PaperBTFPct: 13, PaperBlocks: 1400, PaperN: 110000, PaperNnz: 5.1e5},
+		{Name: "Xyce3", Gen: circuitGen(s(4000), 20, sb(100), CoreGrid, 0.5, 118), PaperFill: 9.2, LowFill: false, PaperBTFPct: 20, PaperBlocks: 400000, PaperN: 1900000, PaperNnz: 9.5e6, KLUSeconds: 32},
+		{Name: "memchip", Gen: circuitGen(s(4200), 0, 1, CoreGrid, 0.5, 119), PaperFill: 9.9, LowFill: false, PaperBTFPct: 0, PaperBlocks: 1, PaperN: 2700000, PaperNnz: 1.3e7},
+		{Name: "G2_Circuit", Gen: circuitGen(s(3600), 0, 1, CoreGrid3D, 0.2, 120), PaperFill: 27.7, LowFill: false, PaperBTFPct: 0, PaperBlocks: 1, PaperN: 150000, PaperNnz: 7.3e5},
+		{Name: "twotone", Gen: circuitGen(s(3200), 0, 1, CoreGrid3D, 0.5, 121), PaperFill: 39.9, LowFill: false, PaperBTFPct: 0, PaperBlocks: 5, PaperN: 120000, PaperNnz: 1.2e6},
+		{Name: "onetone1", Gen: circuitGen(s(2200), 1.1, sb(8), CoreGrid3D, 0.5, 122), PaperFill: 40.8, LowFill: false, PaperBTFPct: 1.1, PaperBlocks: 203, PaperN: 36000, PaperNnz: 3.4e5},
+	}
+}
+
+// Fig5Subset returns the six matrices of Figures 5 and 6 (fill density 1.3
+// to 9.2, low to high, left to right in the paper's plots).
+func Fig5Subset(scale float64) []Named {
+	all := TableISuite(scale)
+	names := []string{"Power0", "rajat21", "asic_680ks", "hvdc2", "Freescale1", "Xyce3"}
+	var out []Named
+	for _, want := range names {
+		for _, m := range all {
+			if m.Name == want {
+				out = append(out, m)
+			}
+		}
+	}
+	return out
+}
+
+// BaskerIdealSubset returns the six lowest fill-in matrices, Basker's
+// "ideal inputs" used by Figure 8.
+func BaskerIdealSubset(scale float64) []Named {
+	return TableISuite(scale)[:6]
+}
+
+// TableIISuite returns scaled replicas of the paper's 2/3D mesh problems —
+// PMKL's ideal inputs (Table II, Figure 8).
+func TableIISuite(scale float64) []Named {
+	if scale <= 0 {
+		scale = 1
+	}
+	s2 := func(k int) int {
+		v := int(float64(k) * scale)
+		if v < 8 {
+			v = 8
+		}
+		return v
+	}
+	s3 := func(k int) int {
+		v := int(float64(k) * scale)
+		if v < 4 {
+			v = 4
+		}
+		return v
+	}
+	mesh2 := func(k int, seed int64) func() *sparse.CSC {
+		return func() *sparse.CSC { return Mesh2D(k, seed) }
+	}
+	mesh3 := func(k int, seed int64) func() *sparse.CSC {
+		return func() *sparse.CSC { return Mesh3D(k, seed) }
+	}
+	return []Named{
+		{Name: "pwtk", Gen: mesh3(s3(18), 201), PaperFill: 8.1, PaperN: 220000, PaperNnz: 1.2e7},
+		{Name: "ecology", Gen: mesh2(s2(80), 202), PaperFill: 14.2, PaperN: 1000000, PaperNnz: 5.0e6},
+		{Name: "apache2", Gen: mesh3(s3(20), 203), PaperFill: 58.3, PaperN: 720000, PaperNnz: 4.8e6},
+		{Name: "bmwcra1", Gen: mesh3(s3(16), 204), PaperFill: 12.7, PaperN: 150000, PaperNnz: 1.1e7},
+		{Name: "parabolic_fem", Gen: mesh2(s2(72), 205), PaperFill: 14.1, PaperN: 530000, PaperNnz: 3.7e6},
+		{Name: "helm2d03", Gen: mesh2(s2(64), 206), PaperFill: 13.7, PaperN: 390000, PaperNnz: 2.7e6},
+	}
+}
+
+// XyceSequenceBase generates the base matrix of the §V-F transient
+// experiment: a replica of the Xyce1 circuit (the paper's sequence source).
+func XyceSequenceBase(scale float64) *sparse.CSC {
+	if scale <= 0 {
+		scale = 1
+	}
+	n := int(3000 * scale)
+	if n < 64 {
+		n = 64
+	}
+	return Circuit(CircuitParams{N: n, BTFPct: 21, Blocks: int(100 * scale), Core: CoreLadder, ExtraDensity: 0.4, Seed: 111})
+}

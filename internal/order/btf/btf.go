@@ -1,0 +1,200 @@
+// Package btf computes the block triangular form (BTF) of a square sparse
+// matrix: a row permutation placing nonzeros on the diagonal (from a
+// matching) followed by a symmetric permutation grouping the strongly
+// connected components of the induced digraph, so that
+//
+//	P A Q = [ A11 A12 ... A1k ]
+//	        [     A22 ...     ]
+//	        [          .      ]
+//	        [             Akk ]
+//
+// is upper block triangular. Only the diagonal blocks need factoring.
+// This is the coarse structure KLU and Basker both rely on.
+package btf
+
+import (
+	"repro/internal/order/matching"
+	"repro/internal/sparse"
+)
+
+// Form describes a computed block triangular form.
+type Form struct {
+	// RowPerm and ColPerm are new-to-old: B = A(RowPerm, ColPerm) is upper
+	// block triangular with zero-free diagonal.
+	RowPerm []int
+	ColPerm []int
+	// BlockPtr has length NumBlocks+1; block b spans rows/columns
+	// BlockPtr[b]..BlockPtr[b+1] of the permuted matrix.
+	BlockPtr []int
+}
+
+// NumBlocks reports the number of diagonal blocks.
+func (f *Form) NumBlocks() int { return len(f.BlockPtr) - 1 }
+
+// LargestBlock returns the size of the largest diagonal block.
+func (f *Form) LargestBlock() int {
+	max := 0
+	for b := 0; b < f.NumBlocks(); b++ {
+		if s := f.BlockPtr[b+1] - f.BlockPtr[b]; s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// PercentInSmallBlocks reports the percentage of matrix rows that live in
+// diagonal blocks strictly smaller than threshold — the "BTF %" statistic
+// from Table I of the paper (small independent subblocks handled by the
+// fine-BTF method).
+func (f *Form) PercentInSmallBlocks(threshold int) float64 {
+	n := f.BlockPtr[f.NumBlocks()]
+	if n == 0 {
+		return 0
+	}
+	small := 0
+	for b := 0; b < f.NumBlocks(); b++ {
+		if s := f.BlockPtr[b+1] - f.BlockPtr[b]; s < threshold {
+			small += s
+		}
+	}
+	return 100 * float64(small) / float64(n)
+}
+
+// Compute finds the BTF of a. The matching permutation is chosen by useMWCM:
+// true selects the bottleneck maximum weight matching (Basker's Pm), false
+// the plain maximum cardinality matching (pattern only). Returns
+// matching.ErrStructurallySingular for structurally singular inputs.
+func Compute(a *sparse.CSC, useMWCM bool) (*Form, error) {
+	n := a.N
+	var match *matching.Result
+	var err error
+	if useMWCM {
+		match, err = matching.Bottleneck(a)
+	} else {
+		match, err = matching.MaxCardinalityPerm(a)
+	}
+	if err != nil {
+		return nil, err
+	}
+	// B = A(match.RowPerm, :) has a zero-free diagonal. Its digraph has an
+	// edge u -> v for every nonzero B(u, v); SCCs of that digraph in
+	// topological order give the upper BTF. Out-neighbours of u are the
+	// pattern of row u of B, i.e. column u of Bᵀ.
+	b := a.Permute(match.RowPerm, nil)
+	bt := b.Transpose()
+	sccOrder, blockPtr := tarjanSCC(n, bt.Colptr, bt.Rowidx)
+
+	// sccOrder is a symmetric permutation of B: final ColPerm = sccOrder,
+	// final RowPerm composes the matching with sccOrder.
+	rowPerm := make([]int, n)
+	for k := 0; k < n; k++ {
+		rowPerm[k] = match.RowPerm[sccOrder[k]]
+	}
+	return &Form{RowPerm: rowPerm, ColPerm: sccOrder, BlockPtr: blockPtr}, nil
+}
+
+// tarjanSCC runs an iterative Tarjan strongly-connected-components search on
+// the digraph with out-adjacency adj[ptr[u]:ptr[u+1]] for vertex u. It
+// returns a new-to-old vertex permutation that lists SCCs contiguously in
+// topological order of the condensation (all edges point from earlier blocks
+// to later blocks), plus the block boundaries.
+func tarjanSCC(n int, ptr, adj []int) (perm []int, blockPtr []int) {
+	const unvisited = -1
+	index := make([]int, n)
+	lowlink := make([]int, n)
+	onStack := make([]bool, n)
+	comp := make([]int, n)
+	for i := range index {
+		index[i] = unvisited
+		comp[i] = -1
+	}
+	var (
+		counter  int
+		sccCount int
+		stack    []int // Tarjan's SCC stack
+	)
+	sccSizes := []int{}
+
+	type frame struct{ v, ptr int }
+	dfs := make([]frame, 0, 64)
+
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		dfs = append(dfs[:0], frame{root, ptr[root]})
+		index[root] = counter
+		lowlink[root] = counter
+		counter++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(dfs) > 0 {
+			top := &dfs[len(dfs)-1]
+			v := top.v
+			if top.ptr < ptr[v+1] {
+				w := adj[top.ptr]
+				top.ptr++
+				if index[w] == unvisited {
+					index[w] = counter
+					lowlink[w] = counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					dfs = append(dfs, frame{w, ptr[w]})
+				} else if onStack[w] && index[w] < lowlink[v] {
+					lowlink[v] = index[w]
+				}
+				continue
+			}
+			// v is finished.
+			if lowlink[v] == index[v] {
+				size := 0
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = sccCount
+					size++
+					if w == v {
+						break
+					}
+				}
+				sccSizes = append(sccSizes, size)
+				sccCount++
+			}
+			dfs = dfs[:len(dfs)-1]
+			if len(dfs) > 0 {
+				parent := dfs[len(dfs)-1].v
+				if lowlink[v] < lowlink[parent] {
+					lowlink[parent] = lowlink[v]
+				}
+			}
+		}
+	}
+
+	// Tarjan emits SCCs in reverse topological order (an SCC is emitted
+	// before any SCC that reaches it). Renumber so block 0 comes first in
+	// topological order and edges go earlier -> later (upper triangular).
+	newID := make([]int, sccCount)
+	for c := 0; c < sccCount; c++ {
+		newID[c] = sccCount - 1 - c
+	}
+	blockPtr = make([]int, sccCount+1)
+	for c := 0; c < sccCount; c++ {
+		blockPtr[newID[c]+1] = sccSizes[c]
+	}
+	for b := 0; b < sccCount; b++ {
+		blockPtr[b+1] += blockPtr[b]
+	}
+	next := make([]int, sccCount)
+	for b := 0; b < sccCount; b++ {
+		next[b] = blockPtr[b]
+	}
+	perm = make([]int, n)
+	for v := 0; v < n; v++ {
+		b := newID[comp[v]]
+		perm[next[b]] = v
+		next[b]++
+	}
+	return perm, blockPtr
+}

@@ -1,0 +1,159 @@
+package btf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sparse"
+)
+
+// isUpperBlockTriangular checks that all entries of b lie in or above the
+// diagonal blocks delimited by blockPtr.
+func isUpperBlockTriangular(b *sparse.CSC, blockPtr []int) bool {
+	blockOf := make([]int, b.N)
+	for k := 0; k < len(blockPtr)-1; k++ {
+		for i := blockPtr[k]; i < blockPtr[k+1]; i++ {
+			blockOf[i] = k
+		}
+	}
+	for j := 0; j < b.N; j++ {
+		for p := b.Colptr[j]; p < b.Colptr[j+1]; p++ {
+			if blockOf[b.Rowidx[p]] > blockOf[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func diagCSC(vals ...float64) *sparse.CSC {
+	n := len(vals)
+	coo := sparse.NewCOO(n, n, n)
+	for i, v := range vals {
+		coo.Add(i, i, v)
+	}
+	return coo.ToCSC(false)
+}
+
+func TestDiagonalMatrixGivesNBlocks(t *testing.T) {
+	a := diagCSC(1, 2, 3, 4, 5)
+	f, err := Compute(a, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumBlocks() != 5 {
+		t.Fatalf("blocks = %d, want 5", f.NumBlocks())
+	}
+	if f.LargestBlock() != 1 {
+		t.Fatalf("largest = %d, want 1", f.LargestBlock())
+	}
+}
+
+func TestCycleIsOneBlock(t *testing.T) {
+	// A directed n-cycle with diagonal: one strongly connected component.
+	n := 6
+	coo := sparse.NewCOO(n, n, 2*n)
+	for i := 0; i < n; i++ {
+		coo.Add(i, i, 2)
+		coo.Add((i+1)%n, i, 1) // edge i -> i+1 in the digraph sense
+	}
+	a := coo.ToCSC(false)
+	f, err := Compute(a, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumBlocks() != 1 {
+		t.Fatalf("blocks = %d, want 1", f.NumBlocks())
+	}
+}
+
+func TestTwoComponentChain(t *testing.T) {
+	// Blocks {0,1} (2-cycle) and {2,3} (2-cycle), coupling 0 -> 2 only.
+	coo := sparse.NewCOO(4, 4, 10)
+	for i := 0; i < 4; i++ {
+		coo.Add(i, i, 1)
+	}
+	coo.Add(0, 1, 1)
+	coo.Add(1, 0, 1)
+	coo.Add(2, 3, 1)
+	coo.Add(3, 2, 1)
+	coo.Add(0, 2, 1) // entry B(0,2): block of {0,1} must come first (upper)
+	a := coo.ToCSC(false)
+	f, err := Compute(a, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumBlocks() != 2 {
+		t.Fatalf("blocks = %d, want 2", f.NumBlocks())
+	}
+	b := a.Permute(f.RowPerm, f.ColPerm)
+	if !isUpperBlockTriangular(b, f.BlockPtr) {
+		t.Fatal("result is not upper block triangular")
+	}
+	for j := 0; j < 4; j++ {
+		if b.At(j, j) == 0 {
+			t.Fatal("zero diagonal after BTF")
+		}
+	}
+}
+
+func randBTFable(rng *rand.Rand, n int, density float64) *sparse.CSC {
+	coo := sparse.NewCOO(n, n, 4*n)
+	planted := rng.Perm(n)
+	for j := 0; j < n; j++ {
+		coo.Add(planted[j], j, 1+rng.Float64())
+	}
+	for k := 0; k < int(density*float64(n*n)); k++ {
+		coo.Add(rng.Intn(n), rng.Intn(n), rng.NormFloat64())
+	}
+	return coo.ToCSC(false)
+}
+
+func TestBTFPropertyRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(80)
+		a := randBTFable(rng, n, 0.05)
+		form, err := Compute(a, seed%2 == 0)
+		if err != nil {
+			return false
+		}
+		if !sparse.IsPerm(form.RowPerm) || !sparse.IsPerm(form.ColPerm) {
+			return false
+		}
+		if form.BlockPtr[0] != 0 || form.BlockPtr[form.NumBlocks()] != n {
+			return false
+		}
+		b := a.Permute(form.RowPerm, form.ColPerm)
+		if !isUpperBlockTriangular(b, form.BlockPtr) {
+			return false
+		}
+		for j := 0; j < n; j++ {
+			if b.At(j, j) == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentInSmallBlocks(t *testing.T) {
+	f := &Form{BlockPtr: []int{0, 1, 2, 10}}
+	got := f.PercentInSmallBlocks(5)
+	if got != 20 {
+		t.Fatalf("PercentInSmallBlocks = %v, want 20", got)
+	}
+}
+
+func TestSingularBTF(t *testing.T) {
+	coo := sparse.NewCOO(3, 3, 2)
+	coo.Add(0, 0, 1)
+	coo.Add(1, 1, 1) // column 2 empty
+	if _, err := Compute(coo.ToCSC(false), false); err == nil {
+		t.Fatal("expected structural singularity error")
+	}
+}

@@ -1,0 +1,261 @@
+package pmkl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sparse"
+)
+
+func randNonsingular(rng *rand.Rand, n int, density float64) *sparse.CSC {
+	coo := sparse.NewCOO(n, n, int(density*float64(n*n))+n)
+	for i := 0; i < n; i++ {
+		coo.Add(i, i, 4+rng.Float64())
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && rng.Float64() < density {
+				coo.Add(i, j, rng.NormFloat64())
+			}
+		}
+	}
+	return coo.ToCSC(false)
+}
+
+func grid2D(k int) *sparse.CSC {
+	n := k * k
+	coo := sparse.NewCOO(n, n, 5*n)
+	id := func(i, j int) int { return i*k + j }
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			v := id(i, j)
+			coo.Add(v, v, 4)
+			if i > 0 {
+				coo.Add(v, id(i-1, j), -1)
+			}
+			if i < k-1 {
+				coo.Add(v, id(i+1, j), -1)
+			}
+			if j > 0 {
+				coo.Add(v, id(i, j-1), -1)
+			}
+			if j < k-1 {
+				coo.Add(v, id(i, j+1), -1)
+			}
+		}
+	}
+	return coo.ToCSC(false)
+}
+
+func solveCheck(t *testing.T, a *sparse.CSC, num *Numeric, tol float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	x := make([]float64, a.N)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	b := make([]float64, a.N)
+	a.MulVec(b, x)
+	num.Solve(b)
+	for i := range x {
+		if math.Abs(b[i]-x[i]) > tol*(1+math.Abs(x[i])) {
+			t.Fatalf("x[%d] = %v, want %v", i, b[i], x[i])
+		}
+	}
+}
+
+func TestFactorSolveRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randNonsingular(rng, 80, 0.08)
+	num, err := FactorDirect(a, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	solveCheck(t, a, num, 1e-7)
+}
+
+func TestFactorSolveGrid(t *testing.T) {
+	a := grid2D(14)
+	num, err := FactorDirect(a, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	solveCheck(t, a, num, 1e-8)
+	if num.Sym.NumSupernodes() >= a.N {
+		t.Error("expected at least some multi-column supernodes on a mesh")
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	a := grid2D(12)
+	serialOpts := DefaultOptions()
+	serial, err := FactorDirect(a, serialOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parOpts := DefaultOptions()
+	parOpts.Threads = 4
+	par, err := FactorDirect(a, parOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.L.Nnz() != par.L.Nnz() || serial.U.Nnz() != par.U.Nnz() {
+		t.Fatal("parallel and serial factor sizes differ")
+	}
+	for i := range serial.L.Values {
+		if math.Abs(serial.L.Values[i]-par.L.Values[i]) > 1e-12 {
+			t.Fatalf("L value %d differs: %v vs %v", i, serial.L.Values[i], par.L.Values[i])
+		}
+	}
+	for i := range serial.U.Values {
+		if math.Abs(serial.U.Values[i]-par.U.Values[i]) > 1e-12 {
+			t.Fatalf("U value %d differs: %v vs %v", i, serial.U.Values[i], par.U.Values[i])
+		}
+	}
+}
+
+func TestSolveRandomProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(90)
+		a := randNonsingular(rng, n, 0.1)
+		num, err := FactorDirect(a, DefaultOptions())
+		if err != nil {
+			return false
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		b := make([]float64, n)
+		a.MulVec(b, x)
+		num.Solve(b)
+		for i := range x {
+			if math.Abs(b[i]-x[i]) > 1e-6*(1+math.Abs(x[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSupernodeStructure(t *testing.T) {
+	a := grid2D(10)
+	sym, err := Analyze(a, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Supernode boundaries must partition 0..n.
+	if sym.Super[0] != 0 || sym.Super[len(sym.Super)-1] != a.N {
+		t.Fatalf("bad supernode boundaries: %v", sym.Super)
+	}
+	for s := 0; s+1 < len(sym.Super); s++ {
+		if sym.Super[s] >= sym.Super[s+1] {
+			t.Fatal("empty supernode")
+		}
+	}
+	// Every level's supernodes must be scheduled exactly once.
+	seen := make([]bool, sym.NumSupernodes())
+	for _, lvl := range sym.SnByLevel {
+		for _, s := range lvl {
+			if seen[s] {
+				t.Fatal("supernode scheduled twice")
+			}
+			seen[s] = true
+		}
+	}
+	for s, ok := range seen {
+		if !ok {
+			t.Fatalf("supernode %d never scheduled", s)
+		}
+	}
+}
+
+func TestStaticPatternIsSuperset(t *testing.T) {
+	// The static symmetric-union pattern must contain the permuted matrix.
+	rng := rand.New(rand.NewSource(3))
+	a := randNonsingular(rng, 50, 0.1)
+	sym, err := Analyze(a, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasEntry := func(m *sparse.CSC, i, j int) bool {
+		for p := m.Colptr[j]; p < m.Colptr[j+1]; p++ {
+			if m.Rowidx[p] == i {
+				return true
+			}
+		}
+		return false
+	}
+	b := a.Permute(sym.RowPerm, sym.ColPerm)
+	for j := 0; j < b.N; j++ {
+		for p := b.Colptr[j]; p < b.Colptr[j+1]; p++ {
+			i := b.Rowidx[p]
+			if i >= j {
+				if !hasEntry(sym.LPat, i, j) {
+					t.Fatalf("L pattern misses (%d,%d)", i, j)
+				}
+			} else if !hasEntry(sym.UPat, i, j) {
+				t.Fatalf("U pattern misses (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestNnzLULargerThanKLUStyleOnCircuit(t *testing.T) {
+	// A BTF-rich matrix: PMKL's |L+U| should be at least |A| (it factors
+	// everything), exercising the Table I contrast.
+	rng := rand.New(rand.NewSource(4))
+	n := 120
+	coo := sparse.NewCOO(n, n, 4*n)
+	for i := 0; i < n; i++ {
+		coo.Add(i, i, 5)
+	}
+	for i := 0; i+1 < n; i += 2 {
+		coo.Add(i, i+1, rng.NormFloat64())
+		coo.Add(i+1, i, rng.NormFloat64())
+	}
+	for e := 0; e < n/2; e++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i < j {
+			coo.Add(i, j, rng.NormFloat64())
+		}
+	}
+	a := coo.ToCSC(false)
+	num, err := FactorDirect(a, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if num.NnzLU() < a.Nnz() {
+		t.Fatalf("PMKL |L+U| = %d < |A| = %d; the union pattern should cover A", num.NnzLU(), a.Nnz())
+	}
+	solveCheck(t, a, num, 1e-6)
+}
+
+func TestRefactor(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randNonsingular(rng, 60, 0.08)
+	num, err := FactorDirect(a, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := a.Clone()
+	for i := range b.Values {
+		b.Values[i] *= 1 + 0.1*rng.Float64()
+	}
+	if err := num.Refactor(b); err != nil {
+		t.Fatal(err)
+	}
+	solveCheck(t, b, num, 1e-6)
+}
+
+func TestRectangularRejected(t *testing.T) {
+	if _, err := Analyze(sparse.NewCSC(2, 3, 0), DefaultOptions()); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}

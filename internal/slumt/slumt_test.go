@@ -1,0 +1,80 @@
+package slumt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+import "repro/internal/sparse"
+
+func randNonsingular(rng *rand.Rand, n int, density float64) *sparse.CSC {
+	coo := sparse.NewCOO(n, n, int(density*float64(n*n))+n)
+	for i := 0; i < n; i++ {
+		coo.Add(i, i, 4+rng.Float64())
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && rng.Float64() < density {
+				coo.Add(i, j, rng.NormFloat64())
+			}
+		}
+	}
+	return coo.ToCSC(false)
+}
+
+func TestFactorSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randNonsingular(rng, 90, 0.07)
+	num, err := Factor(a, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, a.N)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	b := make([]float64, a.N)
+	a.MulVec(b, x)
+	num.Solve(b)
+	for i := range x {
+		if math.Abs(b[i]-x[i]) > 1e-7*(1+math.Abs(x[i])) {
+			t.Fatalf("x[%d] = %v, want %v", i, b[i], x[i])
+		}
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randNonsingular(rng, 70, 0.08)
+	s, err := Factor(a, Options{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Factor(a, Options{Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s.L.Values {
+		if math.Abs(s.L.Values[i]-p.L.Values[i]) > 1e-12 {
+			t.Fatalf("L value %d differs", i)
+		}
+	}
+	for i := range s.U.Values {
+		if math.Abs(s.U.Values[i]-p.U.Values[i]) > 1e-12 {
+			t.Fatalf("U value %d differs", i)
+		}
+	}
+}
+
+func TestAgreesWithPMKLFill(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randNonsingular(rng, 60, 0.1)
+	num, err := Factor(a, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if num.NnzLU() < a.Nnz() {
+		t.Fatalf("|L+U| = %d < |A| = %d", num.NnzLU(), a.Nnz())
+	}
+}

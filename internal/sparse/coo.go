@@ -1,0 +1,105 @@
+package sparse
+
+import (
+	"errors"
+	"fmt"
+)
+
+var (
+	errBadColptr = errors.New("sparse: malformed column pointers")
+	errRowRange  = errors.New("sparse: row index out of range")
+	errUnsorted  = errors.New("sparse: column row indices not sorted/unique")
+)
+
+// COO is a coordinate-format triplet accumulator used for matrix assembly.
+// Duplicate (i,j) entries are summed on conversion to CSC, matching the
+// semantics of finite-element / modified-nodal-analysis stamping.
+type COO struct {
+	M, N int
+	Row  []int
+	Col  []int
+	Val  []float64
+}
+
+// NewCOO returns an empty m×n accumulator with the given capacity hint.
+func NewCOO(m, n, capHint int) *COO {
+	return &COO{
+		M:   m,
+		N:   n,
+		Row: make([]int, 0, capHint),
+		Col: make([]int, 0, capHint),
+		Val: make([]float64, 0, capHint),
+	}
+}
+
+// Add appends the triplet (i, j, v). Panics on out-of-range indices, which
+// always indicates a programming error in a generator.
+func (c *COO) Add(i, j int, v float64) {
+	if i < 0 || i >= c.M || j < 0 || j >= c.N {
+		panic(fmt.Sprintf("sparse: COO.Add index (%d,%d) outside %d×%d", i, j, c.M, c.N))
+	}
+	c.Row = append(c.Row, i)
+	c.Col = append(c.Col, j)
+	c.Val = append(c.Val, v)
+}
+
+// Nnz reports the number of (possibly duplicate) triplets.
+func (c *COO) Nnz() int { return len(c.Row) }
+
+// ToCSC compresses the triplets into CSC form, summing duplicates and
+// dropping exact zeros that result from cancellation of duplicates only if
+// drop is true. Columns of the result are sorted.
+func (c *COO) ToCSC(drop bool) *CSC {
+	n := c.N
+	a := &CSC{M: c.M, N: n, Colptr: make([]int, n+1)}
+	count := make([]int, n)
+	for _, j := range c.Col {
+		count[j]++
+	}
+	for j := 0; j < n; j++ {
+		a.Colptr[j+1] = a.Colptr[j] + count[j]
+	}
+	nnz := a.Colptr[n]
+	a.Rowidx = make([]int, nnz)
+	a.Values = make([]float64, nnz)
+	next := make([]int, n)
+	copy(next, a.Colptr[:n])
+	for k := range c.Row {
+		j := c.Col[k]
+		p := next[j]
+		next[j]++
+		a.Rowidx[p] = c.Row[k]
+		a.Values[p] = c.Val[k]
+	}
+	a.SortColumns()
+	// Sum duplicates in place (columns are sorted so duplicates are
+	// adjacent), optionally dropping entries that cancelled to zero.
+	out := 0
+	colEnd := make([]int, n)
+	for j := 0; j < n; j++ {
+		p := a.Colptr[j]
+		end := a.Colptr[j+1]
+		for p < end {
+			i := a.Rowidx[p]
+			v := a.Values[p]
+			p++
+			for p < end && a.Rowidx[p] == i {
+				v += a.Values[p]
+				p++
+			}
+			if drop && v == 0 {
+				continue
+			}
+			a.Rowidx[out] = i
+			a.Values[out] = v
+			out++
+		}
+		colEnd[j] = out
+	}
+	for j := 0; j < n; j++ {
+		a.Colptr[j+1] = colEnd[j]
+	}
+	a.Rowidx = a.Rowidx[:out]
+	a.Values = a.Values[:out]
+	return a
+}

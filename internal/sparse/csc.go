@@ -1,0 +1,327 @@
+// Package sparse provides the sparse-matrix substrate used by every solver
+// in this repository: compressed sparse column (CSC) storage, coordinate
+// (COO) assembly, permutation utilities, sparse matrix-vector products,
+// transposition, and contiguous 2D block extraction.
+//
+// Conventions:
+//   - A CSC matrix stores column j's entries in
+//     Rowidx[Colptr[j]:Colptr[j+1]] with matching Values.
+//   - Row indices within a column are kept sorted ascending by all
+//     constructors in this package; algorithms that produce unsorted columns
+//     (e.g. numeric factorization) document it.
+//   - A permutation p is "new-to-old": p[k] is the old index that moves to
+//     new position k, so (PA)(k,:) = A(p[k],:).
+package sparse
+
+// CSC is a sparse matrix in compressed sparse column format.
+type CSC struct {
+	M, N   int   // number of rows, columns
+	Colptr []int // length N+1; Colptr[N] == nnz
+	Rowidx []int // length nnz; row index of each entry
+	Values []float64
+}
+
+// NewCSC returns an all-zero m×n matrix with capacity for nnz entries.
+func NewCSC(m, n, nnz int) *CSC {
+	return &CSC{
+		M:      m,
+		N:      n,
+		Colptr: make([]int, n+1),
+		Rowidx: make([]int, 0, nnz),
+		Values: make([]float64, 0, nnz),
+	}
+}
+
+// Nnz reports the number of stored entries.
+func (a *CSC) Nnz() int { return a.Colptr[a.N] }
+
+// Clone returns a deep copy of a.
+func (a *CSC) Clone() *CSC {
+	b := &CSC{
+		M:      a.M,
+		N:      a.N,
+		Colptr: make([]int, len(a.Colptr)),
+		Rowidx: make([]int, len(a.Rowidx)),
+		Values: make([]float64, len(a.Values)),
+	}
+	copy(b.Colptr, a.Colptr)
+	copy(b.Rowidx, a.Rowidx)
+	copy(b.Values, a.Values)
+	return b
+}
+
+// At returns A(i,j) by binary search within column j. It is intended for
+// tests and small examples, not inner loops.
+func (a *CSC) At(i, j int) float64 {
+	lo, hi := a.Colptr[j], a.Colptr[j+1]
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case a.Rowidx[mid] == i:
+			return a.Values[mid]
+		case a.Rowidx[mid] < i:
+			lo = mid + 1
+		default:
+			hi = mid
+		}
+	}
+	return 0
+}
+
+// Transpose returns Aᵀ in CSC form (equivalently, A reinterpreted as CSR).
+// Columns of the result are sorted.
+func (a *CSC) Transpose() *CSC {
+	t := &CSC{
+		M:      a.N,
+		N:      a.M,
+		Colptr: make([]int, a.M+1),
+		Rowidx: make([]int, a.Nnz()),
+		Values: make([]float64, a.Nnz()),
+	}
+	// Count entries per row of A (column of Aᵀ).
+	for _, i := range a.Rowidx[:a.Nnz()] {
+		t.Colptr[i+1]++
+	}
+	for i := 0; i < a.M; i++ {
+		t.Colptr[i+1] += t.Colptr[i]
+	}
+	next := make([]int, a.M)
+	copy(next, t.Colptr[:a.M])
+	for j := 0; j < a.N; j++ {
+		for p := a.Colptr[j]; p < a.Colptr[j+1]; p++ {
+			i := a.Rowidx[p]
+			q := next[i]
+			next[i]++
+			t.Rowidx[q] = j
+			t.Values[q] = a.Values[p]
+		}
+	}
+	return t
+}
+
+// SortColumns sorts the row indices (and matching values) within every
+// column in place. It runs a double transpose, which is O(nnz) and stable.
+func (a *CSC) SortColumns() {
+	s := a.Transpose().Transpose()
+	copy(a.Colptr, s.Colptr)
+	copy(a.Rowidx, s.Rowidx)
+	copy(a.Values, s.Values)
+}
+
+// Permute returns B = A(p, q): B[i][j] = A[p[i]][q[j]]. Either permutation
+// may be nil, meaning identity. Columns of the result are sorted.
+func (a *CSC) Permute(p, q []int) *CSC {
+	pinv := InversePerm(p)
+	b := &CSC{
+		M:      a.M,
+		N:      a.N,
+		Colptr: make([]int, a.N+1),
+		Rowidx: make([]int, a.Nnz()),
+		Values: make([]float64, a.Nnz()),
+	}
+	nz := 0
+	for k := 0; k < a.N; k++ {
+		j := k
+		if q != nil {
+			j = q[k]
+		}
+		b.Colptr[k] = nz
+		for t := a.Colptr[j]; t < a.Colptr[j+1]; t++ {
+			i := a.Rowidx[t]
+			if pinv != nil {
+				i = pinv[i]
+			}
+			b.Rowidx[nz] = i
+			b.Values[nz] = a.Values[t]
+			nz++
+		}
+	}
+	b.Colptr[a.N] = nz
+	b.SortColumns()
+	return b
+}
+
+// InversePerm returns pinv with pinv[p[k]] = k, or nil for nil input.
+func InversePerm(p []int) []int {
+	if p == nil {
+		return nil
+	}
+	pinv := make([]int, len(p))
+	for k, v := range p {
+		pinv[v] = k
+	}
+	return pinv
+}
+
+// IdentityPerm returns the identity permutation of length n.
+func IdentityPerm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// ComposePerm returns the permutation r with r[k] = p[q[k]], i.e. applying
+// q first and then p in new-to-old convention: (P_p P_q A)(k,:) = A(r[k],:)
+// holds when r = compose as below. Concretely if B = A(q,:) and C = B(p,:)
+// then C = A(r,:) with r[k] = q[p[k]].
+func ComposePerm(q, p []int) []int {
+	r := make([]int, len(p))
+	for k := range p {
+		r[k] = q[p[k]]
+	}
+	return r
+}
+
+// IsPerm reports whether p is a permutation of 0..len(p)-1.
+func IsPerm(p []int) bool {
+	seen := make([]bool, len(p))
+	for _, v := range p {
+		if v < 0 || v >= len(p) || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+// MulVec computes y = A·x. y must have length M, x length N.
+func (a *CSC) MulVec(y, x []float64) {
+	for i := range y {
+		y[i] = 0
+	}
+	for j := 0; j < a.N; j++ {
+		xj := x[j]
+		if xj == 0 {
+			continue
+		}
+		for p := a.Colptr[j]; p < a.Colptr[j+1]; p++ {
+			y[a.Rowidx[p]] += a.Values[p] * xj
+		}
+	}
+}
+
+// MulVecT computes y = Aᵀ·x. y must have length N, x length M.
+func (a *CSC) MulVecT(y, x []float64) {
+	for j := 0; j < a.N; j++ {
+		s := 0.0
+		for p := a.Colptr[j]; p < a.Colptr[j+1]; p++ {
+			s += a.Values[p] * x[a.Rowidx[p]]
+		}
+		y[j] = s
+	}
+}
+
+// ExtractBlock returns the dense index range A[r0:r1, c0:c1] as a new CSC
+// matrix with local indices (row i of the block is global row r0+i). The
+// source columns must be sorted, which all constructors guarantee.
+func (a *CSC) ExtractBlock(r0, r1, c0, c1 int) *CSC {
+	b := NewCSC(r1-r0, c1-c0, 0)
+	for j := c0; j < c1; j++ {
+		for p := a.Colptr[j]; p < a.Colptr[j+1]; p++ {
+			i := a.Rowidx[p]
+			if i >= r0 && i < r1 {
+				b.Rowidx = append(b.Rowidx, i-r0)
+				b.Values = append(b.Values, a.Values[p])
+			}
+		}
+		b.Colptr[j-c0+1] = len(b.Rowidx)
+	}
+	return b
+}
+
+// SymbolicUnion returns the pattern of A + Aᵀ as a CSC matrix with all
+// values set to 1. The input must be square. Diagonal entries are included
+// only if present in A. Used to build graphs for ordering algorithms.
+func (a *CSC) SymbolicUnion() *CSC {
+	t := a.Transpose()
+	n := a.N
+	out := NewCSC(n, n, a.Nnz()*2)
+	mark := make([]int, n)
+	for i := range mark {
+		mark[i] = -1
+	}
+	for j := 0; j < n; j++ {
+		for p := a.Colptr[j]; p < a.Colptr[j+1]; p++ {
+			i := a.Rowidx[p]
+			if mark[i] != j {
+				mark[i] = j
+				out.Rowidx = append(out.Rowidx, i)
+				out.Values = append(out.Values, 1)
+			}
+		}
+		for p := t.Colptr[j]; p < t.Colptr[j+1]; p++ {
+			i := t.Rowidx[p]
+			if mark[i] != j {
+				mark[i] = j
+				out.Rowidx = append(out.Rowidx, i)
+				out.Values = append(out.Values, 1)
+			}
+		}
+		out.Colptr[j+1] = len(out.Rowidx)
+	}
+	out.SortColumns()
+	return out
+}
+
+// DropDiagonal returns a copy of a square matrix with diagonal entries
+// removed. Ordering code works on adjacency structures without self loops.
+func (a *CSC) DropDiagonal() *CSC {
+	out := NewCSC(a.M, a.N, a.Nnz())
+	for j := 0; j < a.N; j++ {
+		for p := a.Colptr[j]; p < a.Colptr[j+1]; p++ {
+			if a.Rowidx[p] != j {
+				out.Rowidx = append(out.Rowidx, a.Rowidx[p])
+				out.Values = append(out.Values, a.Values[p])
+			}
+		}
+		out.Colptr[j+1] = len(out.Rowidx)
+	}
+	return out
+}
+
+// MaxAbs returns the largest absolute value stored in the matrix.
+func (a *CSC) MaxAbs() float64 {
+	m := 0.0
+	for _, v := range a.Values[:a.Nnz()] {
+		if v < 0 {
+			v = -v
+		}
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Check validates structural invariants: monotone Colptr, in-range row
+// indices, and sorted columns. It returns a descriptive error for tests.
+func (a *CSC) Check() error {
+	if len(a.Colptr) != a.N+1 {
+		return errBadColptr
+	}
+	if a.Colptr[0] != 0 {
+		return errBadColptr
+	}
+	for j := 0; j < a.N; j++ {
+		if a.Colptr[j] > a.Colptr[j+1] {
+			return errBadColptr
+		}
+		prev := -1
+		for p := a.Colptr[j]; p < a.Colptr[j+1]; p++ {
+			i := a.Rowidx[p]
+			if i < 0 || i >= a.M {
+				return errRowRange
+			}
+			if i <= prev {
+				return errUnsorted
+			}
+			prev = i
+		}
+	}
+	if a.Colptr[a.N] != len(a.Rowidx) || len(a.Rowidx) != len(a.Values) {
+		return errBadColptr
+	}
+	return nil
+}

@@ -1,0 +1,275 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomCSC builds a random m×n matrix with roughly density*m*n entries.
+func randomCSC(rng *rand.Rand, m, n int, density float64) *CSC {
+	coo := NewCOO(m, n, int(density*float64(m*n))+1)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			if rng.Float64() < density {
+				coo.Add(i, j, rng.NormFloat64())
+			}
+		}
+	}
+	return coo.ToCSC(false)
+}
+
+func randomPerm(rng *rand.Rand, n int) []int {
+	return rng.Perm(n)
+}
+
+func TestCOOToCSCSumsDuplicates(t *testing.T) {
+	coo := NewCOO(3, 3, 4)
+	coo.Add(0, 0, 1)
+	coo.Add(0, 0, 2)
+	coo.Add(2, 1, 5)
+	coo.Add(2, 1, -5)
+	a := coo.ToCSC(false)
+	if got := a.At(0, 0); got != 3 {
+		t.Errorf("A(0,0) = %v, want 3", got)
+	}
+	if got := a.At(2, 1); got != 0 {
+		t.Errorf("A(2,1) = %v, want 0 (kept entry)", got)
+	}
+	if a.Nnz() != 2 {
+		t.Errorf("nnz = %d, want 2", a.Nnz())
+	}
+	b := coo.ToCSC(true)
+	if b.Nnz() != 1 {
+		t.Errorf("nnz with drop = %d, want 1", b.Nnz())
+	}
+	if err := a.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		a := randomCSC(rng, 5+rng.Intn(30), 5+rng.Intn(30), 0.2)
+		b := a.Transpose().Transpose()
+		if err := b.Check(); err != nil {
+			t.Fatal(err)
+		}
+		if !equalCSC(a, b) {
+			t.Fatalf("transpose twice differs from original")
+		}
+	}
+}
+
+func TestTransposeEntry(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randomCSC(rng, 17, 11, 0.3)
+	at := a.Transpose()
+	for i := 0; i < a.M; i++ {
+		for j := 0; j < a.N; j++ {
+			if a.At(i, j) != at.At(j, i) {
+				t.Fatalf("A(%d,%d)=%v but Aᵀ(%d,%d)=%v", i, j, a.At(i, j), j, i, at.At(j, i))
+			}
+		}
+	}
+}
+
+func equalCSC(a, b *CSC) bool {
+	if a.M != b.M || a.N != b.N || a.Nnz() != b.Nnz() {
+		return false
+	}
+	for j := 0; j <= a.N; j++ {
+		if a.Colptr[j] != b.Colptr[j] {
+			return false
+		}
+	}
+	for p := 0; p < a.Nnz(); p++ {
+		if a.Rowidx[p] != b.Rowidx[p] || a.Values[p] != b.Values[p] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPermuteRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		n := 4 + rng.Intn(40)
+		a := randomCSC(rng, n, n, 0.25)
+		p := randomPerm(rng, n)
+		q := randomPerm(rng, n)
+		b := a.Permute(p, q)
+		// Undo: A = B(pinv, qinv).
+		c := b.Permute(InversePerm(p), InversePerm(q))
+		if !equalCSC(a, c) {
+			t.Fatalf("permute round trip failed at trial %d", trial)
+		}
+	}
+}
+
+func TestPermuteEntries(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 12
+	a := randomCSC(rng, n, n, 0.3)
+	p := randomPerm(rng, n)
+	q := randomPerm(rng, n)
+	b := a.Permute(p, q)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if b.At(i, j) != a.At(p[i], q[j]) {
+				t.Fatalf("B(%d,%d) != A(p[%d],q[%d])", i, j, i, j)
+			}
+		}
+	}
+}
+
+func TestInverseComposePerm(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(100)
+		p := randomPerm(rng, n)
+		pinv := InversePerm(p)
+		if !IsPerm(p) || !IsPerm(pinv) {
+			return false
+		}
+		for k := 0; k < n; k++ {
+			if pinv[p[k]] != k {
+				return false
+			}
+		}
+		id := ComposePerm(p, pinv)
+		for k := 0; k < n; k++ {
+			if id[k] != k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulVecAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randomCSC(rng, 13, 9, 0.4)
+	x := make([]float64, a.N)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	y := make([]float64, a.M)
+	a.MulVec(y, x)
+	for i := 0; i < a.M; i++ {
+		want := 0.0
+		for j := 0; j < a.N; j++ {
+			want += a.At(i, j) * x[j]
+		}
+		if math.Abs(y[i]-want) > 1e-12 {
+			t.Fatalf("y[%d] = %v, want %v", i, y[i], want)
+		}
+	}
+	// Aᵀx agreement.
+	xt := make([]float64, a.M)
+	for i := range xt {
+		xt[i] = rng.NormFloat64()
+	}
+	yt := make([]float64, a.N)
+	a.MulVecT(yt, xt)
+	for j := 0; j < a.N; j++ {
+		want := 0.0
+		for i := 0; i < a.M; i++ {
+			want += a.At(i, j) * xt[i]
+		}
+		if math.Abs(yt[j]-want) > 1e-12 {
+			t.Fatalf("yt[%d] = %v, want %v", j, yt[j], want)
+		}
+	}
+}
+
+func TestExtractBlock(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := randomCSC(rng, 20, 20, 0.3)
+	b := a.ExtractBlock(5, 12, 3, 17)
+	if b.M != 7 || b.N != 14 {
+		t.Fatalf("block shape %d×%d, want 7×14", b.M, b.N)
+	}
+	if err := b.Check(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < b.M; i++ {
+		for j := 0; j < b.N; j++ {
+			if b.At(i, j) != a.At(5+i, 3+j) {
+				t.Fatalf("block(%d,%d) mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestSymbolicUnionSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randomCSC(rng, 25, 25, 0.15)
+	u := a.SymbolicUnion()
+	if err := u.Check(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 25; i++ {
+		for j := 0; j < 25; j++ {
+			has := u.At(i, j) != 0
+			want := a.At(i, j) != 0 || a.At(j, i) != 0
+			if has != want {
+				t.Fatalf("union pattern (%d,%d): got %v want %v", i, j, has, want)
+			}
+			if (u.At(i, j) != 0) != (u.At(j, i) != 0) {
+				t.Fatalf("union not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestDropDiagonal(t *testing.T) {
+	coo := NewCOO(3, 3, 5)
+	coo.Add(0, 0, 1)
+	coo.Add(1, 1, 2)
+	coo.Add(2, 0, 3)
+	coo.Add(0, 2, 4)
+	a := coo.ToCSC(false).DropDiagonal()
+	if a.Nnz() != 2 {
+		t.Fatalf("nnz = %d, want 2", a.Nnz())
+	}
+	if a.At(0, 0) != 0 || a.At(1, 1) != 0 {
+		t.Fatal("diagonal survived DropDiagonal")
+	}
+}
+
+func TestCheckDetectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := randomCSC(rng, 10, 10, 0.5)
+	if err := a.Check(); err != nil {
+		t.Fatal(err)
+	}
+	bad := a.Clone()
+	if bad.Nnz() > 1 {
+		bad.Rowidx[0], bad.Rowidx[1] = bad.Rowidx[1], bad.Rowidx[0]
+		// After the swap column 0 is either unsorted or has a duplicate.
+		if err := bad.Check(); err == nil && bad.Colptr[1] >= 2 {
+			t.Fatal("Check accepted unsorted column")
+		}
+	}
+	bad2 := a.Clone()
+	bad2.Rowidx[0] = 99
+	if err := bad2.Check(); err == nil {
+		t.Fatal("Check accepted out-of-range row index")
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	coo := NewCOO(2, 2, 3)
+	coo.Add(0, 0, -7)
+	coo.Add(1, 1, 3)
+	a := coo.ToCSC(false)
+	if a.MaxAbs() != 7 {
+		t.Fatalf("MaxAbs = %v, want 7", a.MaxAbs())
+	}
+}

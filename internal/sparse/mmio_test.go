@@ -1,0 +1,75 @@
+package sparse
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestMatrixMarketRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := randomCSC(rng, 15, 12, 0.3)
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalCSC(a, b) {
+		t.Fatal("MatrixMarket round trip altered the matrix")
+	}
+}
+
+func TestMatrixMarketSymmetric(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real symmetric
+% a comment
+3 3 4
+1 1 2.0
+2 1 -1.0
+3 2 4.0
+3 3 1.0
+`
+	a, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Nnz() != 6 {
+		t.Fatalf("nnz = %d, want 6 after symmetric expansion", a.Nnz())
+	}
+	if a.At(0, 1) != -1 || a.At(1, 0) != -1 {
+		t.Fatal("symmetric expansion missing mirrored entry")
+	}
+}
+
+func TestMatrixMarketPattern(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate pattern general
+2 2 2
+1 1
+2 2
+`
+	a, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.At(0, 0) != 1 || a.At(1, 1) != 1 {
+		t.Fatal("pattern entries should read as 1")
+	}
+}
+
+func TestMatrixMarketErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"%%MatrixMarket matrix array real general\n2 2\n",
+		"%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\nx y z\n",
+	}
+	for i, in := range cases {
+		if _, err := ReadMatrixMarket(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: expected error, got nil", i)
+		}
+	}
+}
