@@ -26,12 +26,14 @@ package basker
 
 import (
 	"errors"
+	"fmt"
 	"io"
 
 	"repro/internal/core"
 	"repro/internal/gp"
 	"repro/internal/order/matching"
 	"repro/internal/sparse"
+	"repro/internal/trisolve"
 )
 
 // Matrix is a sparse matrix in compressed sparse column form.
@@ -115,9 +117,11 @@ func New(opts Options) *Solver {
 }
 
 // Factorization holds the result of a factorization; it can solve systems
-// and be numerically refreshed for same-pattern matrices.
+// (from any number of goroutines, singly or in batches) and be numerically
+// refreshed for same-pattern matrices.
 type Factorization struct {
 	num *core.Numeric
+	ts  *trisolve.Solver
 }
 
 // Factor analyzes and numerically factors a.
@@ -126,15 +130,52 @@ func (s *Solver) Factor(a *Matrix) (*Factorization, error) {
 	if err != nil {
 		return nil, wrapErr(err)
 	}
-	return &Factorization{num: num}, nil
+	return newFactorization(num), nil
 }
 
-// Solve solves A·x = b in place: b is overwritten with x.
-func (f *Factorization) Solve(b []float64) { f.num.Solve(b) }
+func newFactorization(num *core.Numeric) *Factorization {
+	workers := num.Sym.Opts.Threads
+	if workers < 1 {
+		workers = 1
+	}
+	return &Factorization{
+		num: num,
+		ts:  trisolve.New(num, trisolve.Options{Workers: workers}),
+	}
+}
+
+// Solve solves A·x = b in place: b is overwritten with x. It is reentrant
+// — any number of goroutines may call Solve, SolveMany and SolveRefined on
+// one Factorization concurrently (but not concurrently with Refactor);
+// per-call scratch comes from an internal workspace pool, so the serial
+// path is allocation-free in steady state. On matrices whose BTF blocks
+// are both many and large, independent blocks are scheduled across the
+// solver's worker goroutines (that path allocates its per-call signal
+// fabric).
+func (f *Factorization) Solve(b []float64) { f.ts.Solve(b) }
+
+// SolveMany solves A·xᵢ = bᵢ in place for every right-hand side, sweeping
+// the BTF block back-substitution once per panel of right-hand sides
+// instead of once per vector and distributing panels across the solver's
+// worker goroutines. Each bᵢ must have length n; results are bit-for-bit
+// identical to calling Solve on each bᵢ.
+func (f *Factorization) SolveMany(bs [][]float64) { f.ts.SolveMany(bs) }
+
+// SolveMatrix solves A·X = B in place for a dense column-major
+// right-hand-side block: x holds nrhs vectors of length n back to back.
+func (f *Factorization) SolveMatrix(x []float64, nrhs int) error {
+	n := f.num.Sym.N
+	if nrhs < 0 || len(x) != n*nrhs {
+		return fmt.Errorf("basker: SolveMatrix: len(x) = %d, want n·nrhs = %d·%d", len(x), n, nrhs)
+	}
+	f.ts.SolveMatrix(x, nrhs)
+	return nil
+}
 
 // Refactor recomputes the numeric factorization for a matrix with the same
 // sparsity pattern, reusing orderings, factor patterns and pivot
-// sequences. This is the fast path of transient simulation.
+// sequences. This is the fast path of transient simulation. Refactor must
+// not run concurrently with solves on the same Factorization.
 func (f *Factorization) Refactor(a *Matrix) error {
 	return wrapErr(f.num.Refactor(a))
 }
@@ -144,48 +185,10 @@ func (f *Factorization) Refactor(a *Matrix) error {
 // answer — useful when the KLU-style pivot tolerance traded stability for
 // sparsity. a must be the matrix that was factored (or refactored). b is
 // overwritten with x; the returned value is the final residual ∞-norm
-// relative to ‖b‖∞.
+// relative to ‖b‖∞. Like Solve, it is reentrant and draws all scratch from
+// the workspace pool.
 func (f *Factorization) SolveRefined(a *Matrix, b []float64, iters int) float64 {
-	n := a.N
-	rhs := append([]float64(nil), b...)
-	f.Solve(b)
-	r := make([]float64, n)
-	scale := 0.0
-	for _, v := range rhs {
-		if v < 0 {
-			v = -v
-		}
-		if v > scale {
-			scale = v
-		}
-	}
-	if scale == 0 {
-		scale = 1
-	}
-	res := 0.0
-	for it := 0; it <= iters; it++ {
-		a.MulVec(r, b)
-		res = 0
-		for i := range r {
-			r[i] = rhs[i] - r[i]
-			d := r[i]
-			if d < 0 {
-				d = -d
-			}
-			if d > res {
-				res = d
-			}
-		}
-		res /= scale
-		if it == iters || res == 0 {
-			break
-		}
-		f.Solve(r)
-		for i := range b {
-			b[i] += r[i]
-		}
-	}
-	return res
+	return f.ts.SolveRefined(a, b, iters)
 }
 
 // Stats summarizes a factorization (the paper's Table I statistics).
@@ -203,7 +206,8 @@ type Stats struct {
 }
 
 // Stats reports factorization statistics relative to the matrix a that was
-// factored.
+// factored. |L+U| is cached on the numeric object at factorization time,
+// so this is O(1).
 func (f *Factorization) Stats(a *Matrix) Stats {
 	return Stats{
 		NnzLU:       f.num.NnzLU(),

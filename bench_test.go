@@ -332,6 +332,122 @@ func BenchmarkGPFactorSerial(b *testing.B) {
 	benchKLU(b, a)
 }
 
+// ---- Concurrent solve subsystem: batched multi-RHS and pool throughput ----
+
+// BenchmarkSolvePhase compares a loop of single Solve calls against the
+// blocked SolveMany sweep (same serial factorization: isolates the
+// cache-blocking win, zero steady-state allocations) and against SolveMany
+// with panel parallelism (the intended serving configuration).
+func BenchmarkSolvePhase(b *testing.B) {
+	a := suiteMatrix(b, "Power0")
+	const nrhs = 32
+	master := make([]float64, a.N)
+	for i := range master {
+		master[i] = 1 + float64(i%7)
+	}
+	batch := make([][]float64, nrhs)
+	for c := range batch {
+		batch[c] = make([]float64, a.N)
+	}
+	fill := func() {
+		for c := range batch {
+			copy(batch[c], master)
+		}
+	}
+	serial, err := New(Options{Threads: 1}).Factor(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	parallel, err := New(Options{Threads: 8}).Factor(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fill()
+	serial.SolveMany(batch) // warm workspace pools before measuring
+	parallel.SolveMany(batch)
+
+	b.Run("solve-loop", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			fill()
+			for c := range batch {
+				serial.Solve(batch[c])
+			}
+		}
+	})
+	b.Run("solve-many", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			fill()
+			serial.SolveMany(batch)
+		}
+	})
+	b.Run("solve-many-parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			fill()
+			parallel.SolveMany(batch)
+		}
+	})
+}
+
+// BenchmarkPoolThroughput drives the pattern-keyed factorization pool the
+// way a serving layer would: concurrent goroutines stamping same-pattern
+// transient steps, against the factor-every-call baseline.
+func BenchmarkPoolThroughput(b *testing.B) {
+	base := matgen.XyceSequenceBase(benchScale() * 0.2)
+	const steps = 16
+	mats := make([]*sparse.CSC, steps)
+	for t := range mats {
+		mats[t] = matgen.TransientStep(base, t, 99)
+	}
+	opts := Options{Threads: 2, BigBlockMin: 64}
+
+	b.Run("factor-every-call", func(b *testing.B) {
+		solver := New(opts)
+		b.RunParallel(func(pb *testing.PB) {
+			rhs := make([]float64, base.N)
+			i := 0
+			for pb.Next() {
+				f, err := solver.Factor(mats[i%steps])
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				for j := range rhs {
+					rhs[j] = 1
+				}
+				f.Solve(rhs)
+				i++
+			}
+		})
+	})
+	b.Run("pool", func(b *testing.B) {
+		pool := NewPool(PoolOptions{Options: opts})
+		rhs0 := make([]float64, base.N)
+		if err := pool.Solve(mats[0], rhs0); err != nil { // prime the pattern
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			rhs := make([]float64, base.N)
+			i := 0
+			for pb.Next() {
+				for j := range rhs {
+					rhs[j] = 1
+				}
+				if err := pool.Solve(mats[i%steps], rhs); err != nil {
+					b.Error(err)
+					return
+				}
+				i++
+			}
+		})
+		st := pool.Stats()
+		b.ReportMetric(float64(st.Hits)/float64(st.Hits+st.Misses)*100, "hit%")
+	})
+}
+
 func BenchmarkSolveOnly(b *testing.B) {
 	a := suiteMatrix(b, "Power0")
 	opts := core.DefaultOptions()

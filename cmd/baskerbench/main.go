@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	baskerbench -experiment=table1|table2|fig5|fig6a|fig6b|fig7a|fig7b|fig7c|fig8|xyce|sync|geomean|ablation|all
+//	baskerbench -experiment=table1|table2|fig5|fig6a|fig6b|fig7a|fig7b|fig7c|fig8|xyce|sync|geomean|ablation|solve|all
 //	            [-scale=1.0] [-maxcores=16] [-seqlen=200] [-mintime=50ms]
 //
 // Absolute numbers differ from the paper (different hardware, matrices
@@ -21,6 +21,7 @@ import (
 	"runtime"
 	"time"
 
+	basker "repro"
 	"repro/internal/core"
 	"repro/internal/klu"
 	"repro/internal/matgen"
@@ -67,6 +68,7 @@ func main() {
 	run("sync", syncAblation)
 	run("geomean", geomean)
 	run("ablation", ablation)
+	run("solve", solvePhase)
 }
 
 // sweep returns the power-of-two core counts 1..max.
@@ -619,4 +621,110 @@ func ablation() {
 		rows = append(rows, []string{c.name, fmt.Sprintf("%.4f", sec), fmt.Sprintf("%.2e", float64(nnz))})
 	}
 	fmt.Print(perf.Table([]string{"config", "numeric s", "|L+U|"}, rows))
+}
+
+// ---- solve phase: the concurrent solve subsystem (internal/trisolve) ----
+
+// solvePhase measures the steady-state solve path of a transient loop: a
+// loop of single Solve calls against the blocked multi-RHS SolveMany sweep
+// (same factorization), and the pattern-keyed factorization pool against
+// factoring on every call.
+func solvePhase() {
+	fmt.Println("Concurrent solve subsystem (Power0 replica, 32 RHS per batch)")
+	var mat matgen.Named
+	for _, m := range matgen.TableISuite(*scale) {
+		if m.Name == "Power0" {
+			mat = m
+		}
+	}
+	a := mat.Gen()
+	const nrhs = 32
+	master := make([]float64, a.N)
+	for i := range master {
+		master[i] = 1 + float64(i%7)
+	}
+	batch := make([][]float64, nrhs)
+	for c := range batch {
+		batch[c] = make([]float64, a.N)
+	}
+	fill := func() {
+		for c := range batch {
+			copy(batch[c], master)
+		}
+	}
+	serial, err := basker.New(basker.Options{Threads: 1}).Factor(a)
+	if err != nil {
+		panic(err)
+	}
+	threaded, err := basker.New(basker.Options{Threads: *maxCores}).Factor(a)
+	if err != nil {
+		panic(err)
+	}
+	fill()
+	serial.SolveMany(batch)
+	threaded.SolveMany(batch)
+
+	loopSec := perf.Time(*minTime, func() {
+		fill()
+		for c := range batch {
+			serial.Solve(batch[c])
+		}
+	})
+	manySec := perf.Time(*minTime, func() {
+		fill()
+		serial.SolveMany(batch)
+	})
+	parSec := perf.Time(*minTime, func() {
+		fill()
+		threaded.SolveMany(batch)
+	})
+	rows := [][]string{
+		{"solve loop (1 thread)", fmt.Sprintf("%.1f", loopSec*1e6/nrhs), "1.00"},
+		{"SolveMany (1 thread)", fmt.Sprintf("%.1f", manySec*1e6/nrhs), fmt.Sprintf("%.2f", loopSec/manySec)},
+		{fmt.Sprintf("SolveMany (%d threads)", *maxCores), fmt.Sprintf("%.1f", parSec*1e6/nrhs), fmt.Sprintf("%.2f", loopSec/parSec)},
+	}
+	fmt.Print(perf.Table([]string{"path", "us/RHS", "speedup"}, rows))
+
+	fmt.Println("\nFactorization pool over a transient sequence (Refactor fast path)")
+	base := matgen.XyceSequenceBase(*scale * 0.2)
+	steps := make([]*sparse.CSC, 16)
+	for t := range steps {
+		steps[t] = matgen.TransientStep(base, t, 99)
+	}
+	rhs := make([]float64, base.N)
+	opts := basker.Options{Threads: 2, BigBlockMin: 64}
+	i := 0
+	solver := basker.New(opts)
+	everySec := perf.Time(*minTime, func() {
+		f, err := solver.Factor(steps[i%len(steps)])
+		if err != nil {
+			panic(err)
+		}
+		for j := range rhs {
+			rhs[j] = 1
+		}
+		f.Solve(rhs)
+		i++
+	})
+	pool := basker.NewPool(basker.PoolOptions{Options: opts})
+	if err := pool.Solve(steps[0], rhs); err != nil {
+		panic(err)
+	}
+	i = 0
+	poolSec := perf.Time(*minTime, func() {
+		for j := range rhs {
+			rhs[j] = 1
+		}
+		if err := pool.Solve(steps[i%len(steps)], rhs); err != nil {
+			panic(err)
+		}
+		i++
+	})
+	st := pool.Stats()
+	rows = [][]string{
+		{"factor every call", fmt.Sprintf("%.0f", everySec*1e6), "1.00", "-"},
+		{"pool (Refactor hit)", fmt.Sprintf("%.0f", poolSec*1e6), fmt.Sprintf("%.2f", everySec/poolSec),
+			fmt.Sprintf("%.0f%%", 100*float64(st.Hits)/float64(st.Hits+st.Misses))},
+	}
+	fmt.Print(perf.Table([]string{"path", "us/solve", "speedup", "hit rate"}, rows))
 }

@@ -34,6 +34,14 @@ type Symbolic struct {
 	partition [][]int
 	// estNnz[b] is the factor size estimate for small blocks.
 	estNnz []int
+	// blockOf[i] is the coarse block containing permuted row/column i,
+	// built once at analysis time (NnzLU and the trisolve dependency
+	// builder both need it; rebuilding it per call was measurable).
+	blockOf []int
+	// scratchLen is the pivot-application scratch length a reentrant solve
+	// must provide: the largest fine-ND tree-block dimension or fine-BTF
+	// block dimension across all coarse blocks.
+	scratchLen int
 
 	BTFPercent float64
 }
@@ -47,6 +55,23 @@ const (
 
 // NumBlocks reports the number of coarse BTF blocks.
 func (s *Symbolic) NumBlocks() int { return len(s.BlockPtr) - 1 }
+
+// BlockRange reports the permuted row/column range [r0, r1) of coarse
+// block blk.
+func (s *Symbolic) BlockRange(blk int) (int, int) {
+	return s.BlockPtr[blk], s.BlockPtr[blk+1]
+}
+
+// IsND reports whether coarse block blk is factored by the fine-ND engine.
+func (s *Symbolic) IsND(blk int) bool { return s.kind[blk] == blockND }
+
+// BlockOf reports the coarse block containing permuted index i.
+func (s *Symbolic) BlockOf(i int) int { return s.blockOf[i] }
+
+// SolveScratchLen reports the scratch length required by SolveBlock and
+// SolveInto: the largest diagonal sub-block dimension over all coarse
+// blocks (fine-BTF block size or fine-ND tree-block size).
+func (s *Symbolic) SolveScratchLen() int { return s.scratchLen }
 
 // NumNDBlocks reports how many coarse blocks use the fine-ND engine.
 func (s *Symbolic) NumNDBlocks() int {
@@ -65,6 +90,9 @@ type Numeric struct {
 	Perm  *sparse.CSC // fully permuted matrix (off-block entries for solve)
 	small []*gp.Factors
 	nd    []*ndNum
+	// nnzLU caches |L+U|, computed once at the end of each (re)factorization
+	// so Stats and FillDensity never recount it.
+	nnzLU int
 	// SyncWaits aggregates contended point-to-point waits (ablation metric).
 	SyncWaits int64
 
@@ -119,6 +147,12 @@ func Analyze(a *sparse.CSC, opts Options) (*Symbolic, error) {
 	sym.kind = make([]blockKind, nblocks)
 	sym.ndsym = make([]*ndSym, nblocks)
 	sym.estNnz = make([]int, nblocks)
+	sym.blockOf = make([]int, n)
+	for blk := 0; blk < nblocks; blk++ {
+		for i := sym.BlockPtr[blk]; i < sym.BlockPtr[blk+1]; i++ {
+			sym.blockOf[i] = blk
+		}
+	}
 
 	// A block is worth the fine-ND machinery only when it holds a
 	// significant share of the matrix (the paper's D2 averages 68% of the
@@ -192,6 +226,17 @@ func Analyze(a *sparse.CSC, opts Options) (*Symbolic, error) {
 		}
 		sym.partition[best] = append(sym.partition[best], st.blk)
 		loads[best] += st.flops
+	}
+	for blk := 0; blk < nblocks; blk++ {
+		d := 0
+		if ns := sym.ndsym[blk]; ns != nil {
+			d = maxBlockDim(ns)
+		} else {
+			d = sym.BlockPtr[blk+1] - sym.BlockPtr[blk]
+		}
+		if d > sym.scratchLen {
+			sym.scratchLen = d
+		}
 	}
 	return sym, nil
 }
@@ -356,50 +401,164 @@ func factorOrRefactor(a *sparse.CSC, sym *Symbolic, prev *Numeric) (*Numeric, er
 		num.SyncWaits += ndn.SyncWaits
 		num.ndSim += ndn.simSeconds()
 	}
+	num.nnzLU = num.countNnzLU()
 	return num, nil
 }
 
-// Solve solves A x = rhs in place.
+// Solve solves A x = rhs in place. It allocates its scratch; concurrent
+// and allocation-free solves go through the internal/trisolve subsystem,
+// which feeds caller-owned workspaces to SolveInto.
 func (num *Numeric) Solve(rhs []float64) {
+	n := num.Sym.N
+	num.SolveInto(rhs, make([]float64, n), make([]float64, num.Sym.SolveScratchLen()))
+}
+
+// SolveInto solves A x = rhs in place using caller-provided scratch: y must
+// have length n, scratch at least Sym.SolveScratchLen(). It performs no
+// allocation and is safe for concurrent use on one Numeric (each caller
+// brings its own y and scratch), as long as no Refactor runs concurrently.
+func (num *Numeric) SolveInto(rhs, y, scratch []float64) {
 	sym := num.Sym
 	n := sym.N
-	y := make([]float64, n)
 	for k := 0; k < n; k++ {
 		y[k] = rhs[sym.RowPerm[k]]
 	}
 	// Coarse block back-substitution, last block first (upper BTF).
 	for blk := sym.NumBlocks() - 1; blk >= 0; blk-- {
-		r0, r1 := sym.BlockPtr[blk], sym.BlockPtr[blk+1]
-		switch sym.kind[blk] {
-		case blockSmall:
-			num.small[blk].Solve(y[r0:r1])
-		case blockND:
-			num.nd[blk].ndSolve(y[r0:r1])
-		}
-		// Subtract this block's solution from earlier rows (entries above
-		// the diagonal block in its columns).
-		for c := r0; c < r1; c++ {
-			xc := y[c]
-			if xc == 0 {
-				continue
-			}
-			for p := num.Perm.Colptr[c]; p < num.Perm.Colptr[c+1]; p++ {
-				i := num.Perm.Rowidx[p]
-				if i >= r0 {
-					break
-				}
-				y[i] -= num.Perm.Values[p] * xc
-			}
-		}
+		num.SolveBlock(blk, y, scratch)
+		num.OffBlockUpdate(blk, y)
 	}
 	for k := 0; k < n; k++ {
 		rhs[sym.ColPerm[k]] = y[k]
 	}
 }
 
+// SolveBlock solves coarse diagonal block blk against the permuted vector
+// y (full length n; only y[r0:r1] is touched). scratch needs at least
+// Sym.SolveScratchLen() elements.
+func (num *Numeric) SolveBlock(blk int, y, scratch []float64) {
+	sym := num.Sym
+	r0, r1 := sym.BlockPtr[blk], sym.BlockPtr[blk+1]
+	switch sym.kind[blk] {
+	case blockSmall:
+		num.small[blk].SolveWith(y[r0:r1], scratch)
+	case blockND:
+		num.nd[blk].ndSolve(y[r0:r1], scratch)
+	}
+}
+
+// PanelWorkspace holds the scratch of the blocked multi-RHS sweep: the
+// pivot-application scratch plus the active-column gather buffers of the
+// panel kernels.
+type PanelWorkspace struct {
+	scratch []float64
+	views   [][]float64
+	active  []int
+	vals    []float64
+}
+
+// NewPanelWorkspace sizes a workspace for panels of up to maxCols
+// right-hand sides against factorizations of this symbolic structure.
+func (s *Symbolic) NewPanelWorkspace(maxCols int) *PanelWorkspace {
+	return &PanelWorkspace{
+		scratch: make([]float64, s.SolveScratchLen()),
+		views:   make([][]float64, maxCols),
+		active:  make([]int, maxCols),
+		vals:    make([]float64, maxCols),
+	}
+}
+
+// SolvePanel runs the coarse BTF back-substitution over a panel of
+// permuted right-hand sides (each of full length n, already in row-permuted
+// order), blocked so each diagonal block's factors and each off-block
+// column are traversed once per panel instead of once per vector. Per
+// right-hand side the operation sequence is identical to the serial sweep
+// of SolveInto.
+func (num *Numeric) SolvePanel(ys [][]float64, pw *PanelWorkspace) {
+	sym := num.Sym
+	k := len(ys)
+	for blk := sym.NumBlocks() - 1; blk >= 0; blk-- {
+		r0, r1 := sym.BlockPtr[blk], sym.BlockPtr[blk+1]
+		switch sym.kind[blk] {
+		case blockSmall:
+			views := pw.views[:k]
+			for c, y := range ys {
+				views[c] = y[r0:r1]
+			}
+			num.small[blk].SolveManyWith(views, pw.scratch, pw.active, pw.vals)
+		case blockND:
+			// The 2D ND solve stays per-column; fine-ND blocks are few and
+			// large, so the panel win concentrates in the small blocks and
+			// the off-block couplings.
+			for _, y := range ys {
+				num.nd[blk].ndSolve(y[r0:r1], pw.scratch)
+			}
+		}
+		num.offBlockUpdateMany(blk, ys, pw)
+	}
+}
+
+// offBlockUpdateMany applies block blk's off-block couplings to every
+// right-hand side of the panel, loading each matrix entry once.
+func (num *Numeric) offBlockUpdateMany(blk int, ys [][]float64, pw *PanelWorkspace) {
+	sym := num.Sym
+	r0, r1 := sym.BlockPtr[blk], sym.BlockPtr[blk+1]
+	for c := r0; c < r1; c++ {
+		p0, cp1 := num.Perm.Colptr[c], num.Perm.Colptr[c+1]
+		pEnd := p0
+		for pEnd < cp1 && num.Perm.Rowidx[pEnd] < r0 {
+			pEnd++
+		}
+		if pEnd == p0 {
+			continue
+		}
+		na := 0
+		for ci, y := range ys {
+			if xc := y[c]; xc != 0 {
+				pw.active[na] = ci
+				pw.vals[na] = xc
+				na++
+			}
+		}
+		if na == 0 {
+			continue
+		}
+		for p := p0; p < pEnd; p++ {
+			i, v := num.Perm.Rowidx[p], num.Perm.Values[p]
+			for a := 0; a < na; a++ {
+				ys[pw.active[a]][i] -= v * pw.vals[a]
+			}
+		}
+	}
+}
+
+// OffBlockUpdate subtracts block blk's solution from earlier rows of y
+// (entries above the diagonal block in its columns) — the coupling step of
+// the coarse BTF back-substitution.
+func (num *Numeric) OffBlockUpdate(blk int, y []float64) {
+	sym := num.Sym
+	r0, r1 := sym.BlockPtr[blk], sym.BlockPtr[blk+1]
+	for c := r0; c < r1; c++ {
+		xc := y[c]
+		if xc == 0 {
+			continue
+		}
+		for p := num.Perm.Colptr[c]; p < num.Perm.Colptr[c+1]; p++ {
+			i := num.Perm.Rowidx[p]
+			if i >= r0 {
+				break
+			}
+			y[i] -= num.Perm.Values[p] * xc
+		}
+	}
+}
+
 // NnzLU reports |L+U|: all factored entries plus coarse off-block entries
-// used in the solve (the paper's Table I statistic).
-func (num *Numeric) NnzLU() int {
+// used in the solve (the paper's Table I statistic). The count is cached
+// at factorization time.
+func (num *Numeric) NnzLU() int { return num.nnzLU }
+
+func (num *Numeric) countNnzLU() int {
 	sym := num.Sym
 	total := 0
 	for blk := 0; blk < sym.NumBlocks(); blk++ {
@@ -410,16 +569,10 @@ func (num *Numeric) NnzLU() int {
 			total += num.nd[blk].nnzLU()
 		}
 	}
-	blockOf := make([]int, sym.N)
-	for blk := 0; blk < sym.NumBlocks(); blk++ {
-		for i := sym.BlockPtr[blk]; i < sym.BlockPtr[blk+1]; i++ {
-			blockOf[i] = blk
-		}
-	}
 	for j := 0; j < sym.N; j++ {
-		bj := blockOf[j]
+		bj := sym.blockOf[j]
 		for p := num.Perm.Colptr[j]; p < num.Perm.Colptr[j+1]; p++ {
-			if blockOf[num.Perm.Rowidx[p]] != bj {
+			if sym.blockOf[num.Perm.Rowidx[p]] != bj {
 				total++
 			}
 		}
@@ -427,7 +580,7 @@ func (num *Numeric) NnzLU() int {
 	return total
 }
 
-// FillDensity reports |L+U| / |A|.
+// FillDensity reports |L+U| / |A| using the cached count.
 func (num *Numeric) FillDensity(a *sparse.CSC) float64 {
 	return float64(num.NnzLU()) / float64(a.Nnz())
 }

@@ -553,10 +553,16 @@ func maxBlockDim(s *ndSym) int {
 }
 
 // ndSolve applies the 2D block forward/backward substitution to y (the
-// right-hand side in ND-permuted local coordinates), in place.
-func (num *ndNum) ndSolve(y []float64) {
+// right-hand side in ND-permuted local coordinates), in place. scratch is
+// caller-provided pivot-application space of at least maxBlockDim(sym)
+// elements (nil falls back to a local allocation), so repeated solves stay
+// allocation-free and reentrant.
+func (num *ndNum) ndSolve(y []float64, scratch []float64) {
 	s := num.sym
 	nb := s.nb
+	if len(scratch) < maxBlockDim(s) {
+		scratch = make([]float64, maxBlockDim(s))
+	}
 	// Forward: block columns ascending (postorder = matrix order).
 	for k := 0; k < nb; k++ {
 		c0, c1 := s.blockRange(k)
@@ -565,7 +571,7 @@ func (num *ndNum) ndSolve(y []float64) {
 		}
 		f := num.diag[k]
 		// Apply the block pivot then unit-lower solve.
-		z := make([]float64, c1-c0)
+		z := scratch[:c1-c0]
 		for i := range z {
 			z[i] = y[c0+f.P[i]]
 		}

@@ -42,7 +42,7 @@ func estimateND(d *sparse.CSC, s *ndSym) *ndEstimates {
 	// lest/uest row ranges of every off-diagonal block — embarrassingly
 	// parallel over leaves (Algorithm 3 lines 2-9).
 	type ranges struct{ lo, hi []int } // per column of the target block
-	lest := make([][]ranges, nb)      // lest[i][path idx]
+	lest := make([][]ranges, nb)       // lest[i][path idx]
 	var wg sync.WaitGroup
 	for t := 0; t < s.p; t++ {
 		wg.Add(1)
@@ -159,7 +159,7 @@ func blockRowRanges(b *sparse.CSC) struct{ lo, hi []int } {
 			lo[c], hi[c] = -1, -1
 			continue
 		}
-		lo[c] = b.Rowidx[p0]     // columns are sorted
+		lo[c] = b.Rowidx[p0] // columns are sorted
 		hi[c] = b.Rowidx[p1-1]
 	}
 	return struct{ lo, hi []int }{lo, hi}

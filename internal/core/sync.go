@@ -5,16 +5,15 @@ import (
 	"sync/atomic"
 )
 
-// blockFlags is the point-to-point synchronization fabric: one completion
-// signal per 2D block of the fine-ND structure. A producing thread signals
-// after its block is complete; a consuming thread waits only on the exact
-// blocks it needs — the Go analogue of the paper's write-to-volatile
-// point-to-point synchronization. Signals are implemented as closed
-// channels so waiting goroutines consume no CPU even when the host has
-// fewer cores than workers (which matters for the simulated-makespan
-// timing mode described in DESIGN.md).
-type blockFlags struct {
-	n     int
+// Signals is the point-to-point synchronization fabric shared by the
+// numeric engine and the trisolve subsystem: a flat array of one-shot
+// completion signals plus an abort channel. A producer signals exactly once
+// per slot; consumers wait only on the slots they need — the Go analogue of
+// the paper's write-to-volatile point-to-point synchronization. Signals are
+// implemented as closed channels so waiting goroutines consume no CPU even
+// when the host has fewer cores than workers (which matters for the
+// simulated-makespan timing mode described in DESIGN.md).
+type Signals struct {
 	done  []chan struct{}
 	abort chan struct{}
 	once  sync.Once
@@ -22,53 +21,76 @@ type blockFlags struct {
 	contended atomic.Int64
 }
 
-func newBlockFlags(nblocks int) *blockFlags {
-	f := &blockFlags{
-		n:     nblocks,
-		done:  make([]chan struct{}, nblocks*nblocks),
+// NewSignals returns a fabric with n one-shot completion slots.
+func NewSignals(n int) *Signals {
+	s := &Signals{
+		done:  make([]chan struct{}, n),
 		abort: make(chan struct{}),
 	}
-	for i := range f.done {
-		f.done[i] = make(chan struct{})
+	for i := range s.done {
+		s.done[i] = make(chan struct{})
 	}
-	return f
+	return s
+}
+
+// Set marks slot i complete. Each slot has exactly one producer.
+func (s *Signals) Set(i int) { close(s.done[i]) }
+
+// Wait blocks until slot i is complete. It returns false if the
+// computation has been aborted (another worker hit an error), so waiters
+// can unwind instead of deadlocking.
+func (s *Signals) Wait(i int) bool {
+	ch := s.done[i]
+	select {
+	case <-ch:
+		return true
+	default:
+	}
+	s.contended.Add(1)
+	select {
+	case <-ch:
+		return true
+	case <-s.abort:
+		return false
+	}
+}
+
+// Fail aborts the whole parallel region.
+func (s *Signals) Fail() { s.once.Do(func() { close(s.abort) }) }
+
+// Contended reports how many waits actually had to block.
+func (s *Signals) Contended() int64 { return s.contended.Load() }
+
+func (s *Signals) aborted() bool {
+	select {
+	case <-s.abort:
+		return true
+	default:
+		return false
+	}
+}
+
+// blockFlags adapts the Signals fabric to the fine-ND engine's 2D block
+// indexing: one completion slot per (i, j) block of the hierarchy.
+type blockFlags struct {
+	n int
+	*Signals
+}
+
+func newBlockFlags(nblocks int) *blockFlags {
+	return &blockFlags{n: nblocks, Signals: NewSignals(nblocks * nblocks)}
 }
 
 func (f *blockFlags) idx(i, j int) int { return i*f.n + j }
 
 // set marks block (i, j) complete. Each block has exactly one producer.
-func (f *blockFlags) set(i, j int) { close(f.done[f.idx(i, j)]) }
+func (f *blockFlags) set(i, j int) { f.Set(f.idx(i, j)) }
 
-// wait blocks until block (i, j) is complete. It returns false if the
-// computation has been aborted (another thread hit an error), so waiters
-// can unwind instead of deadlocking.
-func (f *blockFlags) wait(i, j int) bool {
-	ch := f.done[f.idx(i, j)]
-	select {
-	case <-ch:
-		return true
-	default:
-	}
-	f.contended.Add(1)
-	select {
-	case <-ch:
-		return true
-	case <-f.abort:
-		return false
-	}
-}
+// wait blocks until block (i, j) is complete, returning false on abort.
+func (f *blockFlags) wait(i, j int) bool { return f.Wait(f.idx(i, j)) }
 
 // fail aborts the whole parallel region.
-func (f *blockFlags) fail() { f.once.Do(func() { close(f.abort) }) }
-
-func (f *blockFlags) aborted() bool {
-	select {
-	case <-f.abort:
-		return true
-	default:
-		return false
-	}
-}
+func (f *blockFlags) fail() { f.Fail() }
 
 // barrier is a reusable counting barrier for the SyncBarrier ablation mode.
 // It deliberately models the heavyweight "rejoin everything" semantics of a

@@ -306,15 +306,93 @@ func dfs(start int, l *sparse.CSC, pinv []int, xi []int, top int, pstack, mark [
 
 // Solve solves A x = b in place using the factors (b becomes x).
 func (f *Factors) Solve(b []float64) {
+	f.SolveWith(b, make([]float64, f.N))
+}
+
+// SolveWith is Solve with caller-provided pivot-application scratch of at
+// least N elements: no allocation, safe for concurrent use on immutable
+// factors when each caller brings its own scratch.
+func (f *Factors) SolveWith(b, scratch []float64) {
 	n := f.N
 	// y = P b
-	y := make([]float64, n)
+	y := scratch[:n]
 	for k := 0; k < n; k++ {
 		y[k] = b[f.P[k]]
 	}
 	f.LSolve(y)
 	f.USolve(y)
 	copy(b, y)
+}
+
+// SolveManyWith solves A xᵢ = bᵢ in place for a panel of right-hand
+// sides, traversing each factor column once per panel instead of once per
+// vector: every (row, value) entry of L and U is loaded once and applied
+// to all active right-hand sides, which amortizes index decoding and
+// bounds checks across the panel. scratch needs N elements; active and
+// vals need len(cols) elements. Per right-hand side the floating-point
+// operation sequence is identical to SolveWith.
+func (f *Factors) SolveManyWith(cols [][]float64, scratch []float64, active []int, vals []float64) {
+	n := f.N
+	y := scratch[:n]
+	for _, b := range cols {
+		for k := 0; k < n; k++ {
+			y[k] = b[f.P[k]]
+		}
+		copy(b, y)
+	}
+	f.LSolveMany(cols, active, vals)
+	f.USolveMany(cols, active, vals)
+}
+
+// LSolveMany is LSolve over a panel: one pass over L, each entry applied
+// to every right-hand side with a nonzero at the current column.
+func (f *Factors) LSolveMany(cols [][]float64, active []int, vals []float64) {
+	for j := 0; j < f.N; j++ {
+		na := 0
+		for c, y := range cols {
+			if yj := y[j]; yj != 0 {
+				active[na] = c
+				vals[na] = yj
+				na++
+			}
+		}
+		if na == 0 {
+			continue
+		}
+		for p := f.L.Colptr[j] + 1; p < f.L.Colptr[j+1]; p++ {
+			i, v := f.L.Rowidx[p], f.L.Values[p]
+			for a := 0; a < na; a++ {
+				cols[active[a]][i] -= v * vals[a]
+			}
+		}
+	}
+}
+
+// USolveMany is USolve over a panel: one backward pass over U.
+func (f *Factors) USolveMany(cols [][]float64, active []int, vals []float64) {
+	for j := f.N - 1; j >= 0; j-- {
+		p1 := f.U.Colptr[j+1]
+		piv := f.U.Values[p1-1] // diagonal is the largest row index: last
+		na := 0
+		for c, y := range cols {
+			yj := y[j] / piv
+			y[j] = yj
+			if yj != 0 {
+				active[na] = c
+				vals[na] = yj
+				na++
+			}
+		}
+		if na == 0 {
+			continue
+		}
+		for p := f.U.Colptr[j]; p < p1-1; p++ {
+			i, v := f.U.Rowidx[p], f.U.Values[p]
+			for a := 0; a < na; a++ {
+				cols[active[a]][i] -= v * vals[a]
+			}
+		}
+	}
 }
 
 // LSolve solves L y = y in place (forward substitution, unit diagonal,

@@ -1,0 +1,108 @@
+package trisolve
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// buildDeps derives, once per Solver, the coarse-block dependency
+// structure of the BTF back-substitution: feeds[i] lists every off-block
+// entry that couples a later block's solution into block i, ordered
+// exactly as the serial sweep applies them (source block descending, then
+// column ascending, then position ascending — so the parallel sweep is
+// bit-for-bit identical to the serial one), and deps[i] lists the distinct
+// source blocks, descending. The structure depends only on the sparsity
+// pattern and therefore survives Refactor.
+func (s *Solver) buildDeps() {
+	s.depOnce.Do(func() {
+		sym := s.num.Sym
+		perm := s.num.Perm
+		nb := sym.NumBlocks()
+		feeds := make([][]feed, nb)
+		for c := 0; c < sym.N; c++ {
+			r0, _ := sym.BlockRange(sym.BlockOf(c))
+			for p := perm.Colptr[c]; p < perm.Colptr[c+1]; p++ {
+				i := perm.Rowidx[p]
+				if i >= r0 {
+					break // columns are row-sorted; the rest is diagonal-block
+				}
+				bi := sym.BlockOf(i)
+				feeds[bi] = append(feeds[bi], feed{int32(i), int32(c), int32(p)})
+			}
+		}
+		deps := make([][]int, nb)
+		for i := range feeds {
+			fl := feeds[i]
+			// Appended in (column asc, position asc) order; a stable sort by
+			// source block descending reproduces the serial push order.
+			sort.SliceStable(fl, func(a, b int) bool {
+				return sym.BlockOf(int(fl[a].col)) > sym.BlockOf(int(fl[b].col))
+			})
+			last := -1
+			for _, f := range fl {
+				if bj := sym.BlockOf(int(f.col)); bj != last {
+					deps[i] = append(deps[i], bj)
+					last = bj
+				}
+			}
+		}
+		s.feeds, s.deps = feeds, deps
+	})
+}
+
+// solveBlockParallel runs the single-RHS BTF back-substitution with
+// independent coarse blocks scheduled across the worker goroutines.
+// Blocks are assigned round-robin; each worker walks its blocks last to
+// first, waits point-to-point (via the numeric engine's Signals fabric)
+// only on the exact later blocks that feed each of its blocks, pulls those
+// couplings, and solves the diagonal block. Rows of y belonging to block i
+// are written only by i's owner, and y values of a feeding block are read
+// only after its completion signal, so the sweep is race-free; the feed
+// ordering makes it bit-for-bit identical to the serial sweep.
+func (s *Solver) solveBlockParallel(rhs []float64, ws *Workspace) {
+	s.buildDeps()
+	num := s.num
+	sym := num.Sym
+	n := sym.N
+	y := ws.y
+	for k := 0; k < n; k++ {
+		y[k] = rhs[sym.RowPerm[k]]
+	}
+	nb := sym.NumBlocks()
+	sig := core.NewSignals(nb)
+	var wg sync.WaitGroup
+	for w := 0; w < s.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wws := ws
+			if w != 0 {
+				wws = s.pool.get()
+				defer s.pool.put(wws)
+			}
+			// Descending order per worker: every dependency points at a
+			// strictly later block, so the schedule is acyclic and
+			// deadlock-free.
+			for blk := nb - 1 - w; blk >= 0; blk -= s.workers {
+				for _, j := range s.deps[blk] {
+					if !sig.Wait(j) {
+						return
+					}
+				}
+				for _, f := range s.feeds[blk] {
+					if xc := y[f.col]; xc != 0 {
+						y[f.row] -= num.Perm.Values[f.p] * xc
+					}
+				}
+				num.SolveBlock(blk, y, wws.scratch)
+				sig.Set(blk)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for k := 0; k < n; k++ {
+		rhs[sym.ColPerm[k]] = y[k]
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package trisolve
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package trisolve
+
+// raceEnabled reports that the race detector is active: sync.Pool
+// deliberately drops items under -race, so allocation-count assertions
+// are meaningless there.
+const raceEnabled = true

@@ -1,0 +1,271 @@
+// Package trisolve is the concurrent solve subsystem: the triangular
+// solve phase of Basker, rebuilt for the workload the factorization
+// engine was designed to feed. A transient circuit simulation performs
+// one Factor and then thousands of Refactor/Solve calls, frequently for
+// many right-hand sides and many concurrent scenarios, so this package
+// provides
+//
+//   - reentrant solves: every per-call scratch buffer (the permuted RHS,
+//     the diagonal-block pivot scratch formerly allocated inside ndSolve
+//     and gp.Solve, refinement residuals, multi-RHS panels) lives in a
+//     sync.Pool-backed Workspace, so any number of goroutines can solve
+//     against one factorization with zero steady-state allocation;
+//   - blocked multi-RHS solves: SolveMany sweeps the coarse BTF
+//     back-substitution once per panel of right-hand sides instead of
+//     once per vector, touching each diagonal block's factors once per
+//     panel (cache-blocking the solve the way the paper's 2D layout
+//     cache-blocks the factorization);
+//   - scheduled parallelism: panels are distributed over worker
+//     goroutines, and single-RHS solves on matrices with many coarse
+//     blocks run a dependency-scheduled parallel block sweep that reuses
+//     the point-to-point Signals fabric of the numeric engine — block i
+//     waits only on the exact later blocks that feed it.
+//
+// All entry points perform bit-for-bit the same floating-point operation
+// sequence per right-hand side as a serial core.Numeric.Solve, so batched,
+// parallel and serial paths are interchangeable and golden-testable.
+package trisolve
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/sparse"
+)
+
+const (
+	// maxPanel caps the column count of one blocked sweep so the panel
+	// buffer stays cache-friendly and bounded (n×32 floats).
+	maxPanel = 32
+	// blockParallelMinDim is the default minimum average block dimension
+	// (rows per coarse block) before a single-RHS solve uses the
+	// dependency-scheduled parallel sweep: with thousands of tiny blocks,
+	// per-block synchronization costs more than the block solves.
+	blockParallelMinDim = 256
+)
+
+// Options configures a Solver.
+type Options struct {
+	// Workers is the number of goroutines used for panel and block
+	// parallelism. Values below 1 mean 1 (fully serial).
+	Workers int
+	// BlockParallelMin overrides the single-RHS parallel-sweep gate: a
+	// positive value engages the parallel sweep whenever the matrix has at
+	// least that many coarse blocks (regardless of block size), a negative
+	// value disables it, and 0 selects the default heuristic (at least
+	// 2×Workers blocks averaging blockParallelMinDim rows).
+	BlockParallelMin int
+}
+
+// Solver drives reentrant, batched and parallel solves against one
+// core.Numeric. It is safe for concurrent use by multiple goroutines as
+// long as no Refactor runs concurrently with solves; Refactor between
+// solve batches is fine (the cached block-dependency structure depends
+// only on the sparsity pattern, which Refactor preserves).
+type Solver struct {
+	num      *core.Numeric
+	workers  int
+	blockPar bool
+	pool     *wsPool
+
+	// Block-dependency structure for the parallel sweep, built lazily once
+	// (the pattern is immutable across Refactor).
+	depOnce sync.Once
+	feeds   [][]feed
+	deps    [][]int
+}
+
+// feed is one off-block coupling entry: y[row] -= Perm.Values[p] · y[col].
+// Positions are stored as indices into the permuted matrix so the values
+// stay current across Refactor, which rebuilds Perm with an identical
+// layout.
+type feed struct {
+	row, col, p int32
+}
+
+// New returns a Solver over num.
+func New(num *core.Numeric, opt Options) *Solver {
+	w := opt.Workers
+	if w < 1 {
+		w = 1
+	}
+	sym := num.Sym
+	nb := sym.NumBlocks()
+	var blockPar bool
+	switch {
+	case w <= 1 || opt.BlockParallelMin < 0:
+		blockPar = false
+	case opt.BlockParallelMin > 0:
+		blockPar = nb >= opt.BlockParallelMin && nb >= 2
+	default:
+		blockPar = nb >= 2*w && sym.N/nb >= blockParallelMinDim
+	}
+	return &Solver{
+		num:      num,
+		workers:  w,
+		blockPar: blockPar,
+		pool:     newWSPool(sym),
+	}
+}
+
+// Solve solves A·x = b in place. Reentrant and allocation-free in steady
+// state on the serial path.
+func (s *Solver) Solve(b []float64) {
+	ws := s.pool.get()
+	defer s.pool.put(ws)
+	if s.blockPar {
+		s.solveBlockParallel(b, ws)
+		return
+	}
+	s.num.SolveInto(b, ws.y, ws.scratch)
+}
+
+// SolveMany solves A·xᵢ = bᵢ in place for every right-hand side. The batch
+// is cut into panels of at most maxPanel columns; each panel runs one
+// blocked BTF sweep (per diagonal block, all panel columns are solved
+// before moving on), and panels are distributed over the worker
+// goroutines. Per right-hand side the operation sequence is identical to
+// Solve.
+func (s *Solver) SolveMany(bs [][]float64) {
+	k := len(bs)
+	if k == 0 {
+		return
+	}
+	// Panel width: fill maxPanel columns when serial, but never leave a
+	// worker idle — with few right-hand sides and many workers, narrower
+	// panels spread the batch across the goroutines.
+	width := maxPanel
+	if s.workers > 1 {
+		if perW := (k + s.workers - 1) / s.workers; perW < width {
+			width = perW
+		}
+	}
+	nchunks := (k + width - 1) / width
+	nw := s.workers
+	if nw > nchunks {
+		nw = nchunks
+	}
+	if nw <= 1 {
+		for lo := 0; lo < k; lo += width {
+			s.solvePanel(bs[lo:min(lo+width, k)])
+		}
+		return
+	}
+	s.solveManyParallel(bs, width, nchunks, nw)
+}
+
+// solveManyParallel distributes panel chunks over nw worker goroutines
+// through a shared atomic cursor. Kept out of SolveMany so the serial path
+// stays allocation-free (the worker closures would otherwise force their
+// captures onto the heap on every call).
+func (s *Solver) solveManyParallel(bs [][]float64, width, nchunks, nw int) {
+	k := len(bs)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= nchunks {
+					return
+				}
+				lo := c * width
+				s.solvePanel(bs[lo:min(lo+width, k)])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// SolveMatrix solves the column-major n×nrhs system A·X = B in place:
+// x holds nrhs right-hand sides of length n back to back.
+func (s *Solver) SolveMatrix(x []float64, nrhs int) {
+	n := s.num.Sym.N
+	cols := make([][]float64, nrhs)
+	for c := range cols {
+		cols[c] = x[c*n : (c+1)*n]
+	}
+	s.SolveMany(cols)
+}
+
+// solvePanel runs the blocked BTF back-substitution over one panel of
+// right-hand sides with a single pooled workspace: permute all columns in,
+// run the core panel sweep (each diagonal block's factors and each
+// off-block column traversed once per panel), and permute all columns out.
+func (s *Solver) solvePanel(cols [][]float64) {
+	ws := s.pool.get()
+	defer s.pool.put(ws)
+	num := s.num
+	sym := num.Sym
+	n := sym.N
+	k := len(cols)
+	buf := ws.panelBuf(n, k)
+	ys := ws.views[:k]
+	for c, b := range cols {
+		y := buf[c*n : (c+1)*n]
+		for i := 0; i < n; i++ {
+			y[i] = b[sym.RowPerm[i]]
+		}
+		ys[c] = y
+	}
+	num.SolvePanel(ys, ws.pw)
+	for c, b := range cols {
+		y := ys[c]
+		for i := 0; i < n; i++ {
+			b[sym.ColPerm[i]] = y[i]
+		}
+	}
+}
+
+// SolveRefined solves A·x = b with iterative refinement against the matrix
+// a that was factored (or refactored): after the direct solve, up to iters
+// steps of x += A⁻¹(b − A·x). b is overwritten with x; the returned value
+// is the final residual ∞-norm relative to ‖b‖∞. All scratch comes from
+// the workspace pool.
+func (s *Solver) SolveRefined(a *sparse.CSC, b []float64, iters int) float64 {
+	ws := s.pool.get()
+	defer s.pool.put(ws)
+	n := a.N
+	r, rhs := ws.refine(n)
+	copy(rhs, b)
+	s.num.SolveInto(b, ws.y, ws.scratch)
+	scale := 0.0
+	for _, v := range rhs {
+		if v < 0 {
+			v = -v
+		}
+		if v > scale {
+			scale = v
+		}
+	}
+	if scale == 0 {
+		scale = 1
+	}
+	res := 0.0
+	for it := 0; it <= iters; it++ {
+		a.MulVec(r, b)
+		res = 0
+		for i := range r {
+			r[i] = rhs[i] - r[i]
+			d := r[i]
+			if d < 0 {
+				d = -d
+			}
+			if d > res {
+				res = d
+			}
+		}
+		res /= scale
+		if it == iters || res == 0 {
+			break
+		}
+		s.num.SolveInto(r, ws.y, ws.scratch)
+		for i := range b {
+			b[i] += r[i]
+		}
+	}
+	return res
+}

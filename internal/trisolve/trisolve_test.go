@@ -1,0 +1,208 @@
+package trisolve
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/matgen"
+	"repro/internal/sparse"
+)
+
+func testMatrix(t testing.TB) *sparse.CSC {
+	t.Helper()
+	return matgen.Circuit(matgen.CircuitParams{
+		N: 700, BTFPct: 50, Blocks: 40, Core: matgen.CoreLadder, ExtraDensity: 0.3, Seed: 11,
+	})
+}
+
+func factor(t testing.TB, a *sparse.CSC, threads int) *core.Numeric {
+	t.Helper()
+	opts := core.DefaultOptions()
+	opts.Threads = threads
+	opts.BigBlockMin = 64
+	num, err := core.FactorDirect(a, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return num
+}
+
+func randRHS(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	return b
+}
+
+// TestSolveMatchesSerial pins every trisolve path — serial, blocked
+// multi-RHS, panel-parallel, and the dependency-scheduled block-parallel
+// sweep — to the bit pattern of core.Numeric.Solve.
+func TestSolveMatchesSerial(t *testing.T) {
+	a := testMatrix(t)
+	num := factor(t, a, 4)
+
+	const k = 70 // several panels, uneven tail
+	ref := make([][]float64, k)
+	for c := range ref {
+		ref[c] = randRHS(a.N, int64(c))
+	}
+	want := make([][]float64, k)
+	for c := range ref {
+		want[c] = append([]float64(nil), ref[c]...)
+		num.Solve(want[c])
+	}
+
+	cases := []struct {
+		name string
+		opt  Options
+	}{
+		{"serial", Options{Workers: 1}},
+		{"panel-parallel", Options{Workers: 4}},
+		{"block-parallel", Options{Workers: 4, BlockParallelMin: 1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := New(num, tc.opt)
+			// Single solves.
+			for c := 0; c < 4; c++ {
+				got := append([]float64(nil), ref[c]...)
+				s.Solve(got)
+				for i := range got {
+					if got[i] != want[c][i] {
+						t.Fatalf("Solve rhs %d: bit mismatch at %d: %v != %v", c, i, got[i], want[c][i])
+					}
+				}
+			}
+			// Batched.
+			got := make([][]float64, k)
+			for c := range ref {
+				got[c] = append([]float64(nil), ref[c]...)
+			}
+			s.SolveMany(got)
+			for c := range got {
+				for i := range got[c] {
+					if got[c][i] != want[c][i] {
+						t.Fatalf("SolveMany rhs %d: bit mismatch at %d: %v != %v", c, i, got[c][i], want[c][i])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestSolveMatrix(t *testing.T) {
+	a := testMatrix(t)
+	num := factor(t, a, 2)
+	s := New(num, Options{Workers: 2})
+	const k = 5
+	n := a.N
+	x := make([]float64, n*k)
+	want := make([][]float64, k)
+	for c := 0; c < k; c++ {
+		b := randRHS(n, 100+int64(c))
+		copy(x[c*n:], b)
+		want[c] = b
+		num.Solve(want[c])
+	}
+	s.SolveMatrix(x, k)
+	for c := 0; c < k; c++ {
+		for i := 0; i < n; i++ {
+			if x[c*n+i] != want[c][i] {
+				t.Fatalf("col %d row %d: %v != %v", c, i, x[c*n+i], want[c][i])
+			}
+		}
+	}
+}
+
+// TestConcurrentSolvesRace hammers one Solver from many goroutines mixing
+// Solve and SolveMany; run under -race it checks the workspace pool and
+// the parallel sweeps share nothing by accident.
+func TestConcurrentSolvesRace(t *testing.T) {
+	a := testMatrix(t)
+	num := factor(t, a, 4)
+	x := randRHS(a.N, 7)
+	b := make([]float64, a.N)
+	a.MulVec(b, x)
+
+	for _, opt := range []Options{
+		{Workers: 4},
+		{Workers: 4, BlockParallelMin: 1},
+	} {
+		s := New(num, opt)
+		const goroutines = 8
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for it := 0; it < 15; it++ {
+					if (g+it)%2 == 0 {
+						got := append([]float64(nil), b...)
+						s.Solve(got)
+						checkSolution(t, got, x)
+					} else {
+						batch := make([][]float64, 3)
+						for c := range batch {
+							batch[c] = append([]float64(nil), b...)
+						}
+						s.SolveMany(batch)
+						for _, got := range batch {
+							checkSolution(t, got, x)
+						}
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+	}
+}
+
+func checkSolution(t *testing.T, got, want []float64) {
+	t.Helper()
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-7*(1+math.Abs(want[i])) {
+			t.Errorf("x[%d] = %v, want %v", i, got[i], want[i])
+			return
+		}
+	}
+}
+
+func TestSolveRefinedPooled(t *testing.T) {
+	a := testMatrix(t)
+	num := factor(t, a, 2)
+	s := New(num, Options{Workers: 2})
+	x := randRHS(a.N, 21)
+	b := make([]float64, a.N)
+	a.MulVec(b, x)
+	res := s.SolveRefined(a, b, 3)
+	if res > 1e-12 {
+		t.Fatalf("refined residual %g too large", res)
+	}
+	checkSolution(t, b, x)
+}
+
+// TestSteadyStateAllocs asserts the serial solve path stops allocating
+// once the workspace pool is warm.
+func TestSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under -race; allocation counts are unrepresentative")
+	}
+	a := testMatrix(t)
+	num := factor(t, a, 1)
+	s := New(num, Options{Workers: 1})
+	b := randRHS(a.N, 3)
+	s.Solve(b) // warm the pool
+	batch := [][]float64{randRHS(a.N, 4), randRHS(a.N, 5)}
+	s.SolveMany(batch) // warm the panel buffer
+	if avg := testing.AllocsPerRun(50, func() { s.Solve(b) }); avg > 0.5 {
+		t.Errorf("Solve allocates %.1f objects/call in steady state, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(50, func() { s.SolveMany(batch) }); avg > 0.5 {
+		t.Errorf("SolveMany allocates %.1f objects/call in steady state, want 0", avg)
+	}
+}

@@ -1,0 +1,64 @@
+package trisolve
+
+import (
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Workspace holds every per-call scratch buffer of the solve phase: the
+// permuted right-hand side, the pivot-application scratch that used to be
+// allocated inside ndSolve/gp.Solve, the iterative-refinement residuals,
+// and the panel buffers for blocked multi-RHS sweeps. Workspaces are owned
+// by a Solver's sync.Pool, so steady-state solves allocate nothing and any
+// number of goroutines can solve concurrently, each with its own set.
+type Workspace struct {
+	y       []float64 // permuted RHS, length n
+	scratch []float64 // diagonal-block pivot scratch, length SolveScratchLen
+	r       []float64 // refinement residual, length n (lazily sized)
+	rhs     []float64 // refinement saved RHS, length n (lazily sized)
+
+	panel []float64            // column-major multi-RHS panel, grown on demand
+	views [][]float64          // per-column views into panel, maxPanel wide
+	pw    *core.PanelWorkspace // gather buffers of the panel kernels
+}
+
+func newWorkspace(sym *core.Symbolic) *Workspace {
+	return &Workspace{
+		y:       make([]float64, sym.N),
+		scratch: make([]float64, sym.SolveScratchLen()),
+		views:   make([][]float64, maxPanel),
+		pw:      sym.NewPanelWorkspace(maxPanel),
+	}
+}
+
+// refine returns the residual and saved-RHS buffers, sizing them on first
+// use so plain solves never pay for refinement scratch.
+func (w *Workspace) refine(n int) (r, rhs []float64) {
+	if len(w.r) < n {
+		w.r = make([]float64, n)
+		w.rhs = make([]float64, n)
+	}
+	return w.r[:n], w.rhs[:n]
+}
+
+// panelBuf returns a column-major n×k buffer, growing the retained slice
+// if the panel is wider than any seen before.
+func (w *Workspace) panelBuf(n, k int) []float64 {
+	if need := n * k; cap(w.panel) < need {
+		w.panel = make([]float64, need)
+	}
+	return w.panel[:n*k]
+}
+
+// wsPool is a typed sync.Pool of Workspaces for one factorization shape.
+type wsPool struct {
+	p sync.Pool
+}
+
+func newWSPool(sym *core.Symbolic) *wsPool {
+	return &wsPool{p: sync.Pool{New: func() any { return newWorkspace(sym) }}}
+}
+
+func (wp *wsPool) get() *Workspace  { return wp.p.Get().(*Workspace) }
+func (wp *wsPool) put(w *Workspace) { wp.p.Put(w) }

@@ -1,0 +1,225 @@
+package basker
+
+import (
+	"hash/fnv"
+	"sync"
+)
+
+// Pool is a pattern-keyed cache of Factorizations: the serving layer for
+// workloads where many goroutines stamp matrices with a small set of
+// recurring sparsity patterns (one per circuit/scenario family) and solve
+// concurrently. Acquire hands each caller a private Factorization for its
+// matrix — refreshed through the cheap Refactor path when a cached
+// factorization with the same pattern is idle, or built with a full Factor
+// on a miss — so solves never contend and transient sequences hit the
+// fast path almost always.
+//
+// Typical serving loop:
+//
+//	lease, err := pool.Acquire(a) // Refactor hit or Factor miss
+//	if err != nil { ... }
+//	lease.Solve(b)
+//	lease.Release() // return the factorization for the next same-pattern call
+type Pool struct {
+	solver  *Solver
+	maxIdle int
+
+	mu     sync.Mutex
+	idle   map[uint64][]*poolEntry
+	hits   uint64
+	misses uint64
+}
+
+type poolEntry struct {
+	f *Factorization
+	// The pattern of the matrix first factored, for exact verification
+	// behind the hash key (Refactor requires identical structure).
+	colptr, rowidx []int
+	key            uint64
+}
+
+// PoolOptions configures a Pool.
+type PoolOptions struct {
+	// Options configures the underlying solver used for cache misses.
+	Options
+	// MaxIdlePerPattern caps how many idle factorizations are retained per
+	// sparsity pattern; 0 selects the default (16), negative is unlimited.
+	MaxIdlePerPattern int
+}
+
+// NewPool returns an empty factorization pool.
+func NewPool(opts PoolOptions) *Pool {
+	maxIdle := opts.MaxIdlePerPattern
+	switch {
+	case maxIdle == 0:
+		maxIdle = 16
+	case maxIdle < 0:
+		maxIdle = 1 << 30
+	}
+	return &Pool{
+		solver:  New(opts.Options),
+		maxIdle: maxIdle,
+		idle:    map[uint64][]*poolEntry{},
+	}
+}
+
+// Lease is a Factorization checked out of a Pool. Release returns it; a
+// leased factorization is private to the caller until then.
+type Lease struct {
+	*Factorization
+	pool  *Pool
+	entry *poolEntry
+}
+
+// Acquire returns a factorization of a, reusing an idle same-pattern
+// factorization via Refactor when one is cached and running a full Factor
+// otherwise. Safe for concurrent use; the numeric work happens outside the
+// pool lock.
+func (p *Pool) Acquire(a *Matrix) (*Lease, error) {
+	key := patternKey(a)
+	p.mu.Lock()
+	var entry *poolEntry
+	bucket := p.idle[key]
+	for i, e := range bucket {
+		if samePattern(e, a) {
+			last := len(bucket) - 1
+			bucket[i] = bucket[last]
+			p.idle[key] = bucket[:last]
+			entry = e
+			break
+		}
+	}
+	p.mu.Unlock()
+
+	if entry != nil {
+		if err := entry.f.Refactor(a); err != nil {
+			// A same-pattern matrix whose values defeat the cached pivot
+			// sequence: fall back to a fresh factorization (new pivots).
+			return p.factorMiss(a, key)
+		}
+		p.mu.Lock()
+		p.hits++
+		p.mu.Unlock()
+		return &Lease{Factorization: entry.f, pool: p, entry: entry}, nil
+	}
+	return p.factorMiss(a, key)
+}
+
+func (p *Pool) factorMiss(a *Matrix, key uint64) (*Lease, error) {
+	p.mu.Lock()
+	p.misses++
+	p.mu.Unlock()
+	f, err := p.solver.Factor(a)
+	if err != nil {
+		return nil, err
+	}
+	entry := &poolEntry{
+		f: f,
+		// Copy the pattern rather than aliasing the caller's buffers, so a
+		// caller that restamps its matrix in place cannot corrupt the
+		// verification behind the hash key.
+		colptr: append([]int(nil), a.Colptr...),
+		rowidx: append([]int(nil), a.Rowidx...),
+		key:    key,
+	}
+	return &Lease{Factorization: f, pool: p, entry: entry}, nil
+}
+
+// Release returns the lease's factorization to the pool for reuse by the
+// next same-pattern Acquire. Releasing twice is a bug; the factorization
+// must not be used after Release.
+func (l *Lease) Release() {
+	p := l.pool
+	p.mu.Lock()
+	if len(p.idle[l.entry.key]) < p.maxIdle {
+		p.idle[l.entry.key] = append(p.idle[l.entry.key], l.entry)
+	}
+	p.mu.Unlock()
+}
+
+// Solve factors (or refactors) a and solves A·x = b in place — the
+// one-call serving path: Acquire, Solve, Release.
+func (p *Pool) Solve(a *Matrix, b []float64) error {
+	lease, err := p.Acquire(a)
+	if err != nil {
+		return err
+	}
+	lease.Solve(b)
+	lease.Release()
+	return nil
+}
+
+// SolveMany is Pool.Solve for a batch of right-hand sides.
+func (p *Pool) SolveMany(a *Matrix, bs [][]float64) error {
+	lease, err := p.Acquire(a)
+	if err != nil {
+		return err
+	}
+	lease.SolveMany(bs)
+	lease.Release()
+	return nil
+}
+
+// PoolStats reports cache effectiveness counters.
+type PoolStats struct {
+	// Hits counts Acquires served through the Refactor fast path.
+	Hits uint64
+	// Misses counts Acquires that ran a full Factor, including fallbacks
+	// from a cached factorization whose pivot sequence the new values
+	// defeated.
+	Misses uint64
+	// Idle counts factorizations currently cached.
+	Idle int
+}
+
+// Stats snapshots the pool counters.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	idle := 0
+	for _, b := range p.idle {
+		idle += len(b)
+	}
+	return PoolStats{Hits: p.hits, Misses: p.misses, Idle: idle}
+}
+
+// patternKey hashes the sparsity pattern of a (dimensions, column
+// pointers, row indices). Matching keys are verified entry-by-entry
+// before the Refactor fast path is taken.
+func patternKey(a *Matrix) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	word := func(v int) {
+		u := uint64(v)
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(u >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	word(a.M)
+	word(a.N)
+	for _, c := range a.Colptr {
+		word(c)
+	}
+	for _, r := range a.Rowidx {
+		word(r)
+	}
+	return h.Sum64()
+}
+
+func samePattern(e *poolEntry, a *Matrix) bool {
+	if len(e.colptr) != len(a.Colptr) || len(e.rowidx) != len(a.Rowidx) {
+		return false
+	}
+	for i, c := range e.colptr {
+		if a.Colptr[i] != c {
+			return false
+		}
+	}
+	for i, r := range e.rowidx {
+		if a.Rowidx[i] != r {
+			return false
+		}
+	}
+	return true
+}
