@@ -174,8 +174,17 @@ func (f *Factorization) SolveMatrix(x []float64, nrhs int) error {
 
 // Refactor recomputes the numeric factorization for a matrix with the same
 // sparsity pattern, reusing orderings, factor patterns and pivot
-// sequences. This is the fast path of transient simulation. Refactor must
-// not run concurrently with solves on the same Factorization.
+// sequences. This is the fast path of transient simulation: after the
+// first call builds its entry maps, every subsequent call refreshes all
+// numeric values in place with zero allocations, sweeping independent BTF
+// blocks concurrently. A diagonal block whose reused pivot sequence is
+// defeated by the new values is transparently re-pivoted on its own.
+//
+// Refactor must not run concurrently with solves or other Refactor calls
+// on the same Factorization (Refactor between solve batches is fine). If
+// Refactor returns an error, the factorization's numeric values are
+// unspecified and it must not be solved with until a subsequent Refactor
+// succeeds or it is discarded for a fresh Factor.
 func (f *Factorization) Refactor(a *Matrix) error {
 	return wrapErr(f.num.Refactor(a))
 }

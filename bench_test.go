@@ -269,6 +269,67 @@ func BenchmarkXyceSequence(b *testing.B) {
 	})
 }
 
+// ---- PR 2: the zero-allocation refactorization pipeline ----
+
+// BenchmarkRefactor measures the steady-state serial Refactor — the pure
+// numeric-scatter path (no Permute, no ExtractBlock, no goroutines). The
+// acceptance bar is 0 allocs/op once the pipeline is warm.
+func BenchmarkRefactor(b *testing.B) {
+	base := matgen.XyceSequenceBase(benchScale())
+	const steps = 20
+	mats := make([]*sparse.CSC, steps)
+	for t := range mats {
+		mats[t] = matgen.TransientStep(base, t, 777)
+	}
+	num, err := core.FactorDirect(mats[0], core.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm: build the entry maps and grow every pooled buffer.
+	for t := 1; t < 4; t++ {
+		if err := num.Refactor(mats[t]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := num.Refactor(mats[1+i%(steps-1)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRefactorParallel drives the unified scheduler (fine-ND blocks
+// concurrent with the fine-BTF partition); the only steady-state
+// allocations left on this path are the per-sweep goroutine launches.
+func BenchmarkRefactorParallel(b *testing.B) {
+	base := matgen.XyceSequenceBase(benchScale())
+	const steps = 20
+	mats := make([]*sparse.CSC, steps)
+	for t := range mats {
+		mats[t] = matgen.TransientStep(base, t, 777)
+	}
+	opts := core.DefaultOptions()
+	opts.Threads = 8
+	num, err := core.FactorDirect(mats[0], opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for t := 1; t < 4; t++ {
+		if err := num.Refactor(mats[t]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := num.Refactor(mats[1+i%(steps-1)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // ---- §IV: synchronization ablation (wall-clock, real goroutines) ----
 
 func BenchmarkSyncAblation(b *testing.B) {

@@ -5,8 +5,8 @@
 //
 // Usage:
 //
-//	baskerbench -experiment=table1|table2|fig5|fig6a|fig6b|fig7a|fig7b|fig7c|fig8|xyce|sync|geomean|ablation|solve|all
-//	            [-scale=1.0] [-maxcores=16] [-seqlen=200] [-mintime=50ms]
+//	baskerbench -experiment=table1|table2|fig5|fig6a|fig6b|fig7a|fig7b|fig7c|fig8|xyce|sync|geomean|ablation|solve|refactor|all
+//	            [-scale=1.0] [-maxcores=16] [-seqlen=200] [-mintime=50ms] [-refactorjson=BENCH_refactor.json]
 //
 // Absolute numbers differ from the paper (different hardware, matrices
 // scaled down, pure Go); the shapes — who wins, by what factor, where the
@@ -14,6 +14,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
@@ -39,6 +40,8 @@ var (
 	minTime    = flag.Duration("mintime", 50*time.Millisecond, "minimum measuring time per point")
 	simulate   = flag.Bool("simulate", runtime.NumCPU() == 1,
 		"report simulated p-core makespans from per-task timings instead of wall clock (default on single-core hosts; see DESIGN.md)")
+	refactorJSON = flag.String("refactorjson", "BENCH_refactor.json",
+		"output path for the refactor-trajectory JSON (refactor experiment); empty disables the file")
 )
 
 func main() {
@@ -69,6 +72,7 @@ func main() {
 	run("geomean", geomean)
 	run("ablation", ablation)
 	run("solve", solvePhase)
+	run("refactor", refactorTrajectory)
 }
 
 // sweep returns the power-of-two core counts 1..max.
@@ -621,6 +625,101 @@ func ablation() {
 		rows = append(rows, []string{c.name, fmt.Sprintf("%.4f", sec), fmt.Sprintf("%.2e", float64(nnz))})
 	}
 	fmt.Print(perf.Table([]string{"config", "numeric s", "|L+U|"}, rows))
+}
+
+// ---- refactor: the zero-allocation refactorization pipeline ----
+
+// refactorTrajectory measures, per suite matrix, a fresh numeric Factor
+// against the steady-state Refactor fast path, and emits the trajectory as
+// BENCH_refactor.json so future changes to the hot path can be tracked
+// (factor-vs-refactor ratio per matrix plus the geometric mean).
+func refactorTrajectory() {
+	fmt.Println("Refactorization pipeline: numeric Factor vs steady-state Refactor")
+	type point struct {
+		Name        string  `json:"name"`
+		N           int     `json:"n"`
+		Nnz         int     `json:"nnz"`
+		FactorSec   float64 `json:"factor_s"`
+		RefactorSec float64 `json:"refactor_s"`
+		Ratio       float64 `json:"ratio"`
+	}
+	type report struct {
+		Scale        float64 `json:"scale"`
+		Threads      int     `json:"threads"`
+		Matrices     []point `json:"matrices"`
+		GeomeanRatio float64 `json:"geomean_ratio"`
+	}
+	rep := report{Scale: *scale, Threads: *maxCores}
+	var rows [][]string
+	var ratios []float64
+	for _, m := range matgen.TableISuite(*scale) {
+		a := m.Gen()
+		opts := core.DefaultOptions()
+		opts.Threads = *maxCores
+		sym, err := core.Analyze(a, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: analyze failed: %v\n", m.Name, err)
+			continue
+		}
+		num, err := core.Factor(a, sym)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: factor failed: %v\n", m.Name, err)
+			continue
+		}
+		steps := make([]*sparse.CSC, 4)
+		warmOK := true
+		for t := range steps {
+			steps[t] = matgen.TransientStep(a, t+1, 777)
+			if err := num.Refactor(steps[t]); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: warm refactor failed: %v\n", m.Name, err)
+				warmOK = false
+				break
+			}
+		}
+		if !warmOK {
+			continue
+		}
+		factorSec := perf.Time(*minTime, func() {
+			if _, err := core.Factor(a, sym); err != nil {
+				panic(err)
+			}
+		})
+		i := 0
+		refactorSec := perf.Time(*minTime, func() {
+			if err := num.Refactor(steps[i%len(steps)]); err != nil {
+				panic(err)
+			}
+			i++
+		})
+		ratio := factorSec / refactorSec
+		ratios = append(ratios, ratio)
+		rep.Matrices = append(rep.Matrices, point{
+			Name: m.Name, N: a.N, Nnz: a.Nnz(),
+			FactorSec: factorSec, RefactorSec: refactorSec, Ratio: ratio,
+		})
+		rows = append(rows, []string{
+			m.Name,
+			fmt.Sprintf("%.1f", factorSec*1e6),
+			fmt.Sprintf("%.1f", refactorSec*1e6),
+			fmt.Sprintf("%.2fx", ratio),
+		})
+	}
+	fmt.Print(perf.Table([]string{"Matrix", "factor us", "refactor us", "factor/refactor"}, rows))
+	rep.GeomeanRatio = perf.GeoMean(ratios)
+	fmt.Printf("  geo-mean factor/refactor ratio: %.2fx over %d matrices\n", rep.GeomeanRatio, len(ratios))
+	if *refactorJSON == "" {
+		return
+	}
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "refactor json:", err)
+		return
+	}
+	if err := os.WriteFile(*refactorJSON, append(blob, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "refactor json:", err)
+		return
+	}
+	fmt.Printf("  trajectory written to %s\n", *refactorJSON)
 }
 
 // ---- solve phase: the concurrent solve subsystem (internal/trisolve) ----

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/etree"
@@ -100,6 +102,87 @@ type Numeric struct {
 	// blocks; ndSim accumulates the simulated makespans of the ND engines.
 	btfBusy []float64
 	ndSim   float64
+
+	// pipe is the numeric-scatter refactorization pipeline, built on the
+	// first Refactor call and reused for every subsequent same-pattern
+	// refresh (entry maps, cached diagonal blocks, pooled workspaces, the
+	// resettable completion fabric).
+	pipe *refactorPipeline
+	// hooks instruments the refactor scheduler for tests (nil in production).
+	hooks *refactorHooks
+}
+
+// refactorPipeline holds everything a steady-state Refactor needs so the
+// hot loop is a pure value gather plus per-block numeric refreshes:
+// no Permute, no ExtractBlock, no allocation.
+type refactorPipeline struct {
+	// permMap sends entry t of the permuted matrix to its source entry in
+	// the caller's CSC (built by sparse.PermuteWithMap).
+	permMap []int
+	// smallSub/smallSrc cache each small diagonal block and its entry map
+	// into the permuted matrix.
+	smallSub []*sparse.CSC
+	smallSrc [][]int
+	// ws[t] is fine-BTF worker t's pooled Gilbert–Peierls workspace.
+	ws []*gp.Workspace
+	// sig has one completion slot per coarse block; the driver joins the
+	// sweep point-to-point on this fabric (the refactor-side reuse of the
+	// Signals design) and it is reset, never reallocated, between sweeps.
+	sig *EpochSignals
+	// errs[blk] records a failed block refresh; reset each sweep.
+	errs []error
+	// changed reports that a fallback replaced a block's factors this
+	// sweep, so |L+U| must be recounted.
+	changed atomic.Bool
+	// unowned lists coarse blocks no scheduler worker covers (empty in
+	// practice: every small block is partitioned and every ND block is
+	// launched); the parallel sweep refreshes them inline before starting
+	// workers so the point-to-point join can never deadlock.
+	unowned []int
+	// colptr/rowidx are a private copy of the analyzed pattern, verified
+	// against every caller matrix before its values are gathered: a
+	// same-size different-pattern matrix must fail loudly, never scatter
+	// into the wrong positions. The check is a flat integer compare —
+	// cheaper than the value gather it guards.
+	colptr []int
+	rowidx []int
+}
+
+// checkPattern verifies a's sparsity structure against the analyzed one.
+func (pipe *refactorPipeline) checkPattern(a *sparse.CSC) error {
+	if a.Nnz() != len(pipe.rowidx) {
+		return fmt.Errorf("core: refactor pattern mismatch: %d entries, analyzed %d", a.Nnz(), len(pipe.rowidx))
+	}
+	for j, c := range pipe.colptr {
+		if a.Colptr[j] != c {
+			return fmt.Errorf("core: refactor pattern mismatch in column %d", j-1)
+		}
+	}
+	for t, r := range pipe.rowidx {
+		if a.Rowidx[t] != r {
+			return fmt.Errorf("core: refactor pattern mismatch at entry %d", t)
+		}
+	}
+	return nil
+}
+
+// refactorHooks observes the refactor scheduler; used by tests to prove
+// that ND blocks and fine-BTF blocks are processed concurrently.
+type refactorHooks struct {
+	blockStart func(blk int, nd bool)
+	blockDone  func(blk int, nd bool)
+}
+
+func (num *Numeric) hookStart(blk int, nd bool) {
+	if num.hooks != nil && num.hooks.blockStart != nil {
+		num.hooks.blockStart(blk, nd)
+	}
+}
+
+func (num *Numeric) hookDone(blk int, nd bool) {
+	if num.hooks != nil && num.hooks.blockDone != nil {
+		num.hooks.blockDone(blk, nd)
+	}
 }
 
 // SimulatedSeconds reports the numeric-factorization makespan of the static
@@ -300,33 +383,10 @@ func analyzeND(sym *Symbolic, b *sparse.CSC, blk, r0, r1 int, rowPerm, colPerm [
 	return nil
 }
 
-// Factor numerically factors a with a prior analysis.
+// Factor numerically factors a with a prior analysis. All numeric state is
+// built fresh and returned only on success, so a failed Factor never leaves
+// a partially mutated Numeric behind.
 func Factor(a *sparse.CSC, sym *Symbolic) (*Numeric, error) {
-	return factorOrRefactor(a, sym, nil)
-}
-
-// FactorDirect is the one-shot Analyze+Factor.
-func FactorDirect(a *sparse.CSC, opts Options) (*Numeric, error) {
-	sym, err := Analyze(a, opts)
-	if err != nil {
-		return nil, err
-	}
-	return Factor(a, sym)
-}
-
-// Refactor recomputes numeric values for a same-pattern matrix, reusing
-// the symbolic analysis and all diagonal-block pivot sequences — the
-// operation the Xyce transient sequence repeats thousands of times.
-func (num *Numeric) Refactor(a *sparse.CSC) error {
-	fresh, err := factorOrRefactor(a, num.Sym, num)
-	if err != nil {
-		return err
-	}
-	*num = *fresh
-	return nil
-}
-
-func factorOrRefactor(a *sparse.CSC, sym *Symbolic, prev *Numeric) (*Numeric, error) {
 	if a.N != sym.N || a.M != sym.N {
 		return nil, fmt.Errorf("core: dimension mismatch with symbolic analysis")
 	}
@@ -335,9 +395,6 @@ func factorOrRefactor(a *sparse.CSC, sym *Symbolic, prev *Numeric) (*Numeric, er
 	num.small = make([]*gp.Factors, sym.NumBlocks())
 	num.nd = make([]*ndNum, sym.NumBlocks())
 	num.btfBusy = make([]float64, sym.Opts.threads())
-	if prev != nil {
-		copy(num.small, prev.small)
-	}
 
 	// ---- Fine-BTF numeric: embarrassingly parallel over the thread
 	// partition (each thread factors its assigned small blocks).
@@ -356,15 +413,6 @@ func factorOrRefactor(a *sparse.CSC, sym *Symbolic, prev *Numeric) (*Numeric, er
 				r0, r1 := sym.BlockPtr[blk], sym.BlockPtr[blk+1]
 				sub := b.ExtractBlock(r0, r1, r0, r1)
 				t0 := time.Now()
-				if prev != nil && num.small[blk] != nil {
-					err := num.small[blk].Refactor(sub, ws)
-					num.btfBusy[t] += time.Since(t0).Seconds()
-					if err != nil {
-						errs[t] = fmt.Errorf("core: refactor small block %d: %w", blk, err)
-						return
-					}
-					continue
-				}
 				f, err := gp.Factor(sub, sym.estNnz[blk], gp.Options{PivotTol: sym.Opts.PivotTol}, ws)
 				num.btfBusy[t] += time.Since(t0).Seconds()
 				if err != nil {
@@ -389,11 +437,7 @@ func factorOrRefactor(a *sparse.CSC, sym *Symbolic, prev *Numeric) (*Numeric, er
 		}
 		r0, r1 := sym.BlockPtr[blk], sym.BlockPtr[blk+1]
 		d := b.ExtractBlock(r0, r1, r0, r1)
-		var prevND *ndNum
-		if prev != nil {
-			prevND = prev.nd[blk]
-		}
-		ndn, err := factorND(d, sym.ndsym[blk], sym.Opts, prevND)
+		ndn, err := factorND(d, sym.ndsym[blk], sym.Opts)
 		if err != nil {
 			return nil, fmt.Errorf("core: nd block %d: %w", blk, err)
 		}
@@ -403,6 +447,252 @@ func factorOrRefactor(a *sparse.CSC, sym *Symbolic, prev *Numeric) (*Numeric, er
 	}
 	num.nnzLU = num.countNnzLU()
 	return num, nil
+}
+
+// FactorDirect is the one-shot Analyze+Factor.
+func FactorDirect(a *sparse.CSC, opts Options) (*Numeric, error) {
+	sym, err := Analyze(a, opts)
+	if err != nil {
+		return nil, err
+	}
+	return Factor(a, sym)
+}
+
+// Refactor recomputes numeric values for a same-pattern matrix, reusing the
+// symbolic analysis and all diagonal-block pivot sequences — the operation
+// the Xyce transient sequence repeats thousands of times.
+//
+// The first call builds the numeric-scatter pipeline (entry maps from the
+// caller's CSC into the permuted storage and every diagonal block, pooled
+// per-worker workspaces, a resettable completion fabric); it is published
+// into the Numeric only once fully built. Every subsequent call is a pure
+// value gather plus per-block numeric refreshes — zero allocations in
+// steady state — with all coarse blocks swept by one unified scheduler, so
+// fine-ND blocks refactor concurrently with the fine-BTF partition. A small
+// block whose reused pivot drifts to zero (gp.ErrSingular) falls back to a
+// fresh pivoting factorization of that block alone; fine-ND blocks fall
+// back to a fresh parallel factorization of that block. Replacement factors
+// are published into the Numeric only after they are completely built.
+//
+// Exclusion contract: Refactor must not run concurrently with any solve or
+// other Refactor on this Numeric (values are refreshed in place). If
+// Refactor returns an error, the numeric values are unspecified: the
+// factorization must not be used for solves until a subsequent Refactor or
+// a fresh Factor succeeds; its structure remains intact, so retrying is
+// permitted.
+func (num *Numeric) Refactor(a *sparse.CSC) error {
+	sym := num.Sym
+	if a.N != sym.N || a.M != sym.N {
+		return fmt.Errorf("core: dimension mismatch with symbolic analysis")
+	}
+	if num.pipe == nil {
+		pipe, err := num.buildPipeline(a)
+		if err != nil {
+			return err
+		}
+		num.pipe = pipe
+	}
+	pipe := num.pipe
+	if err := pipe.checkPattern(a); err != nil {
+		return err
+	}
+	// Value gather: the caller's CSC lands directly in permuted storage.
+	sparse.PermuteInto(num.Perm, a, pipe.permMap)
+	for i := range pipe.errs {
+		pipe.errs[i] = nil
+	}
+	for t := range num.btfBusy {
+		num.btfBusy[t] = 0
+	}
+	num.SyncWaits = 0
+	num.ndSim = 0
+	pipe.sig.Reset()
+	nt := sym.Opts.threads()
+	if nt == 1 {
+		for blk := 0; blk < sym.NumBlocks(); blk++ {
+			num.refactorBlock(blk, 0)
+		}
+	} else {
+		num.refactorParallel(nt)
+	}
+	for _, err := range pipe.errs {
+		if err != nil {
+			return err
+		}
+	}
+	for blk := 0; blk < sym.NumBlocks(); blk++ {
+		if sym.kind[blk] == blockND {
+			num.SyncWaits += num.nd[blk].SyncWaits
+			num.ndSim += num.nd[blk].simSeconds()
+		}
+	}
+	if pipe.changed.Load() {
+		num.nnzLU = num.countNnzLU()
+		pipe.changed.Store(false)
+	}
+	return nil
+}
+
+// buildPipeline constructs the refactorization pipeline from the first
+// same-pattern matrix, verifying that its pattern matches the factored one.
+// The pipeline is returned fully built (the caller publishes it with one
+// assignment), so a failed build leaves the Numeric untouched.
+func (num *Numeric) buildPipeline(a *sparse.CSC) (*refactorPipeline, error) {
+	sym := num.Sym
+	b, permMap := a.PermuteWithMap(sym.RowPerm, sym.ColPerm)
+	if b.Nnz() != num.Perm.Nnz() {
+		return nil, fmt.Errorf("core: refactor pattern mismatch: %d entries, analyzed %d", b.Nnz(), num.Perm.Nnz())
+	}
+	for j := 0; j <= sym.N; j++ {
+		if b.Colptr[j] != num.Perm.Colptr[j] {
+			return nil, fmt.Errorf("core: refactor pattern mismatch in column %d", j-1)
+		}
+	}
+	for t, r := range b.Rowidx {
+		if r != num.Perm.Rowidx[t] {
+			return nil, fmt.Errorf("core: refactor pattern mismatch at entry %d", t)
+		}
+	}
+	nblocks := sym.NumBlocks()
+	pipe := &refactorPipeline{
+		permMap:  permMap,
+		smallSub: make([]*sparse.CSC, nblocks),
+		smallSrc: make([][]int, nblocks),
+		sig:      NewEpochSignals(nblocks),
+		errs:     make([]error, nblocks),
+		colptr:   append([]int(nil), a.Colptr...),
+		rowidx:   append([]int(nil), a.Rowidx...),
+	}
+	maxSmall := 1
+	for blk := 0; blk < nblocks; blk++ {
+		r0, r1 := sym.BlockPtr[blk], sym.BlockPtr[blk+1]
+		switch sym.kind[blk] {
+		case blockSmall:
+			sub, src := num.Perm.ExtractBlockWithMap(r0, r1, r0, r1)
+			pipe.smallSub[blk] = sub
+			pipe.smallSrc[blk] = src
+			if r1-r0 > maxSmall {
+				maxSmall = r1 - r0
+			}
+		case blockND:
+			num.nd[blk].ensureRefactorState(num.Perm, r0)
+		}
+	}
+	nt := sym.Opts.threads()
+	pipe.ws = make([]*gp.Workspace, nt)
+	for t := 0; t < nt; t++ {
+		pipe.ws[t] = gp.NewWorkspace(maxSmall)
+	}
+	owned := make([]bool, nblocks)
+	for blk := 0; blk < nblocks; blk++ {
+		if sym.kind[blk] == blockND {
+			owned[blk] = true
+		}
+	}
+	for t := 0; t < nt; t++ {
+		for _, blk := range sym.partition[t] {
+			owned[blk] = true
+		}
+	}
+	for blk, l := range owned {
+		if !l {
+			pipe.unowned = append(pipe.unowned, blk)
+		}
+	}
+	return pipe, nil
+}
+
+// refactorParallel is the unified refactor scheduler: every fine-ND block
+// gets its own cooperative parallel region and the fine-BTF partition runs
+// on its flop-balanced worker sweeps (Algorithm 2), all concurrently. The
+// driver joins the sweep point-to-point on the per-block completion fabric
+// rather than with a barrier, so independent ND blocks overlap both each
+// other and the small-block sweeps.
+func (num *Numeric) refactorParallel(nt int) {
+	sym := num.Sym
+	pipe := num.pipe
+	// Blocks no worker owns (none in practice) are refreshed inline before
+	// any worker starts, so the join below cannot deadlock and worker 0's
+	// workspace is never shared with a live goroutine.
+	for _, blk := range pipe.unowned {
+		num.refactorBlock(blk, 0)
+	}
+	for blk := 0; blk < sym.NumBlocks(); blk++ {
+		if sym.kind[blk] != blockND {
+			continue
+		}
+		go func(blk int) {
+			num.refactorBlock(blk, 0)
+		}(blk)
+	}
+	for t := 0; t < nt; t++ {
+		if len(sym.partition[t]) == 0 {
+			continue
+		}
+		go func(t int) {
+			for _, blk := range sym.partition[t] {
+				num.refactorBlock(blk, t)
+			}
+		}(t)
+	}
+	for blk := 0; blk < sym.NumBlocks(); blk++ {
+		pipe.sig.Wait(blk)
+	}
+}
+
+// refactorBlock refreshes one coarse block in place (worker index t selects
+// the pooled fine-BTF workspace and timing slot) and signals its completion
+// slot. A reused pivot sequence defeated by the new values (gp.ErrSingular)
+// triggers a per-block fallback to a fresh pivoting factorization; the
+// replacement is published only after it is fully built, and the sweep
+// carries on with the remaining blocks.
+func (num *Numeric) refactorBlock(blk, t int) {
+	sym := num.Sym
+	pipe := num.pipe
+	switch sym.kind[blk] {
+	case blockSmall:
+		num.hookStart(blk, false)
+		sub := pipe.smallSub[blk]
+		sparse.ExtractBlockInto(sub, num.Perm, pipe.smallSrc[blk])
+		t0 := time.Now()
+		err := num.small[blk].Refactor(sub, pipe.ws[t])
+		if err != nil && errors.Is(err, gp.ErrSingular) {
+			// Pivot drift: re-pivot this block alone.
+			var f *gp.Factors
+			f, err = gp.Factor(sub, sym.estNnz[blk], gp.Options{PivotTol: sym.Opts.PivotTol}, pipe.ws[t])
+			if err == nil {
+				num.small[blk] = f
+				pipe.changed.Store(true)
+			}
+		}
+		num.btfBusy[t] += time.Since(t0).Seconds()
+		if err != nil {
+			pipe.errs[blk] = fmt.Errorf("core: refactor small block %d: %w", blk, err)
+		}
+		num.hookDone(blk, false)
+		pipe.sig.Set(blk)
+	case blockND:
+		num.hookStart(blk, true)
+		r0, r1 := sym.BlockPtr[blk], sym.BlockPtr[blk+1]
+		err := num.nd[blk].refactorInPlace(num.Perm, r0)
+		if err != nil && errors.Is(err, gp.ErrSingular) {
+			// Pivot drift inside the 2D hierarchy: rebuild this coarse
+			// block with a fresh parallel factorization (new pivots).
+			d := num.Perm.ExtractBlock(r0, r1, r0, r1)
+			var fresh *ndNum
+			fresh, err = factorND(d, sym.ndsym[blk], sym.Opts)
+			if err == nil {
+				fresh.ensureRefactorState(num.Perm, r0)
+				num.nd[blk] = fresh
+				pipe.changed.Store(true)
+			}
+		}
+		if err != nil {
+			pipe.errs[blk] = fmt.Errorf("core: refactor nd block %d: %w", blk, err)
+		}
+		num.hookDone(blk, true)
+		pipe.sig.Set(blk)
+	}
 }
 
 // Solve solves A x = rhs in place. It allocates its scratch; concurrent

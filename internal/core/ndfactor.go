@@ -105,11 +105,19 @@ type ndNum struct {
 	upper [][]*sparse.CSC
 	// a[I][J] holds the permuted input blocks for every coupled pair.
 	a [][]*sparse.CSC
+	// red[I][J] caches the reduced blocks Â_IJ = A_IJ − Σ L·U wherever a
+	// reduction feeds a kernel, so the in-place refactorization sweep can
+	// refresh their values over the same (structural) patterns the first
+	// factorization discovered.
+	red [][]*sparse.CSC
 
-	opts   Options
-	flags  *blockFlags
-	barr   *barrier
-	refact bool
+	opts  Options
+	flags *blockFlags
+	barr  *barrier
+	// re holds the reusable state of the in-place refactorization sweep
+	// (entry maps into the permuted matrix, pooled per-worker workspaces,
+	// the resettable epoch flag fabric). Built on the first Refactor.
+	re *ndRefactor
 
 	errMu    sync.Mutex
 	firstErr error
@@ -157,10 +165,12 @@ func (num *ndNum) extractBlocks(d *sparse.CSC) {
 	num.a = make([][]*sparse.CSC, nb)
 	num.lower = make([][]*sparse.CSC, nb)
 	num.upper = make([][]*sparse.CSC, nb)
+	num.red = make([][]*sparse.CSC, nb)
 	for i := 0; i < nb; i++ {
 		num.a[i] = make([]*sparse.CSC, nb)
 		num.lower[i] = make([]*sparse.CSC, nb)
 		num.upper[i] = make([]*sparse.CSC, nb)
+		num.red[i] = make([]*sparse.CSC, nb)
 	}
 	for j := 0; j < nb; j++ {
 		c0, c1 := s.blockRange(j)
@@ -182,15 +192,10 @@ func (num *ndNum) extractBlocks(d *sparse.CSC) {
 // factorND runs the parallel numeric factorization of one fine-ND block
 // (Algorithm 4 at block granularity; column-level interleaving is replaced
 // by per-block point-to-point flags, which preserves the dependency
-// structure of the paper's dependency tree).
-func factorND(d *sparse.CSC, sym *ndSym, opts Options, prev *ndNum) (*ndNum, error) {
-	num := prev
-	refact := prev != nil
-	if num == nil {
-		num = &ndNum{sym: sym, n: d.N, opts: opts, diag: make([]*gp.Factors, sym.nb)}
-	}
-	num.refact = refact
-	num.opts = opts
+// structure of the paper's dependency tree). Same-pattern numeric
+// refreshes go through refactorInPlace instead.
+func factorND(d *sparse.CSC, sym *ndSym, opts Options) (*ndNum, error) {
+	num := &ndNum{sym: sym, n: d.N, opts: opts, diag: make([]*gp.Factors, sym.nb)}
 	num.extractBlocks(d)
 	num.flags = newBlockFlags(sym.nb)
 	num.phaseDur = make([][]float64, sym.p)
@@ -287,7 +292,7 @@ func (num *ndNum) worker(t int) {
 		j := ancestorAtHeight(s, leaf, slevel)
 		// Step A (treelevel 0): my leaf's upper block U_{leaf,j}.
 		ok = compute(func() error {
-			num.upper[leaf][j] = num.solveUpper(leaf, num.a[leaf][j], nil, nil, ws, mark, &tag, acc)
+			num.upper[leaf][j] = num.solveUpper(leaf, num.a[leaf][j], ws)
 			num.flags.set(leaf, j)
 			return nil
 		})
@@ -305,7 +310,12 @@ func (num *ndNum) worker(t int) {
 					return
 				}
 				if !compute(func() error {
-					num.upper[k][j] = num.solveUpper(k, num.a[k][j], lows, ups, ws, mark, &tag, acc)
+					ahat := num.a[k][j]
+					if len(lows) > 0 {
+						ahat = reduceBlock(num.a[k][j], lows, ups, mark, &tag, acc)
+						num.red[k][j] = ahat
+					}
+					num.upper[k][j] = num.solveUpper(k, ahat, ws)
 					num.flags.set(k, j)
 					return nil
 				}) {
@@ -326,7 +336,11 @@ func (num *ndNum) worker(t int) {
 				return
 			}
 			if !compute(func() error {
-				ahat := reduceBlock(num.a[j][j], lows, ups, mark, &tag, acc)
+				ahat := num.a[j][j]
+				if len(lows) > 0 {
+					ahat = reduceBlock(num.a[j][j], lows, ups, mark, &tag, acc)
+					num.red[j][j] = ahat
+				}
 				if err := num.factorDiag(j, ahat, ws); err != nil {
 					return err
 				}
@@ -357,7 +371,11 @@ func (num *ndNum) worker(t int) {
 				return
 			}
 			if !compute(func() error {
-				ahat := reduceBlock(num.a[i][j], lows, ups, mark, &tag, acc)
+				ahat := num.a[i][j]
+				if len(lows) > 0 {
+					ahat = reduceBlock(num.a[i][j], lows, ups, mark, &tag, acc)
+					num.red[i][j] = ahat
+				}
 				num.lower[i][j] = num.diag[j].LowerBlockSolve(ahat, mark, &tag, acc)
 				num.flags.set(i, j)
 				return nil
@@ -373,14 +391,8 @@ func (num *ndNum) worker(t int) {
 	}
 }
 
-// factorDiag factors (or refactors) diagonal block b from matrix m.
+// factorDiag factors diagonal block b from matrix m.
 func (num *ndNum) factorDiag(b int, m *sparse.CSC, ws *gp.Workspace) error {
-	if num.refact && num.diag[b] != nil {
-		if err := num.diag[b].Refactor(m, ws); err != nil {
-			return fmt.Errorf("core: nd refactor diag block %d: %w", b, err)
-		}
-		return nil
-	}
 	hint := 0
 	if num.sym.est != nil {
 		hint = num.sym.est.diagNnz[b]
@@ -428,13 +440,12 @@ func (num *ndNum) gatherRowReduction(i, j int) (lows, ups []*sparse.CSC, ok bool
 	return lows, ups, true
 }
 
-// solveUpper computes U_kj = L_kk⁻¹ P_k (A_kj − Σ L·U) column by column
-// with Gilbert–Peierls pattern discovery.
-func (num *ndNum) solveUpper(k int, a0 *sparse.CSC, lows, ups []*sparse.CSC, ws *gp.Workspace, mark []int, tagp *int, acc []float64) *sparse.CSC {
-	ahat := a0
-	if len(lows) > 0 {
-		ahat = reduceBlock(a0, lows, ups, mark, tagp, acc)
-	}
+// solveUpper computes U_kj = L_kk⁻¹ P_k Â_kj column by column with
+// Gilbert–Peierls pattern discovery (the caller supplies the reduced block
+// ahat). The output pattern is the structural DFS reach — exact-zero values
+// are kept — so a same-pattern refactorization can refresh the block's
+// values in place with gp.RefactorUpperBlock.
+func (num *ndNum) solveUpper(k int, ahat *sparse.CSC, ws *gp.Workspace) *sparse.CSC {
 	f := num.diag[k]
 	out := sparse.NewCSC(ahat.M, ahat.N, ahat.Nnz()*2)
 	for c := 0; c < ahat.N; c++ {
@@ -444,10 +455,8 @@ func (num *ndNum) solveUpper(k int, a0 *sparse.CSC, lows, ups []*sparse.CSC, ws 
 		// Copy out sorted.
 		start := len(out.Rowidx)
 		for _, r := range patt {
-			if v := ws.X[r]; v != 0 {
-				out.Rowidx = append(out.Rowidx, r)
-				out.Values = append(out.Values, v)
-			}
+			out.Rowidx = append(out.Rowidx, r)
+			out.Values = append(out.Values, ws.X[r])
 		}
 		gp.ClearSparse(ws, patt)
 		sortColumnSegment(out.Rowidx[start:], out.Values[start:])
@@ -458,7 +467,9 @@ func (num *ndNum) solveUpper(k int, a0 *sparse.CSC, lows, ups []*sparse.CSC, ws 
 
 // reduceBlock assembles Â = A0 − Σ_t lows[t]·ups[t] as a fresh CSC with
 // sorted columns. A0 may be nil (treated as zero) when a block has no
-// original entries.
+// original entries. The output pattern is structural (the union of the
+// contributing patterns, independent of the values), the invariant
+// reduceBlockInto relies on to refresh the same block in place.
 func reduceBlock(a0 *sparse.CSC, lows, ups []*sparse.CSC, mark []int, tagp *int, acc []float64) *sparse.CSC {
 	m, n := 0, 0
 	if a0 != nil {
@@ -491,9 +502,6 @@ func reduceBlock(a0 *sparse.CSC, lows, ups []*sparse.CSC, mark []int, tagp *int,
 			for p := up.Colptr[c]; p < up.Colptr[c+1]; p++ {
 				k := up.Rowidx[p]
 				ukc := up.Values[p]
-				if ukc == 0 {
-					continue
-				}
 				for q := lo.Colptr[k]; q < lo.Colptr[k+1]; q++ {
 					i := lo.Rowidx[q]
 					if mark[i] != tag {

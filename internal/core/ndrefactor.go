@@ -1,0 +1,335 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/gp"
+	"repro/internal/sparse"
+)
+
+// ndRefactor is the reusable state of a fine-ND block's in-place
+// refactorization sweep, built once on the first Refactor:
+//
+//   - aSrc[i][j] maps every entry of the cached input block a[i][j]
+//     directly to its position in the globally permuted matrix, so
+//     refreshing the 2D hierarchy is a pure value gather (no ExtractBlock);
+//   - flags is the resettable epoch variant of the point-to-point Signals
+//     fabric, so repeated sweeps allocate no synchronization state;
+//   - wss/accs/lowsBuf/upsBuf are the pooled per-worker workspaces the
+//     refactor kernels (gp.Refactor, RefactorLowerBlock,
+//     RefactorUpperBlock, reduceBlockInto) draw from.
+type ndRefactor struct {
+	aSrc  [][][]int
+	flags *epochBlockFlags
+
+	wss  []*gp.Workspace
+	accs [][]float64
+	// Per-worker reduction gather buffers, reused across sweeps.
+	lowsBuf [][]*sparse.CSC
+	upsBuf  [][]*sparse.CSC
+
+	// lastContended snapshots the flag fabric's cumulative contended-wait
+	// counter so each sweep can report its own SyncWaits delta.
+	lastContended int64
+}
+
+// ensureRefactorState builds the in-place refactor state for this ND block,
+// whose rows/columns occupy [r0, r0+n) of the permuted matrix perm. The
+// cached input blocks are re-extracted with entry maps (identical patterns,
+// refreshed values); subsequent sweeps only gather.
+func (num *ndNum) ensureRefactorState(perm *sparse.CSC, r0 int) {
+	if num.re != nil {
+		return
+	}
+	s := num.sym
+	re := &ndRefactor{
+		aSrc:  make([][][]int, s.nb),
+		flags: newEpochBlockFlags(s.nb),
+	}
+	for i := 0; i < s.nb; i++ {
+		re.aSrc[i] = make([][]int, s.nb)
+	}
+	attach := func(i, j int) {
+		ri0, ri1 := s.blockRange(i)
+		cj0, cj1 := s.blockRange(j)
+		blk, src := perm.ExtractBlockWithMap(r0+ri0, r0+ri1, r0+cj0, r0+cj1)
+		num.a[i][j] = blk
+		re.aSrc[i][j] = src
+	}
+	for j := 0; j < s.nb; j++ {
+		attach(j, j)
+		for _, i := range s.ancestors[j] {
+			attach(i, j)
+		}
+		for i := s.subLo[j]; i < j; i++ {
+			attach(i, j)
+		}
+	}
+	dim := maxBlockDim(s)
+	re.wss = make([]*gp.Workspace, s.p)
+	re.accs = make([][]float64, s.p)
+	re.lowsBuf = make([][]*sparse.CSC, s.p)
+	re.upsBuf = make([][]*sparse.CSC, s.p)
+	for t := 0; t < s.p; t++ {
+		re.wss[t] = gp.NewWorkspace(dim)
+		re.accs[t] = make([]float64, num.n+1)
+	}
+	num.re = re
+}
+
+// refactorInPlace refreshes every numeric value of the 2D factorization for
+// a same-pattern matrix whose values now live in perm (the globally
+// permuted matrix; this block occupies [r0, r0+n)). Pivot sequences and all
+// block patterns are reused; in steady state the sweep performs no
+// allocation. On error (a reused pivot drifted to zero) the values are left
+// partially refreshed — the caller falls back to a fresh factorND.
+func (num *ndNum) refactorInPlace(perm *sparse.CSC, r0 int) error {
+	num.ensureRefactorState(perm, r0)
+	re := num.re
+	s := num.sym
+	for i := 0; i < s.nb; i++ {
+		for j, src := range re.aSrc[i] {
+			if src != nil {
+				sparse.ExtractBlockInto(num.a[i][j], perm, src)
+			}
+		}
+	}
+	re.flags.Reset()
+	num.firstErr = nil
+	for t := range num.phaseDur {
+		num.phaseDur[t] = num.phaseDur[t][:0]
+	}
+	if s.p == 1 {
+		num.refactorWorker(0)
+	} else {
+		var wg sync.WaitGroup
+		for t := 0; t < s.p; t++ {
+			wg.Add(1)
+			go func(t int) {
+				defer wg.Done()
+				num.refactorWorker(t)
+			}(t)
+		}
+		wg.Wait()
+	}
+	total := re.flags.Contended()
+	num.SyncWaits = total - re.lastContended
+	re.lastContended = total
+	return num.firstErr
+}
+
+func (num *ndNum) failRefactor(err error) {
+	num.errMu.Lock()
+	if num.firstErr == nil {
+		num.firstErr = err
+	}
+	num.errMu.Unlock()
+	num.re.flags.fail()
+}
+
+// refactorWorker runs thread t's static schedule of the in-place sweep —
+// the same dependency structure as worker, with every kernel replaced by
+// its fixed-pattern value refresh and every synchronization point on the
+// resettable epoch flags (refactorization always uses point-to-point
+// synchronization; the barrier ablation concerns first factorization).
+// Compute time lands in phaseDur exactly like the factor path, so the
+// simulated-makespan model covers refactorization too.
+func (num *ndNum) refactorWorker(t int) {
+	s := num.sym
+	re := num.re
+	leaf := s.tree.Leaves[t]
+	ws := re.wss[t]
+	acc := re.accs[t]
+	var busy float64
+
+	// ---- treelevel -1: refresh the leaf diagonal and its lower blocks.
+	t0 := time.Now()
+	err := num.diag[leaf].Refactor(num.a[leaf][leaf], ws)
+	if err == nil {
+		re.flags.set(leaf, leaf)
+		for _, i := range s.ancestors[leaf] {
+			num.diag[leaf].RefactorLowerBlock(num.lower[i][leaf], num.a[i][leaf], acc)
+			re.flags.set(i, leaf)
+		}
+	}
+	busy += time.Since(t0).Seconds()
+	num.phaseDur[t] = append(num.phaseDur[t], busy)
+	busy = 0
+	if err != nil {
+		num.failRefactor(fmt.Errorf("core: nd refactor diag block %d: %w", leaf, err))
+		return
+	}
+	if re.flags.Aborted() {
+		return
+	}
+
+	// ---- separator columns, bottom-up (the paper's slevel loop).
+	for slevel := 1; slevel <= s.maxH; slevel++ {
+		j := ancestorAtHeight(s, leaf, slevel)
+		// Step A: my leaf's upper block U_{leaf,j}.
+		t0 = time.Now()
+		num.diag[leaf].RefactorUpperBlock(num.upper[leaf][j], num.a[leaf][j], ws)
+		re.flags.set(leaf, j)
+		busy += time.Since(t0).Seconds()
+		num.phaseDur[t] = append(num.phaseDur[t], busy)
+		busy = 0
+		if re.flags.Aborted() {
+			return
+		}
+		// Step B: internal path nodes I owned by this thread.
+		for h := 1; h < slevel; h++ {
+			k := ancestorAtHeight(s, leaf, h)
+			if s.owner[k] == t {
+				lows, ups, ok := num.gatherReductionEpoch(k, j, t)
+				if !ok {
+					num.phaseDur[t] = append(num.phaseDur[t], busy)
+					return
+				}
+				t0 = time.Now()
+				b := num.a[k][j]
+				if len(lows) > 0 {
+					reduceBlockInto(num.red[k][j], num.a[k][j], lows, ups, acc)
+					b = num.red[k][j]
+				}
+				num.diag[k].RefactorUpperBlock(num.upper[k][j], b, ws)
+				re.flags.set(k, j)
+				busy += time.Since(t0).Seconds()
+			}
+			num.phaseDur[t] = append(num.phaseDur[t], busy)
+			busy = 0
+			if re.flags.Aborted() {
+				return
+			}
+		}
+		// Step C: the diagonal LU_jj by the owner of j.
+		if s.owner[j] == t {
+			lows, ups, ok := num.gatherReductionEpoch(j, j, t)
+			if !ok {
+				num.phaseDur[t] = append(num.phaseDur[t], busy)
+				return
+			}
+			t0 = time.Now()
+			b := num.a[j][j]
+			if len(lows) > 0 {
+				reduceBlockInto(num.red[j][j], num.a[j][j], lows, ups, acc)
+				b = num.red[j][j]
+			}
+			err = num.diag[j].Refactor(b, ws)
+			if err == nil {
+				re.flags.set(j, j)
+			}
+			busy += time.Since(t0).Seconds()
+			if err != nil {
+				num.phaseDur[t] = append(num.phaseDur[t], busy)
+				num.failRefactor(fmt.Errorf("core: nd refactor diag block %d: %w", j, err))
+				return
+			}
+		}
+		num.phaseDur[t] = append(num.phaseDur[t], busy)
+		busy = 0
+		if re.flags.Aborted() {
+			return
+		}
+		// Step D: lower blocks L_ij for ancestors i of j, round-robin over
+		// the threads of subtree(j).
+		if !re.flags.wait(j, j) {
+			return
+		}
+		nsub := s.leafHi[j] - s.leafLo[j] + 1
+		for idx, i := range s.ancestors[j] {
+			if idx%nsub != t-s.leafLo[j] {
+				continue
+			}
+			lows, ups, ok := num.gatherRowReductionEpoch(i, j, t)
+			if !ok {
+				num.phaseDur[t] = append(num.phaseDur[t], busy)
+				return
+			}
+			t0 = time.Now()
+			b := num.a[i][j]
+			if len(lows) > 0 {
+				reduceBlockInto(num.red[i][j], num.a[i][j], lows, ups, acc)
+				b = num.red[i][j]
+			}
+			num.diag[j].RefactorLowerBlock(num.lower[i][j], b, acc)
+			re.flags.set(i, j)
+			busy += time.Since(t0).Seconds()
+		}
+		num.phaseDur[t] = append(num.phaseDur[t], busy)
+		busy = 0
+		if re.flags.Aborted() {
+			return
+		}
+	}
+}
+
+// gatherReductionEpoch mirrors gatherReduction on the epoch flag fabric,
+// collecting into worker t's reusable buffers (no steady-state allocation).
+func (num *ndNum) gatherReductionEpoch(k, j, t int) (lows, ups []*sparse.CSC, ok bool) {
+	s := num.sym
+	re := num.re
+	lows, ups = re.lowsBuf[t][:0], re.upsBuf[t][:0]
+	for kp := s.subLo[k]; kp < k; kp++ {
+		if !re.flags.wait(kp, j) || !re.flags.wait(k, kp) {
+			return lows, ups, false
+		}
+		if num.upper[kp][j] == nil || num.lower[k][kp] == nil {
+			continue
+		}
+		lows = append(lows, num.lower[k][kp])
+		ups = append(ups, num.upper[kp][j])
+	}
+	re.lowsBuf[t], re.upsBuf[t] = lows, ups
+	return lows, ups, true
+}
+
+// gatherRowReductionEpoch mirrors gatherRowReduction on the epoch fabric.
+func (num *ndNum) gatherRowReductionEpoch(i, j, t int) (lows, ups []*sparse.CSC, ok bool) {
+	s := num.sym
+	re := num.re
+	lows, ups = re.lowsBuf[t][:0], re.upsBuf[t][:0]
+	for kp := s.subLo[j]; kp < j; kp++ {
+		if !re.flags.wait(kp, j) || !re.flags.wait(i, kp) {
+			return lows, ups, false
+		}
+		if num.upper[kp][j] == nil || num.lower[i][kp] == nil {
+			continue
+		}
+		lows = append(lows, num.lower[i][kp])
+		ups = append(ups, num.upper[kp][j])
+	}
+	re.lowsBuf[t], re.upsBuf[t] = lows, ups
+	return lows, ups, true
+}
+
+// reduceBlockInto refreshes dst = A0 − Σ_t lows[t]·ups[t] over dst's fixed
+// structural pattern (built by reduceBlock at factorization time from the
+// same contributing patterns), so every touched accumulator index lies in
+// dst's column pattern and comes back clean. Zero allocation.
+func reduceBlockInto(dst, a0 *sparse.CSC, lows, ups []*sparse.CSC, acc []float64) {
+	for c := 0; c < dst.N; c++ {
+		for p := a0.Colptr[c]; p < a0.Colptr[c+1]; p++ {
+			acc[a0.Rowidx[p]] += a0.Values[p]
+		}
+		for t := range lows {
+			lo, up := lows[t], ups[t]
+			for p := up.Colptr[c]; p < up.Colptr[c+1]; p++ {
+				k := up.Rowidx[p]
+				ukc := up.Values[p]
+				if ukc == 0 {
+					continue // refreshed value drifted to zero: no contribution
+				}
+				for q := lo.Colptr[k]; q < lo.Colptr[k+1]; q++ {
+					acc[lo.Rowidx[q]] -= lo.Values[q] * ukc
+				}
+			}
+		}
+		for p := dst.Colptr[c]; p < dst.Colptr[c+1]; p++ {
+			i := dst.Rowidx[p]
+			dst.Values[p] = acc[i]
+			acc[i] = 0
+		}
+	}
+}

@@ -1,0 +1,354 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/gp"
+	"repro/internal/matgen"
+	"repro/internal/sparse"
+)
+
+// relResidual solves A·x = b for a random right-hand side and reports the
+// relative residual ‖A·x̂ − b‖∞ / ‖b‖∞.
+func relResidual(a *sparse.CSC, num *Numeric, seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	n := a.N
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	b := make([]float64, n)
+	a.MulVec(b, x)
+	bn := 0.0
+	for _, v := range b {
+		if v < 0 {
+			v = -v
+		}
+		if v > bn {
+			bn = v
+		}
+	}
+	if bn == 0 {
+		bn = 1
+	}
+	xhat := append([]float64(nil), b...)
+	num.Solve(xhat)
+	r := make([]float64, n)
+	a.MulVec(r, xhat)
+	res := 0.0
+	for i := range r {
+		d := math.Abs(r[i] - b[i])
+		if d > res {
+			res = d
+		}
+	}
+	return res / bn
+}
+
+// TestRefactorSuiteAcrossMatgenClasses is the suite-wide refactor
+// correctness sweep: for every generated matrix class, factor once, perturb
+// the values on the fixed pattern several times, Refactor, and compare the
+// solve residual against a fresh FactorDirect of the same matrix. Threads=4
+// exercises the unified parallel scheduler (and, under -race, concurrent
+// block refreshes).
+func TestRefactorSuiteAcrossMatgenClasses(t *testing.T) {
+	suite := matgen.TableISuite(0.1)
+	suite = append(suite, matgen.TableIISuite(0.12)...)
+	const steps = 3
+	for _, m := range suite {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			base := m.Gen()
+			opts := optsWithThreads(4)
+			num, err := FactorDirect(base, opts)
+			if err != nil {
+				t.Fatalf("factor: %v", err)
+			}
+			for step := 1; step <= steps; step++ {
+				a := matgen.TransientStep(base, step, 4242)
+				if err := num.Refactor(a); err != nil {
+					t.Fatalf("refactor step %d: %v", step, err)
+				}
+				fresh, err := FactorDirect(a, opts)
+				if err != nil {
+					t.Fatalf("fresh factor step %d: %v", step, err)
+				}
+				rres := relResidual(a, num, int64(step))
+				fres := relResidual(a, fresh, int64(step))
+				if rres > 1e-6 && rres > 100*fres {
+					t.Fatalf("step %d: refactor residual %.3e, fresh %.3e", step, rres, fres)
+				}
+			}
+		})
+	}
+}
+
+// TestRefactorSignFlip drives a full sign change through the fixed pattern:
+// the reused pivot sequence stays valid (pivots flip sign but stay
+// nonzero), no fallback is needed, and solves remain accurate.
+func TestRefactorSignFlip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := randCircuit(rng, 350, 0.6)
+	num, err := FactorDirect(a, optsWithThreads(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flipped := a.Clone()
+	for i := range flipped.Values {
+		flipped.Values[i] = -flipped.Values[i]
+	}
+	if err := num.Refactor(flipped); err != nil {
+		t.Fatalf("refactor sign-flipped: %v", err)
+	}
+	solveCheck(t, flipped, num, 1e-7)
+	// And back again.
+	if err := num.Refactor(a); err != nil {
+		t.Fatalf("refactor back: %v", err)
+	}
+	solveCheck(t, a, num, 1e-7)
+}
+
+// TestRefactorSmallBlockPivotFallback drifts a small block's leading pivot
+// to exactly zero. Refactor must not fail: the block falls back to a fresh
+// pivoting factorization (new pivot order) while every other block takes
+// the fast path, and the solve stays correct.
+func TestRefactorSmallBlockPivotFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	a := randCircuit(rng, 300, 0.5)
+	num, err := FactorDirect(a, optsWithThreads(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sym := num.Sym
+	// Find a small block of dimension ≥ 2 whose first local column holds at
+	// least two entries, so partial pivoting has an alternative row.
+	target := -1
+	for blk := 0; blk < sym.NumBlocks(); blk++ {
+		r0, r1 := sym.BlockPtr[blk], sym.BlockPtr[blk+1]
+		if sym.kind[blk] != blockSmall || r1-r0 < 2 {
+			continue
+		}
+		if num.Perm.ExtractBlock(r0, r1, r0, r0+1).Nnz() >= 2 {
+			target = blk
+			break
+		}
+	}
+	if target == -1 {
+		t.Fatal("no suitable small block in test matrix")
+	}
+	r0 := sym.BlockPtr[target]
+	old := num.small[target]
+	// The pivot of the block's first column is the entry at local original
+	// row P[0]; zero it in the caller's coordinates.
+	orow := sym.RowPerm[r0+old.P[0]]
+	ocol := sym.ColPerm[r0]
+	a2 := a.Clone()
+	zeroed := false
+	for p := a2.Colptr[ocol]; p < a2.Colptr[ocol+1]; p++ {
+		if a2.Rowidx[p] == orow {
+			a2.Values[p] = 0
+			zeroed = true
+		}
+	}
+	if !zeroed {
+		t.Fatal("pivot entry not found in original coordinates")
+	}
+	if err := num.Refactor(a2); err != nil {
+		t.Fatalf("refactor with drifted pivot: %v", err)
+	}
+	if num.small[target] == old {
+		t.Fatal("expected the fallback to replace the block's factors")
+	}
+	solveCheck(t, a2, num, 1e-7)
+	// The next same-pattern step rides the fast path on the new pivots.
+	a3 := a2.Clone()
+	for i := range a3.Values {
+		a3.Values[i] *= 1 + 0.05*rng.Float64()
+	}
+	if err := num.Refactor(a3); err != nil {
+		t.Fatalf("refactor after fallback: %v", err)
+	}
+	solveCheck(t, a3, num, 1e-7)
+}
+
+// TestRefactorZeroAllocSteadyState pins the tentpole guarantee: once the
+// pipeline is built, a serial Refactor performs zero allocations — no
+// Permute, no ExtractBlock, no workspace churn — even with a fine-ND block
+// in the matrix.
+func TestRefactorZeroAllocSteadyState(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	base := randCircuit(rng, 400, 0.6)
+	num, err := FactorDirect(base, optsWithThreads(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if num.Sym.NumNDBlocks() == 0 {
+		t.Fatal("want an ND block in the zero-alloc sweep")
+	}
+	steps := make([]*sparse.CSC, 4)
+	for i := range steps {
+		steps[i] = matgen.TransientStep(base, i+1, 99)
+	}
+	// Warm up: build the pipeline and grow every reusable buffer.
+	for _, s := range steps {
+		if err := num.Refactor(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(20, func() {
+		i++
+		if err := num.Refactor(steps[i%len(steps)]); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Refactor allocates: %v allocs/op", allocs)
+	}
+	solveCheck(t, steps[i%len(steps)], num, 1e-7)
+}
+
+// TestRefactorNDOverlapsBTF proves the unified scheduler runs fine-ND and
+// fine-BTF blocks concurrently: the ND block's refresh is made to wait for
+// a small block to finish, and every small block's refresh waits for the ND
+// block to start. Under the old two-phase sweep (small blocks first, ND
+// strictly after) this deadlocks; under the unified scheduler it completes.
+// Channel-based, so the proof holds even on a single-core host.
+func TestRefactorNDOverlapsBTF(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	a := randCircuit(rng, 400, 0.6)
+	num, err := FactorDirect(a, optsWithThreads(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if num.Sym.NumNDBlocks() == 0 || num.Sym.NumBlocks() == num.Sym.NumNDBlocks() {
+		t.Fatal("test matrix needs both ND and small blocks")
+	}
+	const wait = 10 * time.Second
+	ndStarted := make(chan struct{})
+	smallDone := make(chan struct{})
+	var ndOnce, smOnce sync.Once
+	var timedOut atomic.Bool
+	num.hooks = &refactorHooks{
+		blockStart: func(blk int, nd bool) {
+			if nd {
+				ndOnce.Do(func() { close(ndStarted) })
+				select {
+				case <-smallDone:
+				case <-time.After(wait):
+					timedOut.Store(true)
+				}
+			} else {
+				select {
+				case <-ndStarted:
+				case <-time.After(wait):
+					timedOut.Store(true)
+				}
+			}
+		},
+		blockDone: func(blk int, nd bool) {
+			if !nd {
+				smOnce.Do(func() { close(smallDone) })
+			}
+		},
+	}
+	a2 := a.Clone()
+	for i := range a2.Values {
+		a2.Values[i] *= 1 + 0.1*rng.Float64()
+	}
+	if err := num.Refactor(a2); err != nil {
+		t.Fatal(err)
+	}
+	num.hooks = nil
+	if timedOut.Load() {
+		t.Fatal("ND and fine-BTF refreshes did not overlap (scheduler is two-phase)")
+	}
+	solveCheck(t, a2, num, 1e-7)
+}
+
+// TestRefactorPatternMismatchRejected checks both detection layers: the
+// structural verification at pipeline build time and the entry-count check
+// on the steady-state path.
+func TestRefactorPatternMismatchRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	a := randCircuit(rng, 200, 0.5)
+	num, err := FactorDirect(a, optsWithThreads(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := randCircuit(rng, 200, 0.5)
+	if other.Nnz() != a.Nnz() {
+		if err := num.Refactor(other); err == nil {
+			t.Fatal("expected pattern mismatch error at pipeline build")
+		}
+	}
+	if err := num.Refactor(a); err != nil {
+		t.Fatal(err)
+	}
+	// Same entry count, different pattern: move one entry to another row
+	// (keeping the column sorted). The steady-state path must reject it
+	// loudly rather than scatter values into the wrong positions.
+	shifted := a.Clone()
+	moved := false
+	for j := 0; j < shifted.N && !moved; j++ {
+		p := shifted.Colptr[j+1] - 1
+		if p < shifted.Colptr[j] {
+			continue
+		}
+		if r := shifted.Rowidx[p]; r+1 < shifted.M {
+			shifted.Rowidx[p] = r + 1
+			moved = true
+		}
+	}
+	if !moved {
+		t.Fatal("could not construct a same-nnz pattern variant")
+	}
+	if err := num.Refactor(shifted); err == nil {
+		t.Fatal("expected pattern mismatch error on the steady-state path")
+	}
+	// The factorization still works for the real pattern afterwards.
+	if err := num.Refactor(a); err != nil {
+		t.Fatal(err)
+	}
+	solveCheck(t, a, num, 1e-7)
+	// Wrong dimension is rejected before anything is touched.
+	if err := num.Refactor(sparse.NewCSC(3, 3, 0)); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}
+
+// TestRefactorSingularReported drifts every entry of one column to zero so
+// even the pivoting fallback cannot succeed; Refactor must report the
+// singularity rather than hang or corrupt state, and a full re-Factor of a
+// good matrix must still be possible afterwards.
+func TestRefactorSingularReported(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	a := randCircuit(rng, 200, 0.5)
+	num, err := FactorDirect(a, optsWithThreads(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := a.Clone()
+	for p := bad.Colptr[5]; p < bad.Colptr[6]; p++ {
+		bad.Values[p] = 0
+	}
+	err = num.Refactor(bad)
+	if err == nil {
+		t.Fatal("expected singularity error")
+	}
+	if !errors.Is(err, gp.ErrSingular) {
+		t.Fatalf("error chain does not report gp.ErrSingular: %v", err)
+	}
+	// The factorization's structure survives a failed refresh: a
+	// subsequent same-pattern Refactor with good values recovers it.
+	if err := num.Refactor(a); err != nil {
+		t.Fatalf("recovery refactor: %v", err)
+	}
+	solveCheck(t, a, num, 1e-7)
+}

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Signals is the point-to-point synchronization fabric shared by the
@@ -69,6 +71,93 @@ func (s *Signals) aborted() bool {
 		return false
 	}
 }
+
+// EpochSignals is the resettable variant of the Signals fabric, built for
+// sweeps that repeat on a fixed dependency structure (the refactorization
+// hot loop and the pooled parallel block solve). Where Signals allocates
+// one-shot channels per sweep, EpochSignals keeps a flat array of epoch
+// stamps: slot i is complete for the current sweep when its stamp has
+// reached the sweep's epoch, so restarting costs one counter increment and
+// no allocation. Waits spin briefly through the scheduler and then back off
+// to short sleeps — the Go analogue of the paper's write-to-volatile
+// point-to-point synchronization, bounded so oversubscribed hosts still
+// make progress.
+//
+// The fabric is single-sweep-at-a-time: Reset must not race with Set/Wait
+// (callers quiesce between sweeps, which the refactor and solve drivers
+// guarantee by construction).
+type EpochSignals struct {
+	slots []atomic.Uint64
+	epoch uint64 // written only by Reset, between sweeps
+	abort atomic.Uint64
+	// contended counts waits that actually had to block (ablation metric).
+	contended atomic.Int64
+}
+
+// NewEpochSignals returns a fabric with n slots, ready for the first sweep.
+func NewEpochSignals(n int) *EpochSignals {
+	return &EpochSignals{slots: make([]atomic.Uint64, n), epoch: 1}
+}
+
+// Len reports the number of slots.
+func (s *EpochSignals) Len() int { return len(s.slots) }
+
+// Reset begins a new sweep: all slots become "not done" at once. The
+// previous sweep must have fully quiesced.
+func (s *EpochSignals) Reset() { s.epoch++ }
+
+// Set marks slot i complete for the current sweep. One producer per slot.
+func (s *EpochSignals) Set(i int) { s.slots[i].Store(s.epoch) }
+
+// Wait blocks until slot i completes, returning false if the sweep was
+// aborted (a worker hit an error) so waiters can unwind.
+func (s *EpochSignals) Wait(i int) bool {
+	e := s.epoch
+	if s.slots[i].Load() >= e {
+		return true
+	}
+	s.contended.Add(1)
+	for spins := 0; ; spins++ {
+		if s.slots[i].Load() >= e {
+			return true
+		}
+		if s.abort.Load() == e {
+			return false
+		}
+		if spins < 128 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(5 * time.Microsecond)
+		}
+	}
+}
+
+// Fail aborts the current sweep; pending and future Waits return false
+// until the next Reset.
+func (s *EpochSignals) Fail() { s.abort.Store(s.epoch) }
+
+// Aborted reports whether the current sweep has been aborted.
+func (s *EpochSignals) Aborted() bool { return s.abort.Load() == s.epoch }
+
+// Contended reports how many waits actually had to block, accumulated
+// across sweeps.
+func (s *EpochSignals) Contended() int64 { return s.contended.Load() }
+
+// epochBlockFlags adapts EpochSignals to the fine-ND engine's 2D block
+// indexing, mirroring blockFlags for the in-place refactorization sweep.
+type epochBlockFlags struct {
+	n int
+	*EpochSignals
+}
+
+func newEpochBlockFlags(nblocks int) *epochBlockFlags {
+	return &epochBlockFlags{n: nblocks, EpochSignals: NewEpochSignals(nblocks * nblocks)}
+}
+
+func (f *epochBlockFlags) idx(i, j int) int   { return i*f.n + j }
+func (f *epochBlockFlags) set(i, j int)       { f.Set(f.idx(i, j)) }
+func (f *epochBlockFlags) wait(i, j int) bool { return f.Wait(f.idx(i, j)) }
+func (f *epochBlockFlags) fail()              { f.Fail() }
 
 // blockFlags adapts the Signals fabric to the fine-ND engine's 2D block
 // indexing: one completion slot per (i, j) block of the hierarchy.

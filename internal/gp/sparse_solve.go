@@ -91,6 +91,11 @@ func dfsFinal(start int, l *sparse.CSC, xi []int, top int, pstack, mark []int, t
 //
 // The returned block has sorted columns. mark/acc are caller-provided
 // workspaces of length ≥ B.M (acc zeroed); they come back clean.
+//
+// The output pattern is structural: entries whose value works out to exact
+// zero are kept, so the pattern depends only on the patterns of B and the
+// factors — the invariant that lets RefactorLowerBlock refresh the block's
+// values in place for a same-pattern matrix.
 func (f *Factors) LowerBlockSolve(b *sparse.CSC, mark []int, tagp *int, acc []float64) *sparse.CSC {
 	x := sparse.NewCSC(b.M, b.N, b.Nnz()*2)
 	var patt []int
@@ -106,14 +111,13 @@ func (f *Factors) LowerBlockSolve(b *sparse.CSC, mark []int, tagp *int, acc []fl
 			}
 			acc[i] += b.Values[p]
 		}
-		// Accumulate -X(:,t)*U(t,c) for t < c in U(:,c)'s pattern.
+		// Accumulate -X(:,t)*U(t,c) for t < c in U(:,c)'s pattern. U's
+		// stored entries are nonzero at factorization time, so iterating
+		// the whole pattern keeps the result pattern structural.
 		up0, up1 := f.U.Colptr[c], f.U.Colptr[c+1]
 		for p := up0; p < up1-1; p++ {
 			t := f.U.Rowidx[p]
 			utc := f.U.Values[p]
-			if utc == 0 {
-				continue
-			}
 			for q := x.Colptr[t]; q < x.Colptr[t+1]; q++ {
 				i := x.Rowidx[q]
 				if mark[i] != tag {
@@ -126,15 +130,73 @@ func (f *Factors) LowerBlockSolve(b *sparse.CSC, mark []int, tagp *int, acc []fl
 		piv := f.U.Values[up1-1]
 		insertionSortInts(patt)
 		for _, i := range patt {
-			if v := acc[i]; v != 0 {
-				x.Rowidx = append(x.Rowidx, i)
-				x.Values = append(x.Values, v/piv)
-			}
+			x.Rowidx = append(x.Rowidx, i)
+			x.Values = append(x.Values, acc[i]/piv)
 			acc[i] = 0
 		}
 		x.Colptr[c+1] = len(x.Rowidx)
 	}
 	return x
+}
+
+// RefactorLowerBlock recomputes dst = B·U⁻¹ in place for a same-pattern B,
+// where dst was produced by LowerBlockSolve against the matrix originally
+// factored and f's values have already been refreshed (Refactor). Because
+// LowerBlockSolve patterns are structural, every index touched by the
+// recomputation lies inside dst's fixed column patterns, so the sweep needs
+// no pattern discovery and performs no allocation. acc must have length
+// ≥ B.M and arrive zeroed; it comes back clean.
+func (f *Factors) RefactorLowerBlock(dst, b *sparse.CSC, acc []float64) {
+	for c := 0; c < b.N; c++ {
+		for p := b.Colptr[c]; p < b.Colptr[c+1]; p++ {
+			acc[b.Rowidx[p]] += b.Values[p]
+		}
+		up0, up1 := f.U.Colptr[c], f.U.Colptr[c+1]
+		for p := up0; p < up1-1; p++ {
+			t := f.U.Rowidx[p]
+			utc := f.U.Values[p]
+			if utc == 0 {
+				continue // refreshed value drifted to zero: contribution vanishes
+			}
+			for q := dst.Colptr[t]; q < dst.Colptr[t+1]; q++ {
+				acc[dst.Rowidx[q]] -= dst.Values[q] * utc
+			}
+		}
+		piv := f.U.Values[up1-1]
+		for p := dst.Colptr[c]; p < dst.Colptr[c+1]; p++ {
+			i := dst.Rowidx[p]
+			dst.Values[p] = acc[i] / piv
+			acc[i] = 0
+		}
+	}
+}
+
+// RefactorUpperBlock recomputes dst = L⁻¹·P·B in place for a same-pattern
+// B, where dst's columns hold the (structural, sorted, pivot-space)
+// patterns discovered by SolveSparseL at factorization time and f's values
+// have already been refreshed. Ascending pivot order is a topological order
+// of the forward solve, so each column is one masked substitution pass;
+// no DFS, no allocation. ws provides the dense accumulator.
+func (f *Factors) RefactorUpperBlock(dst, b *sparse.CSC, ws *Workspace) {
+	ws.Grow(f.N)
+	x := ws.X
+	for c := 0; c < b.N; c++ {
+		for p := b.Colptr[c]; p < b.Colptr[c+1]; p++ {
+			x[f.Pinv[b.Rowidx[p]]] = b.Values[p]
+		}
+		for p := dst.Colptr[c]; p < dst.Colptr[c+1]; p++ {
+			r := dst.Rowidx[p]
+			xr := x[r]
+			dst.Values[p] = xr
+			x[r] = 0
+			if xr == 0 {
+				continue
+			}
+			for q := f.L.Colptr[r] + 1; q < f.L.Colptr[r+1]; q++ {
+				x[f.L.Rowidx[q]] -= f.L.Values[q] * xr
+			}
+		}
+	}
 }
 
 func insertionSortInts(a []int) {

@@ -141,6 +141,104 @@ func (a *CSC) Permute(p, q []int) *CSC {
 	return b
 }
 
+// PermuteWithMap is Permute plus a cached entry map: it returns
+// B = A(p, q) together with src, where entry t of B came from entry src[t]
+// of A. After the one-time structural cost, same-pattern matrices can be
+// re-permuted with PermuteInto as a pure value gather — the refactorization
+// pipeline's replacement for calling Permute on every transient step.
+func (a *CSC) PermuteWithMap(p, q []int) (*CSC, []int) {
+	pinv := InversePerm(p)
+	nnz := a.Nnz()
+	b := &CSC{
+		M:      a.M,
+		N:      a.N,
+		Colptr: make([]int, a.N+1),
+		Rowidx: make([]int, nnz),
+		Values: make([]float64, nnz),
+	}
+	src := make([]int, nnz)
+	nz := 0
+	for k := 0; k < a.N; k++ {
+		j := k
+		if q != nil {
+			j = q[k]
+		}
+		b.Colptr[k] = nz
+		for t := a.Colptr[j]; t < a.Colptr[j+1]; t++ {
+			i := a.Rowidx[t]
+			if pinv != nil {
+				i = pinv[i]
+			}
+			b.Rowidx[nz] = i
+			src[nz] = t
+			nz++
+		}
+	}
+	b.Colptr[a.N] = nz
+	// Sort each column by row index, carrying the source positions (the
+	// double-transpose trick of SortColumns would lose the map).
+	for k := 0; k < a.N; k++ {
+		sortColumnWithMap(b.Rowidx[b.Colptr[k]:b.Colptr[k+1]], src[b.Colptr[k]:b.Colptr[k+1]])
+	}
+	for t, s := range src {
+		b.Values[t] = a.Values[s]
+	}
+	return b, src
+}
+
+func sortColumnWithMap(rows, src []int) {
+	for i := 1; i < len(rows); i++ {
+		r, s := rows[i], src[i]
+		j := i - 1
+		for j >= 0 && rows[j] > r {
+			rows[j+1], src[j+1] = rows[j], src[j]
+			j--
+		}
+		rows[j+1], src[j+1] = r, s
+	}
+}
+
+// PermuteInto refreshes dst's values from src through an entry map built by
+// PermuteWithMap: dst.Values[t] = src.Values[entryMap[t]]. The sparsity
+// pattern of src must be identical to the matrix the map was built from;
+// the call performs no allocation.
+func PermuteInto(dst, src *CSC, entryMap []int) {
+	gatherValues(dst.Values[:len(entryMap)], src.Values, entryMap)
+}
+
+// ExtractBlockWithMap is ExtractBlock plus a cached entry map: entry t of
+// the returned block came from entry src[t] of a, so same-pattern refreshes
+// can run through ExtractBlockInto without re-walking the source columns.
+func (a *CSC) ExtractBlockWithMap(r0, r1, c0, c1 int) (*CSC, []int) {
+	b := NewCSC(r1-r0, c1-c0, 0)
+	var src []int
+	for j := c0; j < c1; j++ {
+		for p := a.Colptr[j]; p < a.Colptr[j+1]; p++ {
+			i := a.Rowidx[p]
+			if i >= r0 && i < r1 {
+				b.Rowidx = append(b.Rowidx, i-r0)
+				b.Values = append(b.Values, a.Values[p])
+				src = append(src, p)
+			}
+		}
+		b.Colptr[j-c0+1] = len(b.Rowidx)
+	}
+	return b, src
+}
+
+// ExtractBlockInto refreshes dst's values from src through an entry map
+// built by ExtractBlockWithMap. Zero allocation; the pattern of src must
+// match the matrix the map was built from.
+func ExtractBlockInto(dst, src *CSC, entryMap []int) {
+	gatherValues(dst.Values[:len(entryMap)], src.Values, entryMap)
+}
+
+func gatherValues(dst, src []float64, entryMap []int) {
+	for t, s := range entryMap {
+		dst[t] = src[s]
+	}
+}
+
 // InversePerm returns pinv with pinv[p[k]] = k, or nil for nil input.
 func InversePerm(p []int) []int {
 	if p == nil {

@@ -273,3 +273,83 @@ func TestMaxAbs(t *testing.T) {
 		t.Fatalf("MaxAbs = %v, want 7", a.MaxAbs())
 	}
 }
+
+func TestPermuteWithMapMatchesPermute(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(30)
+		a := randomCSC(rng, n, n, 0.2)
+		p := randomPerm(rng, n)
+		q := randomPerm(rng, n)
+		want := a.Permute(p, q)
+		got, src := a.PermuteWithMap(p, q)
+		if err := got.Check(); err != nil {
+			t.Fatal(err)
+		}
+		if len(src) != got.Nnz() {
+			t.Fatalf("map length %d, nnz %d", len(src), got.Nnz())
+		}
+		for j := 0; j <= n; j++ {
+			if got.Colptr[j] != want.Colptr[j] {
+				t.Fatalf("colptr mismatch at %d", j)
+			}
+		}
+		for k := range want.Rowidx {
+			if got.Rowidx[k] != want.Rowidx[k] || got.Values[k] != want.Values[k] {
+				t.Fatalf("entry %d: got (%d,%v) want (%d,%v)",
+					k, got.Rowidx[k], got.Values[k], want.Rowidx[k], want.Values[k])
+			}
+		}
+		// The map must reproduce a permute of fresh values as a pure gather.
+		a2 := a.Clone()
+		for i := range a2.Values {
+			a2.Values[i] = rng.NormFloat64()
+		}
+		PermuteInto(got, a2, src)
+		want2 := a2.Permute(p, q)
+		for k := range want2.Values {
+			if got.Values[k] != want2.Values[k] {
+				t.Fatalf("gathered value %d: got %v want %v", k, got.Values[k], want2.Values[k])
+			}
+		}
+	}
+}
+
+func TestExtractBlockWithMapMatchesExtractBlock(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 20; trial++ {
+		m := 4 + rng.Intn(30)
+		n := 4 + rng.Intn(30)
+		a := randomCSC(rng, m, n, 0.25)
+		r0 := rng.Intn(m / 2)
+		r1 := r0 + 1 + rng.Intn(m-r0-1)
+		c0 := rng.Intn(n / 2)
+		c1 := c0 + 1 + rng.Intn(n-c0-1)
+		want := a.ExtractBlock(r0, r1, c0, c1)
+		got, src := a.ExtractBlockWithMap(r0, r1, c0, c1)
+		if len(src) != got.Nnz() {
+			t.Fatalf("map length %d, nnz %d", len(src), got.Nnz())
+		}
+		for j := 0; j <= got.N; j++ {
+			if got.Colptr[j] != want.Colptr[j] {
+				t.Fatalf("colptr mismatch at %d", j)
+			}
+		}
+		for k := range want.Rowidx {
+			if got.Rowidx[k] != want.Rowidx[k] || got.Values[k] != want.Values[k] {
+				t.Fatalf("entry %d mismatch", k)
+			}
+		}
+		a2 := a.Clone()
+		for i := range a2.Values {
+			a2.Values[i] = rng.NormFloat64()
+		}
+		ExtractBlockInto(got, a2, src)
+		want2 := a2.ExtractBlock(r0, r1, c0, c1)
+		for k := range want2.Values {
+			if got.Values[k] != want2.Values[k] {
+				t.Fatalf("gathered value %d: got %v want %v", k, got.Values[k], want2.Values[k])
+			}
+		}
+	}
+}

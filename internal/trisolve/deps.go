@@ -3,8 +3,6 @@ package trisolve
 import (
 	"sort"
 	"sync"
-
-	"repro/internal/core"
 )
 
 // buildDeps derives, once per Solver, the coarse-block dependency
@@ -71,7 +69,7 @@ func (s *Solver) solveBlockParallel(rhs []float64, ws *Workspace) {
 		y[k] = rhs[sym.RowPerm[k]]
 	}
 	nb := sym.NumBlocks()
-	sig := core.NewSignals(nb)
+	sig := ws.signals(nb)
 	var wg sync.WaitGroup
 	for w := 0; w < s.workers; w++ {
 		wg.Add(1)

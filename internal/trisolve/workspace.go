@@ -21,6 +21,22 @@ type Workspace struct {
 	panel []float64            // column-major multi-RHS panel, grown on demand
 	views [][]float64          // per-column views into panel, maxPanel wide
 	pw    *core.PanelWorkspace // gather buffers of the panel kernels
+
+	// sig is the per-call point-to-point fabric of the parallel block
+	// sweep. The resettable epoch variant lives in the pooled workspace so
+	// steady-state parallel solves allocate no synchronization state
+	// (each concurrent call owns its workspace, hence its fabric).
+	sig *core.EpochSignals
+}
+
+// signals returns the workspace's block-completion fabric, reset for a new
+// sweep (lazily sized on first use so serial solves never pay for it).
+func (w *Workspace) signals(nb int) *core.EpochSignals {
+	if w.sig == nil || w.sig.Len() < nb {
+		w.sig = core.NewEpochSignals(nb)
+	}
+	w.sig.Reset()
+	return w.sig
 }
 
 func newWorkspace(sym *core.Symbolic) *Workspace {

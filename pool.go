@@ -20,6 +20,17 @@ import (
 //	if err != nil { ... }
 //	lease.Solve(b)
 //	lease.Release() // return the factorization for the next same-pattern call
+//
+// Refactor-vs-Solve exclusion: a Refactor must never run concurrently with
+// solves on the same Factorization. The Pool upholds the contract
+// structurally — Acquire refactors an entry only while it is idle (checked
+// out of the cache, not leased to anyone), and a leased factorization is
+// private to its holder until Release — so callers only have to keep the
+// rule within their own lease: finish solving before releasing, and never
+// call Refactor on a leased factorization they are concurrently solving
+// with. If a cached entry's Refactor fails (new values defeat every reused
+// pivot), the entry is discarded and the Acquire falls back to a fresh
+// Factor, so callers never observe a half-refreshed factorization.
 type Pool struct {
 	solver  *Solver
 	maxIdle int
