@@ -330,6 +330,93 @@ func BenchmarkRefactorParallel(b *testing.B) {
 	}
 }
 
+// ---- PR 3: the pruned, pooled, fully-overlapped fresh factorization ----
+
+// BenchmarkFactorParallel measures the fresh numeric factorization over the
+// whole Table I suite: per-matrix fresh Factor (new pivots every call)
+// through the pooled FactorInto serving path — the hot loop a workload that
+// cannot trust cached pivots runs. The acceptance bar for this PR is a
+// >= 1.5x geomean speedup over the pre-PR two-phase Factor.
+func BenchmarkFactorParallel(b *testing.B) {
+	for _, m := range matgen.TableISuite(benchScale()) {
+		a := m.Gen()
+		b.Run(m.Name, func(b *testing.B) {
+			opts := core.DefaultOptions()
+			opts.Threads = 8
+			sym, err := core.Analyze(a, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			num, err := core.Factor(a, sym)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := num.FactorInto(a); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFactorPruning is the pruning ablation on the fresh serial path.
+func BenchmarkFactorPruning(b *testing.B) {
+	a := suiteMatrix(b, "G2_Circuit")
+	for _, noPrune := range []bool{false, true} {
+		name := "pruned"
+		if noPrune {
+			name = "unpruned"
+		}
+		b.Run(name, func(b *testing.B) {
+			benchBasker(b, a, 8, func(o *core.Options) { o.NoPrune = noPrune })
+		})
+	}
+}
+
+// BenchmarkPoolFactor drives repeated same-pattern fresh factorization
+// through the pool: cached symbolic analysis plus recycled numeric storage.
+// The acceptance bar is <= 5% of the factor-every-call allocations.
+func BenchmarkPoolFactor(b *testing.B) {
+	base := matgen.XyceSequenceBase(benchScale() * 0.2)
+	const steps = 8
+	mats := make([]*sparse.CSC, steps)
+	for t := range mats {
+		mats[t] = matgen.TransientStep(base, t, 99)
+	}
+	opts := Options{Threads: 2, BigBlockMin: 64}
+	b.Run("factor-every-call", func(b *testing.B) {
+		solver := New(opts)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := solver.Factor(mats[i%steps]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("pool-factor", func(b *testing.B) {
+		pool := NewPool(PoolOptions{Options: opts})
+		for w := 0; w < 3; w++ {
+			lease, err := pool.Factor(mats[w])
+			if err != nil {
+				b.Fatal(err)
+			}
+			lease.Release()
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			lease, err := pool.Factor(mats[i%steps])
+			if err != nil {
+				b.Fatal(err)
+			}
+			lease.Release()
+		}
+	})
+}
+
 // ---- §IV: synchronization ablation (wall-clock, real goroutines) ----
 
 func BenchmarkSyncAblation(b *testing.B) {

@@ -42,6 +42,8 @@ var (
 		"report simulated p-core makespans from per-task timings instead of wall clock (default on single-core hosts; see DESIGN.md)")
 	refactorJSON = flag.String("refactorjson", "BENCH_refactor.json",
 		"output path for the refactor-trajectory JSON (refactor experiment); empty disables the file")
+	factorJSON = flag.String("factorjson", "BENCH_factor.json",
+		"output path for the fresh-factorization trajectory JSON (factor experiment); empty disables the file")
 )
 
 func main() {
@@ -73,6 +75,7 @@ func main() {
 	run("ablation", ablation)
 	run("solve", solvePhase)
 	run("refactor", refactorTrajectory)
+	run("factor", factorTrajectory)
 }
 
 // sweep returns the power-of-two core counts 1..max.
@@ -720,6 +723,139 @@ func refactorTrajectory() {
 		return
 	}
 	fmt.Printf("  trajectory written to %s\n", *refactorJSON)
+}
+
+// ---- factor: the pruned, pooled, fully-overlapped fresh factorization ----
+
+// factorTrajectory measures, per suite matrix, the fresh numeric
+// factorization along this PR's three axes — serial vs parallel, pruned vs
+// unpruned, from-scratch Factor vs the pooled FactorInto serving loop —
+// against serial KLU, and emits the trajectory as BENCH_factor.json so
+// future changes to the fresh hot path can be tracked. Like the refactor
+// trajectory, every column is wall-clock (the pooled-storage and pruning
+// wins are real time spent outside the kernels, which the simulated
+// makespan model deliberately excludes).
+func factorTrajectory() {
+	fmt.Println("Fresh factorization: pruning, unified scheduler, pooled storage")
+	fmt.Println("(wall-clock on this host, like the refactor trajectory)")
+	wall := func(f func()) float64 { return perf.Time(*minTime, f) }
+	type point struct {
+		Name          string  `json:"name"`
+		N             int     `json:"n"`
+		Nnz           int     `json:"nnz"`
+		KLUSec        float64 `json:"klu_s"`
+		SerialSec     float64 `json:"serial_s"`
+		ParallelSec   float64 `json:"parallel_s"`
+		NoPruneSec    float64 `json:"noprune_s"`
+		FactorIntoSec float64 `json:"factorinto_s"`
+	}
+	type report struct {
+		Scale             float64 `json:"scale"`
+		Threads           int     `json:"threads"`
+		Matrices          []point `json:"matrices"`
+		GeomeanVsKLU      float64 `json:"geomean_serial_vs_klu"`
+		GeomeanPruneGain  float64 `json:"geomean_prune_gain"`
+		GeomeanPooledGain float64 `json:"geomean_pooled_gain"`
+		GeomeanPooledSec  float64 `json:"geomean_pooled_s"`
+	}
+	rep := report{Scale: *scale, Threads: *maxCores}
+	var rows [][]string
+	var vsKLU, pruneGain, pooledGain, pooledSecs []float64
+	for _, m := range matgen.TableISuite(*scale) {
+		a := m.Gen()
+		opts := core.DefaultOptions()
+		opts.Threads = *maxCores
+		sym, err := core.Analyze(a, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: analyze failed: %v\n", m.Name, err)
+			continue
+		}
+		num, err := core.Factor(a, sym)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: factor failed: %v\n", m.Name, err)
+			continue
+		}
+		pt := point{Name: m.Name, N: a.N, Nnz: a.Nnz()}
+		kluSym, err := klu.Analyze(a, klu.DefaultOptions())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: klu analyze failed: %v\n", m.Name, err)
+			continue
+		}
+		pt.KLUSec = wall(func() {
+			if _, err := klu.Factor(a, kluSym); err != nil {
+				panic(err)
+			}
+		})
+		serialOpts := core.DefaultOptions()
+		serialSym, err := core.Analyze(a, serialOpts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: serial analyze failed: %v\n", m.Name, err)
+			continue
+		}
+		pt.SerialSec = wall(func() {
+			if _, err := core.Factor(a, serialSym); err != nil {
+				panic(err)
+			}
+		})
+		pt.ParallelSec = wall(func() {
+			if _, err := core.Factor(a, sym); err != nil {
+				panic(err)
+			}
+		})
+		// Pruning ablation on the serial path, where the symbolic DFS cost
+		// is not drowned by goroutine scheduling noise.
+		npOpts := core.DefaultOptions()
+		npOpts.NoPrune = true
+		npSym, err := core.Analyze(a, npOpts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: noprune analyze failed: %v\n", m.Name, err)
+			continue
+		}
+		pt.NoPruneSec = wall(func() {
+			if _, err := core.Factor(a, npSym); err != nil {
+				panic(err)
+			}
+		})
+		pt.FactorIntoSec = wall(func() {
+			if err := num.FactorInto(a); err != nil {
+				panic(err)
+			}
+		})
+		rep.Matrices = append(rep.Matrices, pt)
+		vsKLU = append(vsKLU, perf.Speedup(pt.KLUSec, pt.SerialSec))
+		pruneGain = append(pruneGain, pt.NoPruneSec/pt.SerialSec)
+		pooledGain = append(pooledGain, pt.ParallelSec/pt.FactorIntoSec)
+		pooledSecs = append(pooledSecs, pt.FactorIntoSec)
+		rows = append(rows, []string{
+			m.Name,
+			fmt.Sprintf("%.1f", pt.KLUSec*1e6),
+			fmt.Sprintf("%.1f", pt.SerialSec*1e6),
+			fmt.Sprintf("%.2fx", pt.NoPruneSec/pt.SerialSec),
+			fmt.Sprintf("%.1f", pt.ParallelSec*1e6),
+			fmt.Sprintf("%.1f", pt.FactorIntoSec*1e6),
+		})
+	}
+	fmt.Print(perf.Table(
+		[]string{"Matrix", "KLU us", "serial us", "prune gain", "parallel us", "pooled us"}, rows))
+	rep.GeomeanVsKLU = perf.GeoMean(vsKLU)
+	rep.GeomeanPruneGain = perf.GeoMean(pruneGain)
+	rep.GeomeanPooledGain = perf.GeoMean(pooledGain)
+	rep.GeomeanPooledSec = perf.GeoMean(pooledSecs)
+	fmt.Printf("  geo-mean serial vs KLU: %.2fx; serial prune gain %.2fx; pooled FactorInto vs from-scratch %.2fx; pooled geomean %.1f us\n",
+		rep.GeomeanVsKLU, rep.GeomeanPruneGain, rep.GeomeanPooledGain, rep.GeomeanPooledSec*1e6)
+	if *factorJSON == "" {
+		return
+	}
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "factor json:", err)
+		return
+	}
+	if err := os.WriteFile(*factorJSON, append(blob, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "factor json:", err)
+		return
+	}
+	fmt.Printf("  trajectory written to %s\n", *factorJSON)
 }
 
 // ---- solve phase: the concurrent solve subsystem (internal/trisolve) ----

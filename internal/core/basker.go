@@ -44,8 +44,43 @@ type Symbolic struct {
 	// must provide: the largest fine-ND tree-block dimension or fine-BTF
 	// block dimension across all coarse blocks.
 	scratchLen int
+	// plan caches the entry maps from the analyzed matrix's pattern into the
+	// permuted matrix and every diagonal block, so Factor is a pure value
+	// gather instead of a Permute+ExtractBlock per call. Read-only after
+	// Analyze; shared by all factorizations of this analysis.
+	plan *factorPlan
 
 	BTFPercent float64
+}
+
+// factorPlan is the Analyze-time gather state of the fresh-factorization
+// fast path: a matrix with the analyzed sparsity pattern is permuted and
+// split into diagonal blocks by flat value gathers through these maps (the
+// fine-ND 2D grid maps live on each block's ndSym). A matrix with a
+// different pattern falls back to the slow Permute/ExtractBlock path.
+type factorPlan struct {
+	// colptr/rowidx are the analyzed pattern, for verification.
+	colptr, rowidx []int
+	// perm is the permuted pattern (its values are the analyzed matrix's);
+	// factorizations share its index slices and gather into private values.
+	perm *sparse.CSC
+	// permMap sends entry t of perm to its source entry in the caller's CSC.
+	permMap []int
+	// smallPat/smallSrc cache each small diagonal block's pattern and its
+	// entry map into the permuted matrix.
+	smallPat []*sparse.CSC
+	smallSrc [][]int
+}
+
+// matches verifies a's sparsity structure against the analyzed pattern.
+func (pl *factorPlan) matches(a *sparse.CSC) bool {
+	return sparse.SamePattern(pl.colptr, pl.rowidx, a)
+}
+
+// PatternMatches reports whether a has exactly the sparsity pattern this
+// analysis was computed for (the pattern every planned fast path requires).
+func (s *Symbolic) PatternMatches(a *sparse.CSC) bool {
+	return s.plan != nil && s.plan.matches(a)
 }
 
 type blockKind uint8
@@ -103,13 +138,33 @@ type Numeric struct {
 	btfBusy []float64
 	ndSim   float64
 
+	// planned reports that this numeric was built through the Analyze-time
+	// gather plan (its Perm and block patterns are the analyzed ones).
+	planned bool
+	// factorSig is the coarse per-block completion fabric of the unified
+	// fresh-factorization scheduler; factorErrs records per-block failures
+	// and factorFailed flags the sweep so not-yet-started blocks skip their
+	// work (every slot is still signalled, so the join always quiesces).
+	// All are reset, never reallocated, across FactorInto calls.
+	factorSig    *EpochSignals
+	factorErrs   []error
+	factorFailed atomic.Bool
+	// factorWS[t] is fine-BTF worker t's pooled Gilbert–Peierls workspace,
+	// shared by the fresh-factorization and refactorization sweeps (which
+	// are mutually exclusive by contract); lazily built, reused forever.
+	factorWS []*gp.Workspace
+	// smallIn[blk] is the pooled gather target for small block blk on the
+	// planned fast path (pattern shared with the plan, values private).
+	smallIn []*sparse.CSC
+
 	// pipe is the numeric-scatter refactorization pipeline, built on the
 	// first Refactor call and reused for every subsequent same-pattern
 	// refresh (entry maps, cached diagonal blocks, pooled workspaces, the
 	// resettable completion fabric).
 	pipe *refactorPipeline
-	// hooks instruments the refactor scheduler for tests (nil in production).
-	hooks *refactorHooks
+	// hooks instruments the factor/refactor schedulers for tests (nil in
+	// production).
+	hooks *schedHooks
 }
 
 // refactorPipeline holds everything a steady-state Refactor needs so the
@@ -120,11 +175,10 @@ type refactorPipeline struct {
 	// the caller's CSC (built by sparse.PermuteWithMap).
 	permMap []int
 	// smallSub/smallSrc cache each small diagonal block and its entry map
-	// into the permuted matrix.
+	// into the permuted matrix. (Per-worker Gilbert–Peierls workspaces are
+	// the Numeric's factorWS pool, shared with the fresh sweep.)
 	smallSub []*sparse.CSC
 	smallSrc [][]int
-	// ws[t] is fine-BTF worker t's pooled Gilbert–Peierls workspace.
-	ws []*gp.Workspace
 	// sig has one completion slot per coarse block; the driver joins the
 	// sweep point-to-point on this fabric (the refactor-side reuse of the
 	// Signals design) and it is reset, never reallocated, between sweeps.
@@ -166,9 +220,9 @@ func (pipe *refactorPipeline) checkPattern(a *sparse.CSC) error {
 	return nil
 }
 
-// refactorHooks observes the refactor scheduler; used by tests to prove
-// that ND blocks and fine-BTF blocks are processed concurrently.
-type refactorHooks struct {
+// schedHooks observes the factor and refactor schedulers; used by tests to
+// prove that ND blocks and fine-BTF blocks are processed concurrently.
+type schedHooks struct {
 	blockStart func(blk int, nd bool)
 	blockDone  func(blk int, nd bool)
 }
@@ -251,26 +305,33 @@ func Analyze(a *sparse.CSC, opts Options) (*Symbolic, error) {
 	copy(rowPerm, sym.RowPerm)
 	copy(colPerm, sym.ColPerm)
 
+	// ---- Per-block fine analysis, parallel over coarse blocks: every
+	// block's ordering work (AMD / matching+ND) reads the shared permuted
+	// matrix and writes only its own permutation range and symbolic slots,
+	// so independent blocks analyze concurrently across the thread pool.
 	type smallStat struct {
 		blk   int
 		flops float64
 	}
-	var smalls []smallStat
-
+	flops := make([]float64, nblocks) // <0: fine-ND block
+	errs := make([]error, nblocks)
 	for blk := 0; blk < nblocks; blk++ {
-		r0, r1 := sym.BlockPtr[blk], sym.BlockPtr[blk+1]
-		bs := r1 - r0
-		// Large blocks use the fine-ND engine; with BTF disabled the whole
-		// matrix is a single ND block regardless of size.
+		bs := sym.BlockPtr[blk+1] - sym.BlockPtr[blk]
 		if bs >= ndThreshold || !opts.UseBTF {
 			sym.kind[blk] = blockND
-			if err := analyzeND(sym, b, blk, r0, r1, rowPerm, colPerm, opts); err != nil {
-				return nil, err
-			}
-			continue
+		} else {
+			sym.kind[blk] = blockSmall
+		}
+	}
+	analyzeBlock := func(blk int) {
+		r0, r1 := sym.BlockPtr[blk], sym.BlockPtr[blk+1]
+		bs := r1 - r0
+		if sym.kind[blk] == blockND {
+			flops[blk] = -1
+			errs[blk] = analyzeND(sym, b, blk, r0, r1, rowPerm, colPerm, opts)
+			return
 		}
 		// ---- Fine BTF block (paper §III-B, Algorithm 2): AMD order.
-		sym.kind[blk] = blockSmall
 		if bs > 1 {
 			sub := b.ExtractBlock(r0, r1, r0, r1)
 			local := amd.Order(sub)
@@ -286,10 +347,22 @@ func Analyze(a *sparse.CSC, opts Options) (*Symbolic, error) {
 				est += c
 			}
 			sym.estNnz[blk] = 2 * est
-			smalls = append(smalls, smallStat{blk, etree.FlopEstimate(counts)})
+			flops[blk] = etree.FlopEstimate(counts)
 		} else {
 			sym.estNnz[blk] = 1
-			smalls = append(smalls, smallStat{blk, 1})
+			flops[blk] = 1
+		}
+	}
+	parallelBlocks(nblocks, opts.threads(), analyzeBlock)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	var smalls []smallStat
+	for blk := 0; blk < nblocks; blk++ {
+		if sym.kind[blk] == blockSmall {
+			smalls = append(smalls, smallStat{blk, flops[blk]})
 		}
 	}
 	sym.RowPerm, sym.ColPerm = rowPerm, colPerm
@@ -321,7 +394,79 @@ func Analyze(a *sparse.CSC, opts Options) (*Symbolic, error) {
 			sym.scratchLen = d
 		}
 	}
+	sym.buildFactorPlan(a)
 	return sym, nil
+}
+
+// buildFactorPlan caches, once per analysis, the entry maps every fresh
+// factorization of a same-pattern matrix gathers through: the global
+// permutation map plus per-block extraction maps (small blocks here, the
+// fine-ND 2D grids on their ndSym). Map construction is independent per
+// block and runs across the thread pool.
+func (sym *Symbolic) buildFactorPlan(a *sparse.CSC) {
+	nblocks := sym.NumBlocks()
+	perm, permMap := a.PermuteWithMap(sym.RowPerm, sym.ColPerm)
+	pl := &factorPlan{
+		colptr:   append([]int(nil), a.Colptr...),
+		rowidx:   append([]int(nil), a.Rowidx...),
+		perm:     perm,
+		permMap:  permMap,
+		smallPat: make([]*sparse.CSC, nblocks),
+		smallSrc: make([][]int, nblocks),
+	}
+	parallelBlocks(nblocks, sym.Opts.threads(), func(blk int) {
+		r0, r1 := sym.BlockPtr[blk], sym.BlockPtr[blk+1]
+		switch sym.kind[blk] {
+		case blockSmall:
+			pl.smallPat[blk], pl.smallSrc[blk] = perm.ExtractBlockWithMap(r0, r1, r0, r1)
+			pl.smallPat[blk].Values = nil
+		case blockND:
+			sym.ndsym[blk].grid = buildNDGrid(perm, r0, sym.ndsym[blk])
+			for _, row := range sym.ndsym[blk].grid.pat {
+				for _, pat := range row {
+					if pat != nil {
+						pat.Values = nil
+					}
+				}
+			}
+		}
+	})
+	// The plan is pattern-only: every consumer either aliases the index
+	// slices (SharePattern) or gathers through the entry maps, so the value
+	// buffers filled during construction are dead weight — drop them rather
+	// than retain ~nnz float64s per cached analysis.
+	perm.Values = nil
+	sym.plan = pl
+}
+
+// parallelBlocks runs fn(blk) for every block, fanning independent blocks
+// out over up to nt worker goroutines (inline when nt <= 1).
+func parallelBlocks(nblocks, nt int, fn func(blk int)) {
+	if nt > nblocks {
+		nt = nblocks
+	}
+	if nt <= 1 {
+		for blk := 0; blk < nblocks; blk++ {
+			fn(blk)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for t := 0; t < nt; t++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				blk := int(next.Add(1)) - 1
+				if blk >= nblocks {
+					return
+				}
+				fn(blk)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // analyzeND builds the fine-ND symbolic structure for coarse block blk
@@ -386,67 +531,212 @@ func analyzeND(sym *Symbolic, b *sparse.CSC, blk, r0, r1 int, rowPerm, colPerm [
 // Factor numerically factors a with a prior analysis. All numeric state is
 // built fresh and returned only on success, so a failed Factor never leaves
 // a partially mutated Numeric behind.
+//
+// When a's sparsity pattern matches the analyzed one (the overwhelmingly
+// common case), the values are gathered straight into permuted and
+// per-block storage through the Analyze-time entry maps — no Permute, no
+// ExtractBlock — and every coarse block is swept by one unified scheduler:
+// independent fine-ND blocks factor concurrently with each other and with
+// the flop-balanced fine-BTF partition, joined point-to-point on a
+// per-block completion fabric instead of a barrier. A different pattern
+// falls back to per-call permutation and extraction.
 func Factor(a *sparse.CSC, sym *Symbolic) (*Numeric, error) {
+	return factorImpl(a, sym, nil, nil)
+}
+
+// FactorInto runs a fresh numeric factorization (new pivot selection, same
+// symbolic analysis) reusing num's storage: permuted values, diagonal-block
+// factors, fine-ND grids and pooled workspaces. a must have the analyzed
+// sparsity pattern. On error num's numeric values are unspecified and it
+// must not be used for solves until a subsequent FactorInto or Refactor
+// succeeds; its structure remains intact, so retrying is permitted. Like
+// Refactor, it must not run concurrently with solves on this Numeric.
+func (num *Numeric) FactorInto(a *sparse.CSC) error {
+	_, err := factorImpl(a, num.Sym, num, nil)
+	return err
+}
+
+func factorImpl(a *sparse.CSC, sym *Symbolic, num *Numeric, hooks *schedHooks) (*Numeric, error) {
 	if a.N != sym.N || a.M != sym.N {
 		return nil, fmt.Errorf("core: dimension mismatch with symbolic analysis")
 	}
-	b := a.Permute(sym.RowPerm, sym.ColPerm)
-	num := &Numeric{Sym: sym, Perm: b}
-	num.small = make([]*gp.Factors, sym.NumBlocks())
-	num.nd = make([]*ndNum, sym.NumBlocks())
-	num.btfBusy = make([]float64, sym.Opts.threads())
-
-	// ---- Fine-BTF numeric: embarrassingly parallel over the thread
-	// partition (each thread factors its assigned small blocks).
+	nblocks := sym.NumBlocks()
 	nt := sym.Opts.threads()
-	var wg sync.WaitGroup
-	errs := make([]error, nt)
-	for t := 0; t < nt; t++ {
-		if len(sym.partition[t]) == 0 {
-			continue
+	fresh := num == nil
+	if fresh {
+		num = &Numeric{
+			Sym:        sym,
+			small:      make([]*gp.Factors, nblocks),
+			nd:         make([]*ndNum, nblocks),
+			btfBusy:    make([]float64, nt),
+			factorSig:  NewEpochSignals(nblocks),
+			factorErrs: make([]error, nblocks),
+			factorWS:   make([]*gp.Workspace, nt),
+			smallIn:    make([]*sparse.CSC, nblocks),
 		}
-		wg.Add(1)
-		go func(t int) {
-			defer wg.Done()
-			ws := gp.NewWorkspace(64)
-			for _, blk := range sym.partition[t] {
-				r0, r1 := sym.BlockPtr[blk], sym.BlockPtr[blk+1]
-				sub := b.ExtractBlock(r0, r1, r0, r1)
-				t0 := time.Now()
-				f, err := gp.Factor(sub, sym.estNnz[blk], gp.Options{PivotTol: sym.Opts.PivotTol}, ws)
-				num.btfBusy[t] += time.Since(t0).Seconds()
-				if err != nil {
-					errs[t] = fmt.Errorf("core: small block %d: %w", blk, err)
-					return
-				}
-				num.small[blk] = f
-			}
-		}(t)
+		num.hooks = hooks
+	} else {
+		num.factorSig.Reset()
+		for i := range num.factorErrs {
+			num.factorErrs[i] = nil
+		}
+		for t := range num.btfBusy {
+			num.btfBusy[t] = 0
+		}
+		num.SyncWaits, num.ndSim = 0, 0
 	}
-	wg.Wait()
-	for _, err := range errs {
+	num.factorFailed.Store(false)
+
+	// ---- Value gather (or slow-path permutation) into num.Perm. A reused
+	// numeric must itself have been built on the planned layout — its Perm,
+	// block patterns and gather maps all describe the analyzed pattern — so
+	// the guard checks the numeric's provenance, not just the new matrix.
+	if fresh {
+		num.planned = sym.plan != nil && sym.plan.matches(a)
+	} else if !num.planned || sym.plan == nil || !sym.plan.matches(a) {
+		return nil, fmt.Errorf("core: FactorInto requires a numeric built on the analyzed sparsity pattern and a matrix matching it")
+	}
+	if num.planned {
+		if num.Perm == nil {
+			num.Perm = sym.plan.perm.SharePattern()
+		}
+		sparse.PermuteInto(num.Perm, a, sym.plan.permMap)
+	} else {
+		num.Perm = a.Permute(sym.RowPerm, sym.ColPerm)
+	}
+
+	// ---- Unified numeric sweep: every fine-ND block gets its own
+	// cooperative parallel region and the fine-BTF partition runs on its
+	// flop-balanced worker sweeps, all concurrently; the driver joins
+	// point-to-point on the per-block completion fabric.
+	if nt == 1 {
+		for blk := 0; blk < nblocks; blk++ {
+			num.factorBlock(blk, 0)
+		}
+	} else {
+		for blk := 0; blk < nblocks; blk++ {
+			if sym.kind[blk] != blockND {
+				continue
+			}
+			go func(blk int) {
+				num.factorBlock(blk, 0)
+			}(blk)
+		}
+		for t := 0; t < nt; t++ {
+			if len(sym.partition[t]) == 0 {
+				continue
+			}
+			go func(t int) {
+				for _, blk := range sym.partition[t] {
+					num.factorBlock(blk, t)
+				}
+			}(t)
+		}
+		for blk := 0; blk < nblocks; blk++ {
+			num.factorSig.Wait(blk)
+		}
+	}
+	for _, err := range num.factorErrs {
 		if err != nil {
 			return nil, err
 		}
 	}
-
-	// ---- Fine-ND numeric: one parallel region per large block.
-	for blk := 0; blk < sym.NumBlocks(); blk++ {
-		if sym.kind[blk] != blockND {
-			continue
+	for blk := 0; blk < nblocks; blk++ {
+		if sym.kind[blk] == blockND {
+			num.SyncWaits += num.nd[blk].SyncWaits
+			num.ndSim += num.nd[blk].simSeconds()
 		}
-		r0, r1 := sym.BlockPtr[blk], sym.BlockPtr[blk+1]
-		d := b.ExtractBlock(r0, r1, r0, r1)
-		ndn, err := factorND(d, sym.ndsym[blk], sym.Opts)
-		if err != nil {
-			return nil, fmt.Errorf("core: nd block %d: %w", blk, err)
-		}
-		num.nd[blk] = ndn
-		num.SyncWaits += ndn.SyncWaits
-		num.ndSim += ndn.simSeconds()
 	}
 	num.nnzLU = num.countNnzLU()
+	if fresh {
+		num.compactStorage()
+	}
 	return num, nil
+}
+
+// factorBlock freshly factors one coarse block (worker index t selects the
+// pooled fine-BTF workspace and timing slot) and signals its completion
+// slot. Block storage is reused when present (the FactorInto path) and
+// allocated on first use.
+func (num *Numeric) factorBlock(blk, t int) {
+	sym := num.Sym
+	if num.factorFailed.Load() {
+		// Another block already failed: skip the work, signal the slot so
+		// the point-to-point join still quiesces every worker.
+		num.factorSig.Set(blk)
+		return
+	}
+	r0, r1 := sym.BlockPtr[blk], sym.BlockPtr[blk+1]
+	switch sym.kind[blk] {
+	case blockSmall:
+		num.hookStart(blk, false)
+		var sub *sparse.CSC
+		if num.planned {
+			sub = num.smallIn[blk]
+			if sub == nil {
+				sub = sym.plan.smallPat[blk].SharePattern()
+				num.smallIn[blk] = sub
+			}
+			sparse.ExtractBlockInto(sub, num.Perm, sym.plan.smallSrc[blk])
+		} else {
+			sub = num.Perm.ExtractBlock(r0, r1, r0, r1)
+		}
+		ws := num.workerWS(t)
+		if num.small[blk] == nil {
+			num.small[blk] = &gp.Factors{}
+		}
+		t0 := time.Now()
+		err := gp.FactorInto(num.small[blk], sub, sym.estNnz[blk], sym.Opts.gpOptions(), ws)
+		num.btfBusy[t] += time.Since(t0).Seconds()
+		if err != nil {
+			num.factorErrs[blk] = fmt.Errorf("core: small block %d: %w", blk, err)
+			num.factorFailed.Store(true)
+		}
+		num.hookDone(blk, false)
+		num.factorSig.Set(blk)
+	case blockND:
+		num.hookStart(blk, true)
+		var grid *ndGrid
+		if num.planned {
+			grid = sym.ndsym[blk].grid
+		}
+		ndn, err := factorND(num.Perm, r0, sym.ndsym[blk], sym.Opts, grid, num.nd[blk])
+		if err != nil {
+			num.factorErrs[blk] = fmt.Errorf("core: nd block %d: %w", blk, err)
+			num.factorFailed.Store(true)
+		} else {
+			num.nd[blk] = ndn
+		}
+		num.hookDone(blk, true)
+		num.factorSig.Set(blk)
+	}
+}
+
+// workerWS returns fine-BTF worker t's pooled Gilbert–Peierls workspace
+// (lazily built; gp calls grow it to each block's dimension on demand).
+func (num *Numeric) workerWS(t int) *gp.Workspace {
+	ws := num.factorWS[t]
+	if ws == nil {
+		ws = gp.NewWorkspace(64)
+		num.factorWS[t] = ws
+	}
+	return ws
+}
+
+// compactStorage clips every factor's storage to its exact length after a
+// fresh factorization, releasing the slack the 2× symbolic nnz estimates
+// retain (pooled FactorInto reuse deliberately keeps the slack instead).
+func (num *Numeric) compactStorage() {
+	for _, f := range num.small {
+		if f != nil {
+			f.Compact()
+		}
+	}
+	for _, ndn := range num.nd {
+		if ndn != nil {
+			ndn.compactStorage()
+		}
+	}
 }
 
 // FactorDirect is the one-shot Analyze+Factor.
@@ -536,53 +826,65 @@ func (num *Numeric) Refactor(a *sparse.CSC) error {
 // buildPipeline constructs the refactorization pipeline from the first
 // same-pattern matrix, verifying that its pattern matches the factored one.
 // The pipeline is returned fully built (the caller publishes it with one
-// assignment), so a failed build leaves the Numeric untouched.
+// assignment), so a failed build leaves the Numeric untouched. A numeric
+// built through the Analyze-time gather plan shares the plan's entry maps
+// and block patterns instead of rebuilding them.
 func (num *Numeric) buildPipeline(a *sparse.CSC) (*refactorPipeline, error) {
 	sym := num.Sym
-	b, permMap := a.PermuteWithMap(sym.RowPerm, sym.ColPerm)
-	if b.Nnz() != num.Perm.Nnz() {
-		return nil, fmt.Errorf("core: refactor pattern mismatch: %d entries, analyzed %d", b.Nnz(), num.Perm.Nnz())
-	}
-	for j := 0; j <= sym.N; j++ {
-		if b.Colptr[j] != num.Perm.Colptr[j] {
-			return nil, fmt.Errorf("core: refactor pattern mismatch in column %d", j-1)
-		}
-	}
-	for t, r := range b.Rowidx {
-		if r != num.Perm.Rowidx[t] {
-			return nil, fmt.Errorf("core: refactor pattern mismatch at entry %d", t)
-		}
-	}
 	nblocks := sym.NumBlocks()
 	pipe := &refactorPipeline{
-		permMap:  permMap,
 		smallSub: make([]*sparse.CSC, nblocks),
 		smallSrc: make([][]int, nblocks),
 		sig:      NewEpochSignals(nblocks),
 		errs:     make([]error, nblocks),
-		colptr:   append([]int(nil), a.Colptr...),
-		rowidx:   append([]int(nil), a.Rowidx...),
 	}
-	maxSmall := 1
+	if num.planned && sym.plan.matches(a) {
+		pipe.permMap = sym.plan.permMap
+		pipe.colptr = sym.plan.colptr
+		pipe.rowidx = sym.plan.rowidx
+	} else {
+		b, permMap := a.PermuteWithMap(sym.RowPerm, sym.ColPerm)
+		if b.Nnz() != num.Perm.Nnz() {
+			return nil, fmt.Errorf("core: refactor pattern mismatch: %d entries, analyzed %d", b.Nnz(), num.Perm.Nnz())
+		}
+		for j := 0; j <= sym.N; j++ {
+			if b.Colptr[j] != num.Perm.Colptr[j] {
+				return nil, fmt.Errorf("core: refactor pattern mismatch in column %d", j-1)
+			}
+		}
+		for t, r := range b.Rowidx {
+			if r != num.Perm.Rowidx[t] {
+				return nil, fmt.Errorf("core: refactor pattern mismatch at entry %d", t)
+			}
+		}
+		pipe.permMap = permMap
+		pipe.colptr = append([]int(nil), a.Colptr...)
+		pipe.rowidx = append([]int(nil), a.Rowidx...)
+	}
 	for blk := 0; blk < nblocks; blk++ {
 		r0, r1 := sym.BlockPtr[blk], sym.BlockPtr[blk+1]
 		switch sym.kind[blk] {
 		case blockSmall:
-			sub, src := num.Perm.ExtractBlockWithMap(r0, r1, r0, r1)
-			pipe.smallSub[blk] = sub
-			pipe.smallSrc[blk] = src
-			if r1-r0 > maxSmall {
-				maxSmall = r1 - r0
+			if num.planned {
+				// Reuse the pooled gather block of the factor fast path (its
+				// values are scratch between sweeps either way).
+				sub := num.smallIn[blk]
+				if sub == nil {
+					sub = sym.plan.smallPat[blk].SharePattern()
+					num.smallIn[blk] = sub
+				}
+				pipe.smallSub[blk] = sub
+				pipe.smallSrc[blk] = sym.plan.smallSrc[blk]
+			} else {
+				sub, src := num.Perm.ExtractBlockWithMap(r0, r1, r0, r1)
+				pipe.smallSub[blk] = sub
+				pipe.smallSrc[blk] = src
 			}
 		case blockND:
 			num.nd[blk].ensureRefactorState(num.Perm, r0)
 		}
 	}
 	nt := sym.Opts.threads()
-	pipe.ws = make([]*gp.Workspace, nt)
-	for t := 0; t < nt; t++ {
-		pipe.ws[t] = gp.NewWorkspace(maxSmall)
-	}
 	owned := make([]bool, nblocks)
 	for blk := 0; blk < nblocks; blk++ {
 		if sym.kind[blk] == blockND {
@@ -655,11 +957,11 @@ func (num *Numeric) refactorBlock(blk, t int) {
 		sub := pipe.smallSub[blk]
 		sparse.ExtractBlockInto(sub, num.Perm, pipe.smallSrc[blk])
 		t0 := time.Now()
-		err := num.small[blk].Refactor(sub, pipe.ws[t])
+		err := num.small[blk].Refactor(sub, num.workerWS(t))
 		if err != nil && errors.Is(err, gp.ErrSingular) {
 			// Pivot drift: re-pivot this block alone.
 			var f *gp.Factors
-			f, err = gp.Factor(sub, sym.estNnz[blk], gp.Options{PivotTol: sym.Opts.PivotTol}, pipe.ws[t])
+			f, err = gp.Factor(sub, sym.estNnz[blk], sym.Opts.gpOptions(), num.workerWS(t))
 			if err == nil {
 				num.small[blk] = f
 				pipe.changed.Store(true)
@@ -673,14 +975,18 @@ func (num *Numeric) refactorBlock(blk, t int) {
 		pipe.sig.Set(blk)
 	case blockND:
 		num.hookStart(blk, true)
-		r0, r1 := sym.BlockPtr[blk], sym.BlockPtr[blk+1]
+		r0 := sym.BlockPtr[blk]
 		err := num.nd[blk].refactorInPlace(num.Perm, r0)
 		if err != nil && errors.Is(err, gp.ErrSingular) {
 			// Pivot drift inside the 2D hierarchy: rebuild this coarse
-			// block with a fresh parallel factorization (new pivots).
-			d := num.Perm.ExtractBlock(r0, r1, r0, r1)
+			// block with a fresh parallel factorization (new pivots),
+			// published only once completely built.
+			var grid *ndGrid
+			if num.planned {
+				grid = sym.ndsym[blk].grid
+			}
 			var fresh *ndNum
-			fresh, err = factorND(d, sym.ndsym[blk], sym.Opts)
+			fresh, err = factorND(num.Perm, r0, sym.ndsym[blk], sym.Opts, grid, nil)
 			if err == nil {
 				fresh.ensureRefactorState(num.Perm, r0)
 				num.nd[blk] = fresh

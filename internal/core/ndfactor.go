@@ -29,6 +29,50 @@ type ndSym struct {
 	// est holds the Algorithm 3 nonzero estimates (may be nil when the
 	// symbolic phase was skipped, e.g. in unit tests of the numeric layer).
 	est *ndEstimates
+	// grid caches the 2D input-block patterns and their entry maps into the
+	// globally permuted matrix, built once at Analyze time so every numeric
+	// factorization gathers block values instead of re-extracting them.
+	// nil when the analysis was built without a factor plan.
+	grid *ndGrid
+}
+
+// ndGrid is the pattern side of one fine-ND block's 2D input hierarchy:
+// pat[i][j] holds the sparsity pattern of coupled block (i,j) (its values
+// are the analyzed matrix's) and src[i][j] maps each entry to its position
+// in the globally permuted matrix. Read-only after construction; numeric
+// factorizations share the patterns and gather into private value buffers.
+type ndGrid struct {
+	pat [][]*sparse.CSC
+	src [][][]int
+}
+
+// buildNDGrid extracts the coupled 2D blocks of the fine-ND hierarchy
+// rooted at permuted offset r0, with entry maps for later value gathers.
+func buildNDGrid(perm *sparse.CSC, r0 int, s *ndSym) *ndGrid {
+	nb := s.nb
+	g := &ndGrid{
+		pat: make([][]*sparse.CSC, nb),
+		src: make([][][]int, nb),
+	}
+	for i := 0; i < nb; i++ {
+		g.pat[i] = make([]*sparse.CSC, nb)
+		g.src[i] = make([][]int, nb)
+	}
+	attach := func(i, j int) {
+		ri0, ri1 := s.blockRange(i)
+		cj0, cj1 := s.blockRange(j)
+		g.pat[i][j], g.src[i][j] = perm.ExtractBlockWithMap(r0+ri0, r0+ri1, r0+cj0, r0+cj1)
+	}
+	for j := 0; j < nb; j++ {
+		attach(j, j) // diagonal
+		for _, i := range s.ancestors[j] {
+			attach(i, j) // lower: ancestors of j
+		}
+		for i := s.subLo[j]; i < j; i++ {
+			attach(i, j) // upper: descendants of j
+		}
+	}
+	return g
 }
 
 func newNDSym(tree *nd.Tree) *ndSym {
@@ -103,8 +147,14 @@ type ndNum struct {
 	// U block in pivot-space K-rows.
 	lower [][]*sparse.CSC
 	upper [][]*sparse.CSC
-	// a[I][J] holds the permuted input blocks for every coupled pair.
+	// a[I][J] holds the permuted input blocks for every coupled pair
+	// (patterns shared with the grid, values private to this numeric).
 	a [][]*sparse.CSC
+	// aSrc[I][J] maps every entry of a[I][J] to its position in the
+	// globally permuted matrix: refreshing the input hierarchy — for a
+	// fresh factorization or an in-place refactorization — is a pure value
+	// gather.
+	aSrc [][][]int
 	// red[I][J] caches the reduced blocks Â_IJ = A_IJ − Σ L·U wherever a
 	// reduction feeds a kernel, so the in-place refactorization sweep can
 	// refresh their values over the same (structural) patterns the first
@@ -112,11 +162,23 @@ type ndNum struct {
 	red [][]*sparse.CSC
 
 	opts  Options
-	flags *blockFlags
+	flags *epochBlockFlags
 	barr  *barrier
+	// lastContended snapshots the flag fabric's cumulative contended-wait
+	// counter so each factorization reports its own SyncWaits delta.
+	lastContended int64
+	// fws/fmark/facc/ftag are the pooled per-worker workspaces of the fresh
+	// factorization sweep, allocated once and reused across FactorInto;
+	// flows/fups are the per-worker reduction gather buffers.
+	fws   []*gp.Workspace
+	fmark [][]int
+	facc  [][]float64
+	ftag  []int
+	flows [][]*sparse.CSC
+	fups  [][]*sparse.CSC
 	// re holds the reusable state of the in-place refactorization sweep
-	// (entry maps into the permuted matrix, pooled per-worker workspaces,
-	// the resettable epoch flag fabric). Built on the first Refactor.
+	// (pooled per-worker workspaces, the resettable epoch flag fabric).
+	// Built on the first Refactor.
 	re *ndRefactor
 
 	errMu    sync.Mutex
@@ -158,65 +220,148 @@ func (s *ndSym) blockRange(b int) (int, int) {
 	return s.tree.BlockPtr[b], s.tree.BlockPtr[b+1]
 }
 
-// extractBlocks splits the permuted ND matrix d into the 2D block grid.
-func (num *ndNum) extractBlocks(d *sparse.CSC) {
-	s := num.sym
-	nb := s.nb
-	num.a = make([][]*sparse.CSC, nb)
-	num.lower = make([][]*sparse.CSC, nb)
-	num.upper = make([][]*sparse.CSC, nb)
-	num.red = make([][]*sparse.CSC, nb)
-	for i := 0; i < nb; i++ {
-		num.a[i] = make([]*sparse.CSC, nb)
-		num.lower[i] = make([]*sparse.CSC, nb)
-		num.upper[i] = make([]*sparse.CSC, nb)
-		num.red[i] = make([]*sparse.CSC, nb)
-	}
-	for j := 0; j < nb; j++ {
-		c0, c1 := s.blockRange(j)
-		// Diagonal.
-		num.a[j][j] = d.ExtractBlock(c0, c1, c0, c1)
-		// Lower: ancestors of j (larger ids, below in matrix order).
-		for _, i := range s.ancestors[j] {
-			r0, r1 := s.blockRange(i)
-			num.a[i][j] = d.ExtractBlock(r0, r1, c0, c1)
-		}
-		// Upper: all descendants of j.
-		for i := s.subLo[j]; i < j; i++ {
-			r0, r1 := s.blockRange(i)
-			num.a[i][j] = d.ExtractBlock(r0, r1, c0, c1)
-		}
-	}
-}
-
 // factorND runs the parallel numeric factorization of one fine-ND block
 // (Algorithm 4 at block granularity; column-level interleaving is replaced
 // by per-block point-to-point flags, which preserves the dependency
 // structure of the paper's dependency tree). Same-pattern numeric
-// refreshes go through refactorInPlace instead.
-func factorND(d *sparse.CSC, sym *ndSym, opts Options) (*ndNum, error) {
-	num := &ndNum{sym: sym, n: d.N, opts: opts, diag: make([]*gp.Factors, sym.nb)}
-	num.extractBlocks(d)
-	num.flags = newBlockFlags(sym.nb)
-	num.phaseDur = make([][]float64, sym.p)
-	num.SyncWaits = 0
-	if opts.Sync == SyncBarrier {
-		num.barr = newBarrier(sym.p)
+// refreshes with fixed pivots go through refactorInPlace instead.
+//
+// The block occupies [r0, r0+n) of the globally permuted matrix perm. grid
+// supplies the 2D input patterns and gather maps (nil builds them from perm
+// — the slow path for matrices whose pattern was never analyzed). reuse, if
+// non-nil, recycles a prior factorization's entire storage — input grids,
+// diagonal factors, off-diagonal blocks, workspaces and the flag fabric —
+// so repeated fresh factorizations stop allocating; on error its contents
+// are unspecified.
+func factorND(perm *sparse.CSC, r0 int, sym *ndSym, opts Options, grid *ndGrid, reuse *ndNum) (*ndNum, error) {
+	if grid == nil {
+		grid = buildNDGrid(perm, r0, sym)
 	}
-	var wg sync.WaitGroup
-	for t := 0; t < sym.p; t++ {
-		wg.Add(1)
-		go func(t int) {
-			defer wg.Done()
-			num.worker(t)
-		}(t)
+	num := reuse
+	if num == nil {
+		nb := sym.nb
+		num = &ndNum{
+			sym:   sym,
+			n:     grid.n(),
+			opts:  opts,
+			diag:  make([]*gp.Factors, nb),
+			aSrc:  grid.src,
+			flags: newEpochBlockFlags(nb),
+			lower: make([][]*sparse.CSC, nb),
+			upper: make([][]*sparse.CSC, nb),
+			a:     make([][]*sparse.CSC, nb),
+			red:   make([][]*sparse.CSC, nb),
+			fws:   make([]*gp.Workspace, sym.p),
+			fmark: make([][]int, sym.p),
+			facc:  make([][]float64, sym.p),
+			ftag:  make([]int, sym.p),
+			flows: make([][]*sparse.CSC, sym.p),
+			fups:  make([][]*sparse.CSC, sym.p),
+		}
+		for i := 0; i < nb; i++ {
+			num.a[i] = make([]*sparse.CSC, nb)
+			num.lower[i] = make([]*sparse.CSC, nb)
+			num.upper[i] = make([]*sparse.CSC, nb)
+			num.red[i] = make([]*sparse.CSC, nb)
+		}
+		for i := 0; i < nb; i++ {
+			for j, pat := range grid.pat[i] {
+				if pat != nil {
+					num.a[i][j] = pat.SharePattern()
+				}
+			}
+		}
+		num.phaseDur = make([][]float64, sym.p)
+		if opts.Sync == SyncBarrier {
+			num.barr = newBarrier(sym.p)
+		}
+	} else {
+		num.flags.Reset()
+		if num.barr != nil {
+			num.barr.reset() // a prior failed sweep leaves the barrier broken
+		}
+		num.firstErr = nil
+		for t := range num.phaseDur {
+			num.phaseDur[t] = num.phaseDur[t][:0]
+		}
 	}
-	wg.Wait()
+	// Gather the input hierarchy's values from the permuted matrix.
+	for i := range num.a {
+		for j, src := range num.aSrc[i] {
+			if src != nil {
+				sparse.ExtractBlockInto(num.a[i][j], perm, src)
+			}
+		}
+	}
+	if sym.p == 1 {
+		num.worker(0)
+	} else {
+		var wg sync.WaitGroup
+		for t := 0; t < sym.p; t++ {
+			wg.Add(1)
+			go func(t int) {
+				defer wg.Done()
+				num.worker(t)
+			}(t)
+		}
+		wg.Wait()
+	}
+	// Snapshot the contended-wait counter before the error return, so a
+	// failed sweep's waits never leak into the next sweep's SyncWaits delta.
+	total := num.flags.Contended()
+	delta := total - num.lastContended
+	num.lastContended = total
 	if num.firstErr != nil {
 		return nil, num.firstErr
 	}
-	num.SyncWaits = num.flags.contended.Load()
+	num.SyncWaits = delta
 	return num, nil
+}
+
+// workerScratch returns worker t's pooled workspace, mark array and dense
+// accumulator, lazily built on first use and shared by the fresh and
+// in-place sweeps (mutually exclusive by contract).
+func (num *ndNum) workerScratch(t int) (*gp.Workspace, []int, []float64) {
+	if num.fws[t] == nil {
+		num.fws[t] = gp.NewWorkspace(maxBlockDim(num.sym))
+		num.fmark[t] = make([]int, num.n+1)
+		num.facc[t] = make([]float64, num.n+1)
+	}
+	return num.fws[t], num.fmark[t], num.facc[t]
+}
+
+// n reports the dimension of the grid's square hierarchy.
+func (g *ndGrid) n() int {
+	n := 0
+	for j := range g.pat {
+		if d := g.pat[j][j]; d != nil {
+			n += d.N
+		}
+	}
+	return n
+}
+
+// compactStorage clips every factor block to its exact length (fresh
+// factorizations only; pooled reuse keeps the slack).
+func (num *ndNum) compactStorage() {
+	for _, f := range num.diag {
+		if f != nil {
+			f.Compact()
+		}
+	}
+	for i := range num.lower {
+		for j := range num.lower[i] {
+			if b := num.lower[i][j]; b != nil {
+				b.Compact()
+			}
+			if b := num.upper[i][j]; b != nil {
+				b.Compact()
+			}
+			if b := num.red[i][j]; b != nil {
+				b.Compact()
+			}
+		}
+	}
 }
 
 func (num *ndNum) fail(err error) {
@@ -235,7 +380,7 @@ func (num *ndNum) fail(err error) {
 // point-to-point mode these are no-ops and only flag waits synchronize.
 func (num *ndNum) phaseBarrier() bool {
 	if num.barr == nil {
-		return !num.flags.aborted()
+		return !num.flags.Aborted()
 	}
 	return num.barr.await()
 }
@@ -246,14 +391,14 @@ func (num *ndNum) wait(i, j int) bool {
 
 // worker runs the static schedule of thread t. Each schedule step is
 // timed (compute only, not waits) into phaseDur for the simulated-makespan
-// model.
+// model. All scratch comes from the pooled per-worker workspaces, so a
+// recycled factorization allocates nothing here.
 func (num *ndNum) worker(t int) {
 	s := num.sym
 	leaf := s.tree.Leaves[t]
-	ws := gp.NewWorkspace(maxBlockDim(s))
-	mark := make([]int, num.n+1)
-	acc := make([]float64, num.n+1)
-	tag := 0
+	ws, mark, acc := num.workerScratch(t)
+	tag := num.ftag[t]
+	defer func() { num.ftag[t] = tag }()
 	var busy float64
 	compute := func(f func() error) bool {
 		t0 := time.Now()
@@ -277,7 +422,7 @@ func (num *ndNum) worker(t int) {
 		}
 		num.flags.set(leaf, leaf)
 		for _, i := range s.ancestors[leaf] {
-			num.lower[i][leaf] = num.diag[leaf].LowerBlockSolve(num.a[i][leaf], mark, &tag, acc)
+			num.lower[i][leaf] = num.diag[leaf].LowerBlockSolveInto(num.lower[i][leaf], num.a[i][leaf], mark, &tag, acc)
 			num.flags.set(i, leaf)
 		}
 		return nil
@@ -292,7 +437,7 @@ func (num *ndNum) worker(t int) {
 		j := ancestorAtHeight(s, leaf, slevel)
 		// Step A (treelevel 0): my leaf's upper block U_{leaf,j}.
 		ok = compute(func() error {
-			num.upper[leaf][j] = num.solveUpper(leaf, num.a[leaf][j], ws)
+			num.upper[leaf][j] = num.solveUpper(leaf, num.a[leaf][j], ws, num.upper[leaf][j])
 			num.flags.set(leaf, j)
 			return nil
 		})
@@ -304,7 +449,7 @@ func (num *ndNum) worker(t int) {
 		for h := 1; h < slevel; h++ {
 			k := ancestorAtHeight(s, leaf, h)
 			if s.owner[k] == t {
-				lows, ups, ok2 := num.gatherReduction(k, j)
+				lows, ups, ok2 := num.gatherReductionOn(num.flags, k, j, t)
 				if !ok2 {
 					endPhase()
 					return
@@ -312,10 +457,10 @@ func (num *ndNum) worker(t int) {
 				if !compute(func() error {
 					ahat := num.a[k][j]
 					if len(lows) > 0 {
-						ahat = reduceBlock(num.a[k][j], lows, ups, mark, &tag, acc)
+						ahat = reduceBlock(num.a[k][j], lows, ups, mark, &tag, acc, num.red[k][j])
 						num.red[k][j] = ahat
 					}
-					num.upper[k][j] = num.solveUpper(k, ahat, ws)
+					num.upper[k][j] = num.solveUpper(k, ahat, ws, num.upper[k][j])
 					num.flags.set(k, j)
 					return nil
 				}) {
@@ -330,7 +475,7 @@ func (num *ndNum) worker(t int) {
 		}
 		// Step C: the diagonal LU_jj by the owner of j.
 		if s.owner[j] == t {
-			lows, ups, ok2 := num.gatherReduction(j, j)
+			lows, ups, ok2 := num.gatherReductionOn(num.flags, j, j, t)
 			if !ok2 {
 				endPhase()
 				return
@@ -338,7 +483,7 @@ func (num *ndNum) worker(t int) {
 			if !compute(func() error {
 				ahat := num.a[j][j]
 				if len(lows) > 0 {
-					ahat = reduceBlock(num.a[j][j], lows, ups, mark, &tag, acc)
+					ahat = reduceBlock(num.a[j][j], lows, ups, mark, &tag, acc, num.red[j][j])
 					num.red[j][j] = ahat
 				}
 				if err := num.factorDiag(j, ahat, ws); err != nil {
@@ -365,7 +510,7 @@ func (num *ndNum) worker(t int) {
 			if idx%nsub != t-s.leafLo[j] {
 				continue
 			}
-			lows, ups, ok2 := num.gatherRowReduction(i, j)
+			lows, ups, ok2 := num.gatherRowReductionOn(num.flags, i, j, t)
 			if !ok2 {
 				endPhase()
 				return
@@ -373,10 +518,10 @@ func (num *ndNum) worker(t int) {
 			if !compute(func() error {
 				ahat := num.a[i][j]
 				if len(lows) > 0 {
-					ahat = reduceBlock(num.a[i][j], lows, ups, mark, &tag, acc)
+					ahat = reduceBlock(num.a[i][j], lows, ups, mark, &tag, acc, num.red[i][j])
 					num.red[i][j] = ahat
 				}
-				num.lower[i][j] = num.diag[j].LowerBlockSolve(ahat, mark, &tag, acc)
+				num.lower[i][j] = num.diag[j].LowerBlockSolveInto(num.lower[i][j], ahat, mark, &tag, acc)
 				num.flags.set(i, j)
 				return nil
 			}) {
@@ -391,28 +536,33 @@ func (num *ndNum) worker(t int) {
 	}
 }
 
-// factorDiag factors diagonal block b from matrix m.
+// factorDiag factors diagonal block b from matrix m, reusing the block's
+// prior factor storage when present.
 func (num *ndNum) factorDiag(b int, m *sparse.CSC, ws *gp.Workspace) error {
 	hint := 0
 	if num.sym.est != nil {
 		hint = num.sym.est.diagNnz[b]
 	}
-	f, err := gp.Factor(m, hint, gp.Options{PivotTol: num.opts.PivotTol}, ws)
-	if err != nil {
+	if num.diag[b] == nil {
+		num.diag[b] = &gp.Factors{}
+	}
+	if err := gp.FactorInto(num.diag[b], m, hint, num.opts.gpOptions(), ws); err != nil {
 		return fmt.Errorf("core: nd diag block %d: %w", b, err)
 	}
-	num.diag[b] = f
 	return nil
 }
 
-// gatherReduction waits for and collects the (lower, upper) block pairs
+// gatherReductionOn waits (on the given flag fabric — the fresh sweep's or
+// the refactor sweep's) for and collects the (lower, upper) block pairs
 // feeding the reduction Â_kj = A_kj − Σ_{k' ∈ subtree(k)\{k}} L_kk'·U_k'j,
-// i.e. the paper's two-phase reduction of Figure 4(d).
-func (num *ndNum) gatherReduction(k, j int) (lows, ups []*sparse.CSC, ok bool) {
+// i.e. the paper's two-phase reduction of Figure 4(d). Pairs land in worker
+// t's reusable buffers (no steady-state allocation).
+func (num *ndNum) gatherReductionOn(flags *epochBlockFlags, k, j, t int) (lows, ups []*sparse.CSC, ok bool) {
 	s := num.sym
+	lows, ups = num.flows[t][:0], num.fups[t][:0]
 	for kp := s.subLo[k]; kp < k; kp++ {
-		if !num.wait(kp, j) || !num.wait(k, kp) {
-			return nil, nil, false
+		if !flags.wait(kp, j) || !flags.wait(k, kp) {
+			return lows, ups, false
 		}
 		if num.upper[kp][j] == nil || num.lower[k][kp] == nil {
 			continue
@@ -420,16 +570,18 @@ func (num *ndNum) gatherReduction(k, j int) (lows, ups []*sparse.CSC, ok bool) {
 		lows = append(lows, num.lower[k][kp])
 		ups = append(ups, num.upper[kp][j])
 	}
+	num.flows[t], num.fups[t] = lows, ups
 	return lows, ups, true
 }
 
-// gatherRowReduction collects pairs for a lower target row i (an ancestor
+// gatherRowReductionOn collects pairs for a lower target row i (an ancestor
 // of column j): Â_ij = A_ij − Σ_{k' ∈ subtree(j)\{j}} L_ik'·U_k'j.
-func (num *ndNum) gatherRowReduction(i, j int) (lows, ups []*sparse.CSC, ok bool) {
+func (num *ndNum) gatherRowReductionOn(flags *epochBlockFlags, i, j, t int) (lows, ups []*sparse.CSC, ok bool) {
 	s := num.sym
+	lows, ups = num.flows[t][:0], num.fups[t][:0]
 	for kp := s.subLo[j]; kp < j; kp++ {
-		if !num.wait(kp, j) || !num.wait(i, kp) {
-			return nil, nil, false
+		if !flags.wait(kp, j) || !flags.wait(i, kp) {
+			return lows, ups, false
 		}
 		if num.upper[kp][j] == nil || num.lower[i][kp] == nil {
 			continue
@@ -437,62 +589,129 @@ func (num *ndNum) gatherRowReduction(i, j int) (lows, ups []*sparse.CSC, ok bool
 		lows = append(lows, num.lower[i][kp])
 		ups = append(ups, num.upper[kp][j])
 	}
+	num.flows[t], num.fups[t] = lows, ups
 	return lows, ups, true
 }
 
 // solveUpper computes U_kj = L_kk⁻¹ P_k Â_kj column by column with
-// Gilbert–Peierls pattern discovery (the caller supplies the reduced block
-// ahat). The output pattern is the structural DFS reach — exact-zero values
-// are kept — so a same-pattern refactorization can refresh the block's
-// values in place with gp.RefactorUpperBlock.
-func (num *ndNum) solveUpper(k int, ahat *sparse.CSC, ws *gp.Workspace) *sparse.CSC {
+// Gilbert–Peierls pattern discovery over the pruned prefix of L_kk (the
+// caller supplies the reduced block ahat). recycle, if non-nil, is reset
+// and refilled so repeated fresh factorizations stop allocating. The output
+// pattern is the structural DFS reach — exact-zero values are kept — so a
+// same-pattern refactorization can refresh the block's values in place with
+// gp.RefactorUpperBlock.
+func (num *ndNum) solveUpper(k int, ahat *sparse.CSC, ws *gp.Workspace, recycle *sparse.CSC) *sparse.CSC {
 	f := num.diag[k]
-	out := sparse.NewCSC(ahat.M, ahat.N, ahat.Nnz()*2)
+	out := recycle
+	if out == nil {
+		out = sparse.NewCSC(ahat.M, ahat.N, ahat.Nnz()*2)
+	} else {
+		out.ResetShape(ahat.M, ahat.N)
+	}
 	for c := 0; c < ahat.N; c++ {
 		bIdx := ahat.Rowidx[ahat.Colptr[c]:ahat.Colptr[c+1]]
 		bVal := ahat.Values[ahat.Colptr[c]:ahat.Colptr[c+1]]
 		patt := f.SolveSparseL(bIdx, bVal, ws)
-		// Copy out sorted.
+		// Copy out sorted: sort the index pattern alone, then gather the
+		// values in sorted order (cheaper than co-sorting two arrays).
 		start := len(out.Rowidx)
-		for _, r := range patt {
-			out.Rowidx = append(out.Rowidx, r)
+		out.Rowidx = append(out.Rowidx, patt...)
+		seg := out.Rowidx[start:]
+		sort.Ints(seg)
+		for _, r := range seg {
 			out.Values = append(out.Values, ws.X[r])
 		}
 		gp.ClearSparse(ws, patt)
-		sortColumnSegment(out.Rowidx[start:], out.Values[start:])
 		out.Colptr[c+1] = len(out.Rowidx)
 	}
 	return out
 }
 
-// reduceBlock assembles Â = A0 − Σ_t lows[t]·ups[t] as a fresh CSC with
-// sorted columns. A0 may be nil (treated as zero) when a block has no
-// original entries. The output pattern is structural (the union of the
-// contributing patterns, independent of the values), the invariant
-// reduceBlockInto relies on to refresh the same block in place.
-func reduceBlock(a0 *sparse.CSC, lows, ups []*sparse.CSC, mark []int, tagp *int, acc []float64) *sparse.CSC {
+// reduceBlock assembles Â = A0 − Σ_t lows[t]·ups[t] as a CSC with sorted
+// columns, writing into recycle's storage when non-nil. A0 may be nil
+// (treated as zero) when a block has no original entries. The output
+// pattern is structural (the union of the contributing patterns,
+// independent of the values), the invariant reduceBlockInto relies on to
+// refresh the same block in place.
+func reduceBlock(a0 *sparse.CSC, lows, ups []*sparse.CSC, mark []int, tagp *int, acc []float64, recycle *sparse.CSC) *sparse.CSC {
 	m, n := 0, 0
 	if a0 != nil {
 		m, n = a0.M, a0.N
 	} else {
 		m, n = lows[0].M, ups[0].N
 	}
-	nnzHint := 0
-	if a0 != nil {
-		nnzHint = a0.Nnz()
+	out := recycle
+	if out == nil {
+		nnzHint := 0
+		if a0 != nil {
+			nnzHint = a0.Nnz()
+		}
+		out = sparse.NewCSC(m, n, nnzHint*2)
+	} else {
+		out.ResetShape(m, n)
 	}
-	out := sparse.NewCSC(m, n, nnzHint*2)
-	var patt []int
 	for c := 0; c < n; c++ {
 		*tagp++
 		tag := *tagp
-		patt = patt[:0]
+		// Column work estimate picks the emission strategy: columns whose
+		// flop count rivals the block height skip pattern collection
+		// entirely — marks are set unconditionally and the rows are scanned
+		// in order (sorted for free, no append, no sort). Sparse columns
+		// collect their pattern and sort it. Both produce the identical
+		// structural pattern (mark membership does not depend on values).
+		work := 0
+		if a0 != nil {
+			work = a0.Colptr[c+1] - a0.Colptr[c]
+		}
+		for t := range ups {
+			up := ups[t]
+			lo := lows[t]
+			for p := up.Colptr[c]; p < up.Colptr[c+1]; p++ {
+				k := up.Rowidx[p]
+				work += lo.Colptr[k+1] - lo.Colptr[k]
+			}
+		}
+		if work*2 >= m {
+			// ---- Dense-merge emission.
+			if a0 != nil {
+				for p := a0.Colptr[c]; p < a0.Colptr[c+1]; p++ {
+					i := a0.Rowidx[p]
+					mark[i] = tag
+					acc[i] += a0.Values[p]
+				}
+			}
+			for t := range lows {
+				lo, up := lows[t], ups[t]
+				for p := up.Colptr[c]; p < up.Colptr[c+1]; p++ {
+					k := up.Rowidx[p]
+					ukc := up.Values[p]
+					rows := lo.Rowidx[lo.Colptr[k]:lo.Colptr[k+1]]
+					vals := lo.Values[lo.Colptr[k]:lo.Colptr[k+1]]
+					vals = vals[:len(rows)] // bounds-check elimination hint
+					for qi, i := range rows {
+						acc[i] -= vals[qi] * ukc
+						mark[i] = tag
+					}
+				}
+			}
+			for i := 0; i < m; i++ {
+				if mark[i] == tag {
+					out.Rowidx = append(out.Rowidx, i)
+					out.Values = append(out.Values, acc[i])
+					acc[i] = 0
+				}
+			}
+			out.Colptr[c+1] = len(out.Rowidx)
+			continue
+		}
+		// ---- Sparse emission: collect the pattern, then sort.
+		start := len(out.Rowidx)
 		if a0 != nil {
 			for p := a0.Colptr[c]; p < a0.Colptr[c+1]; p++ {
 				i := a0.Rowidx[p]
 				if mark[i] != tag {
 					mark[i] = tag
-					patt = append(patt, i)
+					out.Rowidx = append(out.Rowidx, i)
 				}
 				acc[i] += a0.Values[p]
 			}
@@ -502,44 +721,27 @@ func reduceBlock(a0 *sparse.CSC, lows, ups []*sparse.CSC, mark []int, tagp *int,
 			for p := up.Colptr[c]; p < up.Colptr[c+1]; p++ {
 				k := up.Rowidx[p]
 				ukc := up.Values[p]
-				for q := lo.Colptr[k]; q < lo.Colptr[k+1]; q++ {
-					i := lo.Rowidx[q]
+				rows := lo.Rowidx[lo.Colptr[k]:lo.Colptr[k+1]]
+				vals := lo.Values[lo.Colptr[k]:lo.Colptr[k+1]]
+				vals = vals[:len(rows)] // bounds-check elimination hint
+				for qi, i := range rows {
+					acc[i] -= vals[qi] * ukc
 					if mark[i] != tag {
 						mark[i] = tag
-						patt = append(patt, i)
+						out.Rowidx = append(out.Rowidx, i)
 					}
-					acc[i] -= lo.Values[q] * ukc
 				}
 			}
 		}
-		sort.Ints(patt)
-		for _, i := range patt {
-			out.Rowidx = append(out.Rowidx, i)
+		seg := out.Rowidx[start:]
+		sort.Ints(seg)
+		for _, i := range seg {
 			out.Values = append(out.Values, acc[i])
 			acc[i] = 0
 		}
 		out.Colptr[c+1] = len(out.Rowidx)
 	}
 	return out
-}
-
-func sortColumnSegment(rows []int, vals []float64) {
-	if len(rows) < 2 {
-		return
-	}
-	type pair struct {
-		r int
-		v float64
-	}
-	tmp := make([]pair, len(rows))
-	for i := range rows {
-		tmp[i] = pair{rows[i], vals[i]}
-	}
-	sort.Slice(tmp, func(a, b int) bool { return tmp[a].r < tmp[b].r })
-	for i := range tmp {
-		rows[i] = tmp[i].r
-		vals[i] = tmp[i].v
-	}
 }
 
 func ancestorAtHeight(s *ndSym, leaf, h int) int {

@@ -5,30 +5,21 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/gp"
 	"repro/internal/sparse"
 )
 
 // ndRefactor is the reusable state of a fine-ND block's in-place
-// refactorization sweep, built once on the first Refactor:
+// refactorization sweep, built once on the first Refactor: flags is the
+// resettable epoch variant of the point-to-point Signals fabric, so
+// repeated sweeps allocate no synchronization state.
 //
-//   - aSrc[i][j] maps every entry of the cached input block a[i][j]
-//     directly to its position in the globally permuted matrix, so
-//     refreshing the 2D hierarchy is a pure value gather (no ExtractBlock);
-//   - flags is the resettable epoch variant of the point-to-point Signals
-//     fabric, so repeated sweeps allocate no synchronization state;
-//   - wss/accs/lowsBuf/upsBuf are the pooled per-worker workspaces the
-//     refactor kernels (gp.Refactor, RefactorLowerBlock,
-//     RefactorUpperBlock, reduceBlockInto) draw from.
+// Everything else the sweep needs is shared with the fresh-factorization
+// path on the ndNum itself — the input-block entry maps (aSrc) and the
+// per-worker workspaces (fws/facc) and reduction gather buffers
+// (flows/fups); the two sweeps are mutually exclusive by contract, so one
+// worker-indexed pool serves both.
 type ndRefactor struct {
-	aSrc  [][][]int
 	flags *epochBlockFlags
-
-	wss  []*gp.Workspace
-	accs [][]float64
-	// Per-worker reduction gather buffers, reused across sweeps.
-	lowsBuf [][]*sparse.CSC
-	upsBuf  [][]*sparse.CSC
 
 	// lastContended snapshots the flag fabric's cumulative contended-wait
 	// counter so each sweep can report its own SyncWaits delta.
@@ -36,47 +27,14 @@ type ndRefactor struct {
 }
 
 // ensureRefactorState builds the in-place refactor state for this ND block,
-// whose rows/columns occupy [r0, r0+n) of the permuted matrix perm. The
-// cached input blocks are re-extracted with entry maps (identical patterns,
-// refreshed values); subsequent sweeps only gather.
+// whose rows/columns occupy [r0, r0+n) of the permuted matrix perm (kept as
+// a parameter for interface stability; the input hierarchy and its gather
+// maps already live on the ndNum).
 func (num *ndNum) ensureRefactorState(perm *sparse.CSC, r0 int) {
 	if num.re != nil {
 		return
 	}
-	s := num.sym
-	re := &ndRefactor{
-		aSrc:  make([][][]int, s.nb),
-		flags: newEpochBlockFlags(s.nb),
-	}
-	for i := 0; i < s.nb; i++ {
-		re.aSrc[i] = make([][]int, s.nb)
-	}
-	attach := func(i, j int) {
-		ri0, ri1 := s.blockRange(i)
-		cj0, cj1 := s.blockRange(j)
-		blk, src := perm.ExtractBlockWithMap(r0+ri0, r0+ri1, r0+cj0, r0+cj1)
-		num.a[i][j] = blk
-		re.aSrc[i][j] = src
-	}
-	for j := 0; j < s.nb; j++ {
-		attach(j, j)
-		for _, i := range s.ancestors[j] {
-			attach(i, j)
-		}
-		for i := s.subLo[j]; i < j; i++ {
-			attach(i, j)
-		}
-	}
-	dim := maxBlockDim(s)
-	re.wss = make([]*gp.Workspace, s.p)
-	re.accs = make([][]float64, s.p)
-	re.lowsBuf = make([][]*sparse.CSC, s.p)
-	re.upsBuf = make([][]*sparse.CSC, s.p)
-	for t := 0; t < s.p; t++ {
-		re.wss[t] = gp.NewWorkspace(dim)
-		re.accs[t] = make([]float64, num.n+1)
-	}
-	num.re = re
+	num.re = &ndRefactor{flags: newEpochBlockFlags(num.sym.nb)}
 }
 
 // refactorInPlace refreshes every numeric value of the 2D factorization for
@@ -90,7 +48,7 @@ func (num *ndNum) refactorInPlace(perm *sparse.CSC, r0 int) error {
 	re := num.re
 	s := num.sym
 	for i := 0; i < s.nb; i++ {
-		for j, src := range re.aSrc[i] {
+		for j, src := range num.aSrc[i] {
 			if src != nil {
 				sparse.ExtractBlockInto(num.a[i][j], perm, src)
 			}
@@ -140,8 +98,7 @@ func (num *ndNum) refactorWorker(t int) {
 	s := num.sym
 	re := num.re
 	leaf := s.tree.Leaves[t]
-	ws := re.wss[t]
-	acc := re.accs[t]
+	ws, _, acc := num.workerScratch(t)
 	var busy float64
 
 	// ---- treelevel -1: refresh the leaf diagonal and its lower blocks.
@@ -182,7 +139,7 @@ func (num *ndNum) refactorWorker(t int) {
 		for h := 1; h < slevel; h++ {
 			k := ancestorAtHeight(s, leaf, h)
 			if s.owner[k] == t {
-				lows, ups, ok := num.gatherReductionEpoch(k, j, t)
+				lows, ups, ok := num.gatherReductionOn(re.flags, k, j, t)
 				if !ok {
 					num.phaseDur[t] = append(num.phaseDur[t], busy)
 					return
@@ -205,7 +162,7 @@ func (num *ndNum) refactorWorker(t int) {
 		}
 		// Step C: the diagonal LU_jj by the owner of j.
 		if s.owner[j] == t {
-			lows, ups, ok := num.gatherReductionEpoch(j, j, t)
+			lows, ups, ok := num.gatherReductionOn(re.flags, j, j, t)
 			if !ok {
 				num.phaseDur[t] = append(num.phaseDur[t], busy)
 				return
@@ -242,7 +199,7 @@ func (num *ndNum) refactorWorker(t int) {
 			if idx%nsub != t-s.leafLo[j] {
 				continue
 			}
-			lows, ups, ok := num.gatherRowReductionEpoch(i, j, t)
+			lows, ups, ok := num.gatherRowReductionOn(re.flags, i, j, t)
 			if !ok {
 				num.phaseDur[t] = append(num.phaseDur[t], busy)
 				return
@@ -263,45 +220,6 @@ func (num *ndNum) refactorWorker(t int) {
 			return
 		}
 	}
-}
-
-// gatherReductionEpoch mirrors gatherReduction on the epoch flag fabric,
-// collecting into worker t's reusable buffers (no steady-state allocation).
-func (num *ndNum) gatherReductionEpoch(k, j, t int) (lows, ups []*sparse.CSC, ok bool) {
-	s := num.sym
-	re := num.re
-	lows, ups = re.lowsBuf[t][:0], re.upsBuf[t][:0]
-	for kp := s.subLo[k]; kp < k; kp++ {
-		if !re.flags.wait(kp, j) || !re.flags.wait(k, kp) {
-			return lows, ups, false
-		}
-		if num.upper[kp][j] == nil || num.lower[k][kp] == nil {
-			continue
-		}
-		lows = append(lows, num.lower[k][kp])
-		ups = append(ups, num.upper[kp][j])
-	}
-	re.lowsBuf[t], re.upsBuf[t] = lows, ups
-	return lows, ups, true
-}
-
-// gatherRowReductionEpoch mirrors gatherRowReduction on the epoch fabric.
-func (num *ndNum) gatherRowReductionEpoch(i, j, t int) (lows, ups []*sparse.CSC, ok bool) {
-	s := num.sym
-	re := num.re
-	lows, ups = re.lowsBuf[t][:0], re.upsBuf[t][:0]
-	for kp := s.subLo[j]; kp < j; kp++ {
-		if !re.flags.wait(kp, j) || !re.flags.wait(i, kp) {
-			return lows, ups, false
-		}
-		if num.upper[kp][j] == nil || num.lower[i][kp] == nil {
-			continue
-		}
-		lows = append(lows, num.lower[i][kp])
-		ups = append(ups, num.upper[kp][j])
-	}
-	re.lowsBuf[t], re.upsBuf[t] = lows, ups
-	return lows, ups, true
 }
 
 // reduceBlockInto refreshes dst = A0 − Σ_t lows[t]·ups[t] over dst's fixed

@@ -61,6 +61,9 @@ type Options struct {
 	LocalAMD bool
 	// Sync selects the synchronization mode of the ND numeric phase.
 	Sync SyncMode
+	// NoPrune disables Eisenstat–Liu symmetric pruning inside every
+	// Gilbert–Peierls kernel (ablation; see gp.Options.NoPrune).
+	NoPrune bool
 }
 
 // DefaultOptions returns the paper-faithful defaults: BTF + MWCM on,
@@ -75,6 +78,12 @@ func DefaultOptions() Options {
 		LocalAMD:    true,
 		Sync:        SyncPointToPoint,
 	}
+}
+
+// gpOptions returns the Gilbert–Peierls kernel options used inside every
+// diagonal block.
+func (o Options) gpOptions() gp.Options {
+	return gp.Options{PivotTol: o.PivotTol, NoPrune: o.NoPrune}
 }
 
 func (o Options) threads() int {

@@ -235,7 +235,7 @@ func TestRefactorNDOverlapsBTF(t *testing.T) {
 	smallDone := make(chan struct{})
 	var ndOnce, smOnce sync.Once
 	var timedOut atomic.Bool
-	num.hooks = &refactorHooks{
+	num.hooks = &schedHooks{
 		blockStart: func(blk int, nd bool) {
 			if nd {
 				ndOnce.Do(func() { close(ndStarted) })

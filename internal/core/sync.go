@@ -144,7 +144,10 @@ func (s *EpochSignals) Aborted() bool { return s.abort.Load() == s.epoch }
 func (s *EpochSignals) Contended() int64 { return s.contended.Load() }
 
 // epochBlockFlags adapts EpochSignals to the fine-ND engine's 2D block
-// indexing, mirroring blockFlags for the in-place refactorization sweep.
+// indexing: one resettable completion slot per (i, j) block of the
+// hierarchy, shared by the fresh-factorization and refactorization sweeps
+// (the channel-based Signals fabric remains for one-shot consumers like the
+// trisolve dependency scheduler).
 type epochBlockFlags struct {
 	n int
 	*EpochSignals
@@ -158,28 +161,6 @@ func (f *epochBlockFlags) idx(i, j int) int   { return i*f.n + j }
 func (f *epochBlockFlags) set(i, j int)       { f.Set(f.idx(i, j)) }
 func (f *epochBlockFlags) wait(i, j int) bool { return f.Wait(f.idx(i, j)) }
 func (f *epochBlockFlags) fail()              { f.Fail() }
-
-// blockFlags adapts the Signals fabric to the fine-ND engine's 2D block
-// indexing: one completion slot per (i, j) block of the hierarchy.
-type blockFlags struct {
-	n int
-	*Signals
-}
-
-func newBlockFlags(nblocks int) *blockFlags {
-	return &blockFlags{n: nblocks, Signals: NewSignals(nblocks * nblocks)}
-}
-
-func (f *blockFlags) idx(i, j int) int { return i*f.n + j }
-
-// set marks block (i, j) complete. Each block has exactly one producer.
-func (f *blockFlags) set(i, j int) { f.Set(f.idx(i, j)) }
-
-// wait blocks until block (i, j) is complete, returning false on abort.
-func (f *blockFlags) wait(i, j int) bool { return f.Wait(f.idx(i, j)) }
-
-// fail aborts the whole parallel region.
-func (f *blockFlags) fail() { f.Fail() }
 
 // barrier is a reusable counting barrier for the SyncBarrier ablation mode.
 // It deliberately models the heavyweight "rejoin everything" semantics of a
@@ -230,4 +211,14 @@ func (b *barrier) breakBarrier() {
 	b.count = 0
 	b.mu.Unlock()
 	b.cond.Broadcast()
+}
+
+// reset re-arms a quiesced barrier for a new parallel region after a
+// failure (all prior participants must have returned).
+func (b *barrier) reset() {
+	b.mu.Lock()
+	b.broken.Store(false)
+	b.count = 0
+	b.gen++
+	b.mu.Unlock()
 }

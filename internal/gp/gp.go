@@ -36,10 +36,19 @@ type Options struct {
 	// SuperLU-Dist/PMKL after an MWCM permutation). Fails if a zero
 	// diagonal pivot is met.
 	NoPivot bool
+	// NoPrune disables Eisenstat–Liu symmetric pruning of the symbolic
+	// depth-first searches (the KLU optimization that restricts each DFS to
+	// a pruned prefix of every L column). Exists for the ablation study;
+	// the factors are identical either way, only the symbolic cost changes.
+	NoPrune bool
 }
 
 // DefaultPivotTol mirrors KLU's diagonal-preference default.
 const DefaultPivotTol = 0.001
+
+// pruneMinDim is the smallest dimension worth symmetric pruning: below it
+// the depth-first searches are too short for the prune bookkeeping to pay.
+const pruneMinDim = 48
 
 func (o Options) tol() float64 {
 	if o.PivotTol <= 0 {
@@ -56,6 +65,13 @@ type Factors struct {
 	P []int
 	// Pinv is old-to-new: Pinv[P[k]] = k.
 	Pinv []int
+	// PruneEnd[j] is the end position (absolute index into L.Rowidx) of the
+	// Eisenstat–Liu pruned prefix of L(:,j): a depth-first search over the
+	// finished factor only needs the entries in
+	// [L.Colptr[j]+1, PruneEnd[j]) — every fill path through a later entry
+	// also runs through the prune column, so reach sets are unchanged.
+	// nil when the factorization was built with Options.NoPrune.
+	PruneEnd []int
 	// Flops counts multiply-add pairs performed during factorization.
 	Flops int64
 }
@@ -63,6 +79,16 @@ type Factors struct {
 // NnzLU reports nnz(L)+nnz(U) counting both diagonals once each (the |L+U|
 // statistic of the paper's Table I counts the unit diagonal of L once).
 func (f *Factors) NnzLU() int { return f.L.Nnz() + f.U.Nnz() - f.N }
+
+// Compact clips the factor storage to its exact length, releasing the
+// over-allocation retained from the symbolic nnz estimate (the 2× hint can
+// leave half of each slice's capacity unused). Intended after a fresh
+// factorization whose storage will be kept alive; pooled factorizations that
+// will be refilled through FactorInto should keep their slack instead.
+func (f *Factors) Compact() {
+	f.L.Compact()
+	f.U.Compact()
+}
 
 // Workspace holds the reusable scratch arrays for factorizations of
 // matrices up to a given dimension; reuse across columns and across
@@ -74,6 +100,9 @@ type Workspace struct {
 	Pstack []int     // DFS pointer stack
 	Mark   []int     // visited tags
 	Tag    int
+	// lpend[j] is the in-flight symmetric-pruning boundary of L(:,j) during
+	// a factorization (absolute end index into L.Rowidx; -1 = not pruned).
+	lpend []int
 }
 
 // NewWorkspace returns a workspace for dimension n.
@@ -83,18 +112,20 @@ func NewWorkspace(n int) *Workspace {
 		Xi:     make([]int, 2*n),
 		Pstack: make([]int, n),
 		Mark:   make([]int, n),
+		lpend:  make([]int, n),
 	}
 }
 
 // Grow ensures the workspace covers dimension n.
 func (w *Workspace) Grow(n int) {
-	if len(w.X) >= n {
+	if len(w.X) >= n && len(w.lpend) >= n {
 		return
 	}
 	w.X = make([]float64, n)
 	w.Xi = make([]int, 2*n)
 	w.Pstack = make([]int, n)
 	w.Mark = make([]int, n)
+	w.lpend = make([]int, n)
 	w.Tag = 0
 }
 
@@ -102,8 +133,22 @@ func (w *Workspace) Grow(n int) {
 // capacity hint for each factor (e.g. from a symbolic column-count pass);
 // storage grows on demand if the hint is low. ws may be nil.
 func Factor(a *sparse.CSC, estNnz int, opts Options, ws *Workspace) (*Factors, error) {
+	f := &Factors{}
+	if err := FactorInto(f, a, estNnz, opts, ws); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// FactorInto is Factor writing into caller-owned storage: f's L/U entry
+// slices, permutation arrays and prune pointers are reused when large enough
+// and grown otherwise, so a pooled factorization that repeats on a fixed
+// pattern reaches a steady state with no allocation at all. On error f's
+// contents are unspecified and must not be used for solves (retrying with a
+// new matrix is fine — every call rebuilds from scratch).
+func FactorInto(f *Factors, a *sparse.CSC, estNnz int, opts Options, ws *Workspace) error {
 	if a.M != a.N {
-		return nil, fmt.Errorf("gp: matrix must be square, got %d×%d", a.M, a.N)
+		return fmt.Errorf("gp: matrix must be square, got %d×%d", a.M, a.N)
 	}
 	n := a.N
 	if ws == nil {
@@ -114,22 +159,40 @@ func Factor(a *sparse.CSC, estNnz int, opts Options, ws *Workspace) (*Factors, e
 	if estNnz < a.Nnz()+n {
 		estNnz = a.Nnz() + n
 	}
-	f := &Factors{
-		N:    n,
-		L:    sparse.NewCSC(n, n, estNnz),
-		U:    sparse.NewCSC(n, n, estNnz),
-		P:    make([]int, n),
-		Pinv: make([]int, n),
-	}
+	f.N = n
+	f.L = resetFactorCSC(f.L, n, estNnz)
+	f.U = resetFactorCSC(f.U, n, estNnz)
+	f.P = growInts(f.P, n)
+	f.Pinv = growInts(f.Pinv, n)
+	f.Flops = 0
 	for i := range f.Pinv {
 		f.Pinv[i] = -1
+	}
+	// Pruning pays for its bookkeeping only once columns are long enough
+	// for the DFS to matter; tiny blocks (the fine-BTF majority) skip it.
+	prune := !opts.NoPrune && n >= pruneMinDim
+	for j := 0; j < n; j++ {
+		ws.lpend[j] = -1 // always: a reused workspace may hold stale bounds
+	}
+	if prune {
+		// During the factorization PruneEnd[j] records the *step* at which
+		// column j was pruned (-1 = never); it is converted to a storage
+		// position once L is remapped and sorted.
+		f.PruneEnd = growInts(f.PruneEnd, n)
+		for j := range f.PruneEnd {
+			f.PruneEnd[j] = -1
+		}
+	} else {
+		f.PruneEnd = nil
 	}
 	tol := opts.tol()
 
 	for k := 0; k < n; k++ {
-		// --- Symbolic: pattern of x = L \ A(:,k) by DFS from A(:,k).
+		// --- Symbolic: pattern of x = L \ A(:,k) by DFS from A(:,k),
+		// restricted to the pruned prefix of every L column.
 		top := reach(f.L, f.Pinv, a, k, ws)
-		// --- Numeric: sparse forward solve in topological order.
+		// --- Numeric: sparse forward solve in topological order. The
+		// updates traverse full columns — pruning is symbolic only.
 		x := ws.X
 		for p := a.Colptr[k]; p < a.Colptr[k+1]; p++ {
 			x[a.Rowidx[p]] = a.Values[p]
@@ -148,8 +211,11 @@ func Factor(a *sparse.CSC, estNnz int, opts Options, ws *Workspace) (*Factors, e
 			// x -= L(:,j) * xj, skipping the unit diagonal (first entry).
 			lp0 := f.L.Colptr[j]
 			lp1 := f.L.Colptr[j+1]
-			for t2 := lp0 + 1; t2 < lp1; t2++ {
-				x[f.L.Rowidx[t2]] -= f.L.Values[t2] * xj
+			rows := f.L.Rowidx[lp0+1 : lp1]
+			vals := f.L.Values[lp0+1 : lp1]
+			vals = vals[:len(rows)] // bounds-check elimination hint
+			for t2, i2 := range rows {
+				x[i2] -= vals[t2] * xj
 			}
 			f.Flops += int64(lp1 - lp0 - 1)
 		}
@@ -188,19 +254,20 @@ func Factor(a *sparse.CSC, estNnz int, opts Options, ws *Workspace) (*Factors, e
 		}
 		if pivRow == -1 || pivVal == 0 {
 			clearX(x, xi, top, n, a, k)
-			return nil, fmt.Errorf("gp: column %d: %w", k, ErrSingular)
+			return fmt.Errorf("gp: column %d: %w", k, ErrSingular)
 		}
 		f.P[k] = pivRow
 		f.Pinv[pivRow] = k
 
 		// --- Emit U(:,k): pivoted rows (positions < k) plus pivot last.
+		// Every pattern entry is stored even when its value cancelled to
+		// exact zero: the factor patterns are structural (the DFS reach),
+		// which symmetric pruning and in-place refactorization rely on.
 		for t := top; t < n; t++ {
 			i := xi[t]
 			if j := f.Pinv[i]; j >= 0 && j < k {
-				if v := x[i]; v != 0 {
-					f.U.Rowidx = append(f.U.Rowidx, j)
-					f.U.Values = append(f.U.Values, v)
-				}
+				f.U.Rowidx = append(f.U.Rowidx, j)
+				f.U.Values = append(f.U.Values, x[i])
 			}
 		}
 		f.U.Rowidx = append(f.U.Rowidx, k)
@@ -213,26 +280,154 @@ func Factor(a *sparse.CSC, estNnz int, opts Options, ws *Workspace) (*Factors, e
 		for t := top; t < n; t++ {
 			i := xi[t]
 			if f.Pinv[i] == -1 {
-				if v := x[i]; v != 0 {
-					f.L.Rowidx = append(f.L.Rowidx, i)
-					f.L.Values = append(f.L.Values, v/pivVal)
-					f.Flops++
-				}
+				f.L.Rowidx = append(f.L.Rowidx, i)
+				f.L.Values = append(f.L.Values, x[i]/pivVal)
+				f.Flops++
 			}
 		}
 		f.L.Colptr[k+1] = len(f.L.Rowidx)
 
 		clearX(x, xi, top, n, a, k)
+
+		if prune {
+			f.pruneStep(k, pivRow, ws)
+		}
 	}
 
 	// Remap L's row indices from original ids to pivot order and sort both
 	// factors so downstream solves and refactorization can rely on order.
+	// The sort runs in place through the dense workspace accumulator (which
+	// is clean between columns) instead of CSC.SortColumns' double
+	// transpose, so it allocates nothing and skips already-sorted columns.
 	for t := 0; t < f.L.Nnz(); t++ {
 		f.L.Rowidx[t] = f.Pinv[f.L.Rowidx[t]]
 	}
-	f.L.SortColumns()
-	f.U.SortColumns()
-	return f, nil
+	sortFactorColumns(f.L, ws.X)
+	sortFactorColumns(f.U, ws.X)
+	if prune {
+		f.finishPruneEnd()
+	}
+	return nil
+}
+
+// sortFactorColumns sorts each column's (row, value) entries ascending by
+// row, scattering values through the clean dense scratch x (length >= c.M;
+// returned clean). Row indices within a column are unique.
+func sortFactorColumns(c *sparse.CSC, x []float64) {
+	for j := 0; j < c.N; j++ {
+		p0, p1 := c.Colptr[j], c.Colptr[j+1]
+		rows := c.Rowidx[p0:p1]
+		sorted := true
+		for i := 1; i < len(rows); i++ {
+			if rows[i-1] > rows[i] {
+				sorted = false
+				break
+			}
+		}
+		if sorted {
+			continue
+		}
+		vals := c.Values[p0:p1]
+		vals = vals[:len(rows)]
+		for i, r := range rows {
+			x[r] = vals[i]
+		}
+		sortInts(rows)
+		for i, r := range rows {
+			vals[i] = x[r]
+			x[r] = 0
+		}
+	}
+}
+
+// pruneStep applies Eisenstat–Liu symmetric pruning after pivot k has been
+// chosen: for every column j with a structural entry U(j,k), if L(:,j) also
+// contains the pivot row of step k, then any fill path through a not-yet-
+// pivoted entry of L(:,j) can be rerouted through column k — so those
+// entries are moved behind the prune boundary and every later DFS skips
+// them. Each column is pruned at most once, at the smallest valid k.
+func (f *Factors) pruneStep(k, pivRow int, ws *Workspace) {
+	up0, up1 := f.U.Colptr[k], f.U.Colptr[k+1]
+	for p := up0; p < up1-1; p++ {
+		j := f.U.Rowidx[p]
+		if ws.lpend[j] >= 0 {
+			continue // already pruned
+		}
+		lp0, lp1 := f.L.Colptr[j]+1, f.L.Colptr[j+1]
+		found := false
+		for t := lp0; t < lp1; t++ {
+			if f.L.Rowidx[t] == pivRow {
+				found = true
+				break
+			}
+		}
+		if !found {
+			continue
+		}
+		// Partition: rows already pivoted (pivot position <= k) stay in the
+		// DFS prefix; unpivoted rows (eventual pivot position > k) move to
+		// the pruned tail. Order within a column is free until the final
+		// sort, and the numeric updates traverse the whole column anyway.
+		head, tail := lp0, lp1
+		for head < tail {
+			if f.Pinv[f.L.Rowidx[head]] >= 0 {
+				head++
+			} else {
+				tail--
+				f.L.Rowidx[head], f.L.Rowidx[tail] = f.L.Rowidx[tail], f.L.Rowidx[head]
+				f.L.Values[head], f.L.Values[tail] = f.L.Values[tail], f.L.Values[head]
+			}
+		}
+		ws.lpend[j] = head
+		f.PruneEnd[j] = k
+	}
+}
+
+// finishPruneEnd converts the recorded prune steps into storage positions
+// over the final (pivot-ordered, sorted) L, for the finished-factor DFS of
+// SolveSparseL: column j pruned at step k keeps exactly the entries with
+// pivot row index <= k, a contiguous prefix of the sorted column.
+func (f *Factors) finishPruneEnd() {
+	for j := 0; j < f.N; j++ {
+		p1 := f.L.Colptr[j+1]
+		k := f.PruneEnd[j]
+		if k < 0 {
+			f.PruneEnd[j] = p1
+			continue
+		}
+		lo, hi := f.L.Colptr[j]+1, p1
+		for lo < hi { // first position with row index > k
+			mid := (lo + hi) / 2
+			if f.L.Rowidx[mid] <= k {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		f.PruneEnd[j] = lo
+	}
+}
+
+// resetFactorCSC prepares an n×n factor for refilling, reusing the entry
+// slices' capacity when possible.
+func resetFactorCSC(c *sparse.CSC, n, estNnz int) *sparse.CSC {
+	if c == nil || len(c.Colptr) != n+1 {
+		return sparse.NewCSC(n, n, estNnz)
+	}
+	c.M, c.N = n, n
+	c.Colptr[0] = 0
+	c.Rowidx = c.Rowidx[:0]
+	c.Values = c.Values[:0]
+	return c
+}
+
+// growInts returns s resized to exactly n elements, reusing its backing
+// array when large enough.
+func growInts(s []int, n int) []int {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]int, n)
 }
 
 func clearX(x []float64, xi []int, top, n int, a *sparse.CSC, k int) {
@@ -247,7 +442,8 @@ func clearX(x []float64, xi []int, top, n int, a *sparse.CSC, k int) {
 // reach computes the pattern of L⁻¹ A(:,k) by depth-first search from the
 // nonzeros of A(:,k) in the graph of the partially built L. Nodes are
 // original row ids; a node i with Pinv[i] = j >= 0 has out-edges to the
-// rows of L(:,j). The topological order lands in ws.Xi[top:n].
+// rows of the pruned prefix of L(:,j) (ws.lpend; the full column when
+// unpruned). The topological order lands in ws.Xi[top:n].
 func reach(l *sparse.CSC, pinv []int, a *sparse.CSC, k int, ws *Workspace) int {
 	n := l.N
 	ws.Tag++
@@ -259,15 +455,18 @@ func reach(l *sparse.CSC, pinv []int, a *sparse.CSC, k int, ws *Workspace) int {
 		if ws.Mark[start] == tag {
 			continue
 		}
-		top = dfs(start, l, pinv, xi, top, ws.Pstack, ws.Mark, tag)
+		top = dfs(start, l, pinv, xi, top, ws.Pstack, ws.Mark, tag, ws.lpend)
 	}
 	return top
 }
 
 // dfs pushes the reverse-postorder of nodes reachable from start onto
 // xi[..top], returning the new top. Iterative with an explicit stack held
-// in xi[:n] (head section) and pstack.
-func dfs(start int, l *sparse.CSC, pinv []int, xi []int, top int, pstack, mark []int, tag int) int {
+// in xi[:n] (head section) and pstack. lpend bounds each column's child
+// scan to its symmetric-pruning prefix (-1 = unpruned, full column);
+// pruning preserves both reachability and topological validity, because
+// every skipped edge has a rerouted path inside the pruned graph.
+func dfs(start int, l *sparse.CSC, pinv []int, xi []int, top int, pstack, mark []int, tag int, lpend []int) int {
 	head := 0
 	xi[head] = start
 	for head >= 0 {
@@ -283,7 +482,11 @@ func dfs(start int, l *sparse.CSC, pinv []int, xi []int, top int, pstack, mark [
 		}
 		done := true
 		if j >= 0 {
-			for p := pstack[head]; p < l.Colptr[j+1]; p++ {
+			pend := l.Colptr[j+1]
+			if lpend != nil && lpend[j] >= 0 {
+				pend = lpend[j]
+			}
+			for p := pstack[head]; p < pend; p++ {
 				child := l.Rowidx[p]
 				if mark[child] == tag {
 					continue
@@ -455,8 +658,11 @@ func (f *Factors) Refactor(a *sparse.CSC, ws *Workspace) error {
 			if xj == 0 {
 				continue
 			}
-			for t := f.L.Colptr[j] + 1; t < f.L.Colptr[j+1]; t++ {
-				x[f.L.Rowidx[t]] -= f.L.Values[t] * xj
+			rows := f.L.Rowidx[f.L.Colptr[j]+1 : f.L.Colptr[j+1]]
+			vals := f.L.Values[f.L.Colptr[j]+1 : f.L.Colptr[j+1]]
+			vals = vals[:len(rows)] // bounds-check elimination hint
+			for t, i := range rows {
+				x[i] -= vals[t] * xj
 			}
 		}
 		piv := x[k]

@@ -1,0 +1,222 @@
+package gp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/matgen"
+	"repro/internal/sparse"
+)
+
+// factorBoth factors a with and without Eisenstat–Liu pruning.
+func factorBoth(t *testing.T, a *sparse.CSC, opts Options) (pruned, plain *Factors) {
+	t.Helper()
+	pruned, err := Factor(a, 0, opts, nil)
+	if err != nil {
+		t.Fatalf("pruned factor: %v", err)
+	}
+	opts.NoPrune = true
+	plain, err = Factor(a, 0, opts, nil)
+	if err != nil {
+		t.Fatalf("unpruned factor: %v", err)
+	}
+	return pruned, plain
+}
+
+// checkSameFactorization asserts identical pivot sequences, identical L/U
+// patterns, and values equal to roundoff: symmetric pruning is a symbolic
+// shortcut, not a numerical change (the only legitimate difference is the
+// floating-point summation order behind each entry).
+func checkSameFactorization(t *testing.T, pruned, plain *Factors, scale float64) {
+	t.Helper()
+	for k := range plain.P {
+		if pruned.P[k] != plain.P[k] {
+			t.Fatalf("pivot sequence diverges at step %d: pruned %d, unpruned %d", k, pruned.P[k], plain.P[k])
+		}
+	}
+	checkSameCSC(t, "L", pruned.L, plain.L, scale)
+	checkSameCSC(t, "U", pruned.U, plain.U, scale)
+}
+
+func checkSameCSC(t *testing.T, name string, got, want *sparse.CSC, scale float64) {
+	t.Helper()
+	if got.Nnz() != want.Nnz() {
+		t.Fatalf("%s pattern size: pruned %d entries, unpruned %d", name, got.Nnz(), want.Nnz())
+	}
+	for j := 0; j < want.N; j++ {
+		if got.Colptr[j+1] != want.Colptr[j+1] {
+			t.Fatalf("%s column %d boundary differs", name, j)
+		}
+	}
+	tol := 1e-9 * scale
+	for p, r := range want.Rowidx {
+		if got.Rowidx[p] != r {
+			t.Fatalf("%s entry %d: pruned row %d, unpruned row %d", name, p, got.Rowidx[p], r)
+		}
+		if d := math.Abs(got.Values[p] - want.Values[p]); d > tol*(1+math.Abs(want.Values[p])) {
+			t.Fatalf("%s entry %d: pruned value %v, unpruned %v", name, p, got.Values[p], want.Values[p])
+		}
+	}
+}
+
+// TestPrunedEquivalenceSuite sweeps every matrix-generator class of the
+// paper's evaluation (circuit and mesh suites) and checks that the pruned
+// factorization is bit-compatible with the unpruned one: same pivots, same
+// structural L/U patterns, values identical to roundoff.
+func TestPrunedEquivalenceSuite(t *testing.T) {
+	suite := matgen.TableISuite(0.08)
+	suite = append(suite, matgen.TableIISuite(0.1)...)
+	for _, m := range suite {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			a := m.Gen()
+			pruned, plain := factorBoth(t, a, Options{PivotTol: DefaultPivotTol})
+			checkSameFactorization(t, pruned, plain, a.MaxAbs())
+		})
+	}
+}
+
+// TestPrunedEquivalenceRandom adds random nonsingular matrices with strict
+// partial pivoting (PivotTol 1), where the DFS order differs the most.
+func TestPrunedEquivalenceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 20; trial++ {
+		n := 10 + rng.Intn(120)
+		a := randNonsingular(rng, n, 0.12)
+		pruned, plain := factorBoth(t, a, Options{PivotTol: 1})
+		checkSameFactorization(t, pruned, plain, a.MaxAbs())
+		checkFactorization(t, a, pruned, 10)
+	}
+}
+
+// TestPruneEndBoundsDFS verifies the finished-factor prune pointers: every
+// PruneEnd lies inside its column, and a sparse L-solve through the pruned
+// DFS matches a dense forward substitution.
+func TestPruneEndBoundsDFS(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randNonsingular(rng, 120, 0.1)
+	f, err := Factor(a, 0, Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.PruneEnd == nil {
+		t.Fatal("PruneEnd not built")
+	}
+	prunedCols := 0
+	for j := 0; j < f.N; j++ {
+		p0, p1 := f.L.Colptr[j], f.L.Colptr[j+1]
+		if f.PruneEnd[j] < p0+1 && p1 > p0+1 {
+			t.Fatalf("column %d: PruneEnd %d below column start %d", j, f.PruneEnd[j], p0+1)
+		}
+		if f.PruneEnd[j] > p1 {
+			t.Fatalf("column %d: PruneEnd %d beyond column end %d", j, f.PruneEnd[j], p1)
+		}
+		if f.PruneEnd[j] < p1 {
+			prunedCols++
+		}
+	}
+	if prunedCols == 0 {
+		t.Fatal("no column was pruned on a connected random matrix")
+	}
+	// Sparse solve through the pruned DFS vs dense forward substitution.
+	ws := NewWorkspace(f.N)
+	b := make([]float64, f.N)
+	var bIdx []int
+	var bVal []float64
+	for i := 0; i < f.N; i += 3 {
+		bIdx = append(bIdx, i)
+		bVal = append(bVal, rng.NormFloat64())
+		b[i] = bVal[len(bVal)-1]
+	}
+	patt := f.SolveSparseL(bIdx, bVal, ws)
+	got := make([]float64, f.N)
+	for _, r := range patt {
+		got[r] = ws.X[r]
+	}
+	ClearSparse(ws, patt)
+	// Dense reference: y = L \ (P b).
+	y := make([]float64, f.N)
+	for k := 0; k < f.N; k++ {
+		y[k] = b[f.P[k]]
+	}
+	f.LSolve(y)
+	for i := range y {
+		if math.Abs(got[i]-y[i]) > 1e-10*(1+math.Abs(y[i])) {
+			t.Fatalf("pruned sparse solve x[%d] = %v, dense %v", i, got[i], y[i])
+		}
+	}
+}
+
+// TestFactorsCompact pins the over-allocation satellite: a generous nnz
+// hint leaves slack capacity; Compact clips it to exactly the stored
+// entries and strictly shrinks the retained bytes.
+func TestFactorsCompact(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := randNonsingular(rng, 200, 0.05)
+	f, err := Factor(a, 8*a.Nnz(), Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := cap(f.L.Values) + cap(f.U.Values) + cap(f.L.Rowidx) + cap(f.U.Rowidx)
+	if cap(f.L.Values) == len(f.L.Values) && cap(f.U.Values) == len(f.U.Values) {
+		t.Fatal("test premise broken: the 8x hint left no slack to clip")
+	}
+	f.Compact()
+	after := cap(f.L.Values) + cap(f.U.Values) + cap(f.L.Rowidx) + cap(f.U.Rowidx)
+	if cap(f.L.Values) != len(f.L.Values) || cap(f.U.Values) != len(f.U.Values) ||
+		cap(f.L.Rowidx) != len(f.L.Rowidx) || cap(f.U.Rowidx) != len(f.U.Rowidx) {
+		t.Fatalf("Compact left slack: L %d/%d, U %d/%d",
+			len(f.L.Values), cap(f.L.Values), len(f.U.Values), cap(f.U.Values))
+	}
+	if after >= before {
+		t.Fatalf("retained capacity did not shrink: %d -> %d", before, after)
+	}
+	// The compacted factors still solve correctly.
+	x := make([]float64, a.N)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	b := make([]float64, a.N)
+	a.MulVec(b, x)
+	f.Solve(b)
+	for i := range x {
+		if math.Abs(b[i]-x[i]) > 1e-8 {
+			t.Fatalf("solve after Compact: x[%d] = %v, want %v", i, b[i], x[i])
+		}
+	}
+}
+
+// TestFactorIntoSteadyStateAllocFree pins the pooled-storage guarantee: a
+// FactorInto that reuses prior storage of the same pattern performs zero
+// allocations once every buffer has been grown.
+func TestFactorIntoSteadyStateAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	base := randNonsingular(rng, 150, 0.08)
+	ws := NewWorkspace(base.N)
+	f := &Factors{}
+	if err := FactorInto(f, base, 0, Options{}, ws); err != nil {
+		t.Fatal(err)
+	}
+	steps := make([]*sparse.CSC, 3)
+	for i := range steps {
+		steps[i] = base.Clone()
+		for p := range steps[i].Values {
+			steps[i].Values[p] *= 1 + 0.1*rng.Float64()
+		}
+		if err := FactorInto(f, steps[i], 0, Options{}, ws); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(20, func() {
+		i++
+		if err := FactorInto(f, steps[i%len(steps)], 0, Options{}, ws); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state FactorInto allocates: %v allocs/op", allocs)
+	}
+	checkFactorization(t, steps[i%len(steps)], f, 10)
+}

@@ -1,6 +1,10 @@
 package gp
 
-import "repro/internal/sparse"
+import (
+	"sort"
+
+	"repro/internal/sparse"
+)
 
 // SolveSparseL computes x = L⁻¹·(P·b) for a sparse right-hand side b given
 // as parallel (bIdx, bVal) with bIdx in the original row numbering of the
@@ -24,19 +28,23 @@ func (f *Factors) SolveSparseL(bIdx []int, bVal []float64, ws *Workspace) []int 
 		if ws.Mark[start] == tag {
 			continue
 		}
-		top = dfsFinal(start, f.L, ws.Xi, top, ws.Pstack, ws.Mark, tag)
+		top = dfsFinal(start, f.L, ws.Xi, top, ws.Pstack, ws.Mark, tag, f.PruneEnd)
 	}
 	pattern := ws.Xi[top:n]
 	for k, r := range bIdx {
 		ws.X[f.Pinv[r]] += bVal[k]
 	}
+	x := ws.X
 	for _, j := range pattern {
-		xj := ws.X[j]
+		xj := x[j]
 		if xj == 0 {
 			continue
 		}
-		for p := f.L.Colptr[j] + 1; p < f.L.Colptr[j+1]; p++ {
-			ws.X[f.L.Rowidx[p]] -= f.L.Values[p] * xj
+		rows := f.L.Rowidx[f.L.Colptr[j]+1 : f.L.Colptr[j+1]]
+		vals := f.L.Values[f.L.Colptr[j]+1 : f.L.Colptr[j+1]]
+		vals = vals[:len(rows)] // bounds-check elimination hint
+		for p, i := range rows {
+			x[i] -= vals[p] * xj
 		}
 	}
 	return pattern
@@ -51,8 +59,10 @@ func ClearSparse(ws *Workspace, pattern []int) {
 }
 
 // dfsFinal is the DFS over a *finished* L whose row indices are already in
-// pivot order: node j's children are the below-diagonal rows of L(:,j).
-func dfsFinal(start int, l *sparse.CSC, xi []int, top int, pstack, mark []int, tag int) int {
+// pivot order: node j's children are the below-diagonal rows of L(:,j),
+// bounded by the symmetric-pruning prefix when pruneEnd is non-nil
+// (reachability is preserved — see Factors.PruneEnd).
+func dfsFinal(start int, l *sparse.CSC, xi []int, top int, pstack, mark []int, tag int, pruneEnd []int) int {
 	head := 0
 	xi[head] = start
 	for head >= 0 {
@@ -61,8 +71,12 @@ func dfsFinal(start int, l *sparse.CSC, xi []int, top int, pstack, mark []int, t
 			mark[j] = tag
 			pstack[head] = l.Colptr[j] + 1 // skip unit diagonal
 		}
+		pend := l.Colptr[j+1]
+		if pruneEnd != nil {
+			pend = pruneEnd[j]
+		}
 		done := true
-		for p := pstack[head]; p < l.Colptr[j+1]; p++ {
+		for p := pstack[head]; p < pend; p++ {
 			child := l.Rowidx[p]
 			if mark[child] == tag {
 				continue
@@ -97,7 +111,20 @@ func dfsFinal(start int, l *sparse.CSC, xi []int, top int, pstack, mark []int, t
 // factors — the invariant that lets RefactorLowerBlock refresh the block's
 // values in place for a same-pattern matrix.
 func (f *Factors) LowerBlockSolve(b *sparse.CSC, mark []int, tagp *int, acc []float64) *sparse.CSC {
-	x := sparse.NewCSC(b.M, b.N, b.Nnz()*2)
+	return f.LowerBlockSolveInto(nil, b, mark, tagp, acc)
+}
+
+// LowerBlockSolveInto is LowerBlockSolve writing into recycled storage: when
+// dst is non-nil its entry slices are reset and refilled (growing only if
+// the new pattern is larger), so repeated fresh factorizations on a fixed
+// input pattern stop allocating block storage.
+func (f *Factors) LowerBlockSolveInto(dst, b *sparse.CSC, mark []int, tagp *int, acc []float64) *sparse.CSC {
+	x := dst
+	if x == nil {
+		x = sparse.NewCSC(b.M, b.N, b.Nnz()*2)
+	} else {
+		x.ResetShape(b.M, b.N)
+	}
 	var patt []int
 	for c := 0; c < b.N; c++ {
 		*tagp++
@@ -118,17 +145,19 @@ func (f *Factors) LowerBlockSolve(b *sparse.CSC, mark []int, tagp *int, acc []fl
 		for p := up0; p < up1-1; p++ {
 			t := f.U.Rowidx[p]
 			utc := f.U.Values[p]
-			for q := x.Colptr[t]; q < x.Colptr[t+1]; q++ {
-				i := x.Rowidx[q]
+			rows := x.Rowidx[x.Colptr[t]:x.Colptr[t+1]]
+			vals := x.Values[x.Colptr[t]:x.Colptr[t+1]]
+			vals = vals[:len(rows)] // bounds-check elimination hint
+			for qi, i := range rows {
+				acc[i] -= vals[qi] * utc
 				if mark[i] != tag {
 					mark[i] = tag
 					patt = append(patt, i)
 				}
-				acc[i] -= x.Values[q] * utc
 			}
 		}
 		piv := f.U.Values[up1-1]
-		insertionSortInts(patt)
+		sortInts(patt)
 		for _, i := range patt {
 			x.Rowidx = append(x.Rowidx, i)
 			x.Values = append(x.Values, acc[i]/piv)
@@ -209,4 +238,15 @@ func insertionSortInts(a []int) {
 		}
 		a[j+1] = v
 	}
+}
+
+// sortInts sorts a column pattern in place: insertion sort on the short
+// segments that dominate circuit matrices, pdqsort on long separator
+// patterns where O(k²) would show up.
+func sortInts(a []int) {
+	if len(a) <= 24 {
+		insertionSortInts(a)
+		return
+	}
+	sort.Ints(a)
 }

@@ -35,6 +35,53 @@ func NewCSC(m, n, nnz int) *CSC {
 // Nnz reports the number of stored entries.
 func (a *CSC) Nnz() int { return a.Colptr[a.N] }
 
+// SharePattern returns a matrix aliasing a's structure (Colptr and Rowidx
+// are shared, read-only by convention) with its own zero-filled value
+// buffer. This is how one symbolic analysis hands the same sparsity pattern
+// to many concurrent factorizations without duplicating the index arrays.
+func (a *CSC) SharePattern() *CSC {
+	return &CSC{
+		M:      a.M,
+		N:      a.N,
+		Colptr: a.Colptr,
+		Rowidx: a.Rowidx,
+		Values: make([]float64, a.Nnz()),
+	}
+}
+
+// ResetShape reinitializes a to an all-zero m×n matrix, reusing the
+// allocated capacity of its buffers. Used to recycle factor-block storage
+// across repeated fresh factorizations.
+func (a *CSC) ResetShape(m, n int) {
+	a.M, a.N = m, n
+	if cap(a.Colptr) >= n+1 {
+		a.Colptr = a.Colptr[:n+1]
+		for i := range a.Colptr {
+			a.Colptr[i] = 0
+		}
+	} else {
+		a.Colptr = make([]int, n+1)
+	}
+	a.Rowidx = a.Rowidx[:0]
+	a.Values = a.Values[:0]
+}
+
+// Compact clips the entry slices to their exact length, releasing any extra
+// capacity retained from growth hints (a copy is required — Go cannot
+// shrink an allocation in place).
+func (a *CSC) Compact() {
+	if cap(a.Rowidx) > len(a.Rowidx) {
+		ri := make([]int, len(a.Rowidx))
+		copy(ri, a.Rowidx)
+		a.Rowidx = ri
+	}
+	if cap(a.Values) > len(a.Values) {
+		v := make([]float64, len(a.Values))
+		copy(v, a.Values)
+		a.Values = v
+	}
+}
+
 // Clone returns a deep copy of a.
 func (a *CSC) Clone() *CSC {
 	b := &CSC{
@@ -237,6 +284,27 @@ func gatherValues(dst, src []float64, entryMap []int) {
 	for t, s := range entryMap {
 		dst[t] = src[s]
 	}
+}
+
+// SamePattern reports whether a's sparsity structure equals the recorded
+// (colptr, rowidx) pattern — the one verification every pattern-keyed fast
+// path (factor plans, refactor pipelines, pools) performs before trusting
+// its cached entry maps.
+func SamePattern(colptr, rowidx []int, a *CSC) bool {
+	if len(colptr) != len(a.Colptr) || len(rowidx) != len(a.Rowidx) {
+		return false
+	}
+	for i, c := range colptr {
+		if a.Colptr[i] != c {
+			return false
+		}
+	}
+	for i, r := range rowidx {
+		if a.Rowidx[i] != r {
+			return false
+		}
+	}
+	return true
 }
 
 // InversePerm returns pinv with pinv[p[k]] = k, or nil for nil input.

@@ -353,3 +353,58 @@ func TestExtractBlockWithMapMatchesExtractBlock(t *testing.T) {
 		}
 	}
 }
+
+func TestSharePatternResetCompact(t *testing.T) {
+	coo := NewCOO(4, 4, 8)
+	coo.Add(0, 0, 1)
+	coo.Add(2, 0, 3)
+	coo.Add(1, 1, 2)
+	coo.Add(3, 2, 4)
+	coo.Add(0, 3, 5)
+	a := coo.ToCSC(false)
+
+	// SharePattern aliases structure, owns zero values.
+	b := a.SharePattern()
+	if &b.Colptr[0] != &a.Colptr[0] || &b.Rowidx[0] != &a.Rowidx[0] {
+		t.Fatal("SharePattern must alias the index slices")
+	}
+	for _, v := range b.Values {
+		if v != 0 {
+			t.Fatal("SharePattern values must start zero")
+		}
+	}
+	b.Values[0] = 9
+	if a.Values[0] == 9 {
+		t.Fatal("SharePattern values must be private")
+	}
+	if err := b.Check(); err != nil {
+		t.Fatal(err)
+	}
+
+	// ResetShape keeps capacity, zeroes the structure.
+	c := NewCSC(4, 4, 16)
+	c.Rowidx = append(c.Rowidx, 1, 2)
+	c.Values = append(c.Values, 1, 2)
+	c.Colptr[4] = 2
+	capBefore := cap(c.Rowidx)
+	c.ResetShape(3, 3)
+	if c.M != 3 || c.N != 3 || c.Nnz() != 0 || len(c.Colptr) != 4 {
+		t.Fatalf("ResetShape left %d×%d nnz=%d", c.M, c.N, c.Nnz())
+	}
+	if cap(c.Rowidx) != capBefore {
+		t.Fatal("ResetShape must keep capacity")
+	}
+
+	// Compact clips capacity to length.
+	d := NewCSC(4, 4, 64)
+	d.Rowidx = append(d.Rowidx, 0, 1)
+	d.Values = append(d.Values, 1, 2)
+	d.Colptr[1], d.Colptr[2], d.Colptr[3], d.Colptr[4] = 2, 2, 2, 2
+	d.Compact()
+	if cap(d.Rowidx) != 2 || cap(d.Values) != 2 {
+		t.Fatalf("Compact left capacity %d/%d", cap(d.Rowidx), cap(d.Values))
+	}
+	if err := d.Check(); err != nil {
+		t.Fatal(err)
+	}
+}

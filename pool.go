@@ -3,6 +3,8 @@ package basker
 import (
 	"hash/fnv"
 	"sync"
+
+	"repro/internal/core"
 )
 
 // Pool is a pattern-keyed cache of Factorizations: the serving layer for
@@ -34,20 +36,35 @@ import (
 type Pool struct {
 	solver  *Solver
 	maxIdle int
+	maxSyms int
 
-	mu     sync.Mutex
-	idle   map[uint64][]*poolEntry
-	hits   uint64
-	misses uint64
+	mu       sync.Mutex
+	idle     map[uint64][]*poolEntry
+	syms     map[uint64][]*symEntry
+	symCount int
+	hits     uint64
+	misses   uint64
+	// factorReuses counts fresh factorizations that recycled a cached
+	// entry's storage (the Pool.Factor fast path and re-pivoting fallbacks).
+	factorReuses uint64
 }
 
 type poolEntry struct {
-	f *Factorization
-	// The pattern of the matrix first factored, for exact verification
-	// behind the hash key (Refactor requires identical structure).
-	colptr, rowidx []int
-	key            uint64
+	f   *Factorization
+	key uint64
 }
+
+// symEntry caches one sparsity pattern's symbolic analysis, so repeated
+// full factorizations of a known pattern skip Analyze (orderings, BTF,
+// partition, entry maps) entirely. Exact verification behind the hash key
+// delegates to the analysis' own recorded pattern (Symbolic.PatternMatches
+// — the single implementation every pattern-keyed fast path shares), so no
+// second copy of the pattern is retained.
+type symEntry struct {
+	sym *core.Symbolic
+}
+
+func (e *symEntry) matches(a *Matrix) bool { return e.sym.PatternMatches(a) }
 
 // PoolOptions configures a Pool.
 type PoolOptions struct {
@@ -56,6 +73,14 @@ type PoolOptions struct {
 	// MaxIdlePerPattern caps how many idle factorizations are retained per
 	// sparsity pattern; 0 selects the default (16), negative is unlimited.
 	MaxIdlePerPattern int
+	// MaxCachedPatterns caps how many distinct sparsity patterns retain a
+	// cached symbolic analysis (each holds orderings plus the gather plan,
+	// several times the matrix's index footprint); 0 selects the default
+	// (32), negative is unlimited. Evicting a pattern only drops the cached
+	// analysis — factorizations already built with it remain valid — so a
+	// workload whose patterns evolve over time cannot grow the pool's
+	// memory without bound.
+	MaxCachedPatterns int
 }
 
 // NewPool returns an empty factorization pool.
@@ -67,10 +92,19 @@ func NewPool(opts PoolOptions) *Pool {
 	case maxIdle < 0:
 		maxIdle = 1 << 30
 	}
+	maxSyms := opts.MaxCachedPatterns
+	switch {
+	case maxSyms == 0:
+		maxSyms = 32
+	case maxSyms < 0:
+		maxSyms = 1 << 30
+	}
 	return &Pool{
 		solver:  New(opts.Options),
 		maxIdle: maxIdle,
+		maxSyms: maxSyms,
 		idle:    map[uint64][]*poolEntry{},
+		syms:    map[uint64][]*symEntry{},
 	}
 }
 
@@ -105,8 +139,15 @@ func (p *Pool) Acquire(a *Matrix) (*Lease, error) {
 	if entry != nil {
 		if err := entry.f.Refactor(a); err != nil {
 			// A same-pattern matrix whose values defeat the cached pivot
-			// sequence: fall back to a fresh factorization (new pivots).
-			return p.factorMiss(a, key)
+			// sequence: fall back to a fresh factorization with new pivots,
+			// recycling the entry's storage.
+			if err := entry.f.num.FactorInto(a); err != nil {
+				return p.factorMiss(a, key) // storage discarded
+			}
+			p.mu.Lock()
+			p.factorReuses++
+			p.mu.Unlock()
+			return &Lease{Factorization: entry.f, pool: p, entry: entry}, nil
 		}
 		p.mu.Lock()
 		p.hits++
@@ -116,23 +157,107 @@ func (p *Pool) Acquire(a *Matrix) (*Lease, error) {
 	return p.factorMiss(a, key)
 }
 
+// Factor returns a freshly pivoted factorization of a through the pool: the
+// numeric factorization runs from scratch (unlike Acquire it never reuses a
+// cached pivot sequence — the escape hatch when values have drifted far
+// from the ones that chose the pivots), but both the symbolic analysis and,
+// when an idle same-pattern factorization is cached, its entire storage are
+// reused, so repeated same-pattern Factor calls allocate almost nothing.
+func (p *Pool) Factor(a *Matrix) (*Lease, error) {
+	key := patternKey(a)
+	p.mu.Lock()
+	var entry *poolEntry
+	bucket := p.idle[key]
+	for i, e := range bucket {
+		if samePattern(e, a) {
+			last := len(bucket) - 1
+			bucket[i] = bucket[last]
+			p.idle[key] = bucket[:last]
+			entry = e
+			break
+		}
+	}
+	p.mu.Unlock()
+	if entry != nil {
+		if err := entry.f.num.FactorInto(a); err != nil {
+			// Singular (or otherwise unusable) values: the recycled entry's
+			// numerics are unspecified now, so drop it and surface the error
+			// through the ordinary full-factor path.
+			return p.factorMiss(a, key)
+		}
+		p.mu.Lock()
+		p.factorReuses++
+		p.mu.Unlock()
+		return &Lease{Factorization: entry.f, pool: p, entry: entry}, nil
+	}
+	return p.factorMiss(a, key)
+}
+
+// symFor returns the cached symbolic analysis for a's pattern, creating and
+// memoizing it on first use. The analysis itself runs outside the pool lock.
+func (p *Pool) symFor(a *Matrix, key uint64) (*core.Symbolic, error) {
+	p.mu.Lock()
+	for _, e := range p.syms[key] {
+		if e.matches(a) {
+			p.mu.Unlock()
+			return e.sym, nil
+		}
+	}
+	p.mu.Unlock()
+	sym, err := core.Analyze(a, p.solver.opts)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	// Double-checked insert: concurrent first factorizations of one pattern
+	// may race to Analyze; keep only the winner's entry.
+	for _, e := range p.syms[key] {
+		if e.matches(a) {
+			p.mu.Unlock()
+			return e.sym, nil
+		}
+	}
+	for p.symCount >= p.maxSyms {
+		// Evict an arbitrary cached pattern (map order); live
+		// factorizations keep their own Symbolic pointers and stay valid.
+		evicted := false
+		for k, bucket := range p.syms {
+			if len(bucket) > 1 {
+				p.syms[k] = bucket[:len(bucket)-1]
+			} else {
+				delete(p.syms, k)
+			}
+			p.symCount--
+			evicted = true
+			break
+		}
+		if !evicted {
+			break
+		}
+	}
+	p.syms[key] = append(p.syms[key], &symEntry{sym: sym})
+	p.symCount++
+	p.mu.Unlock()
+	return sym, nil
+}
+
 func (p *Pool) factorMiss(a *Matrix, key uint64) (*Lease, error) {
 	p.mu.Lock()
 	p.misses++
 	p.mu.Unlock()
-	f, err := p.solver.Factor(a)
+	sym, err := p.symFor(a, key)
 	if err != nil {
-		return nil, err
+		return nil, wrapErr(err)
 	}
-	entry := &poolEntry{
-		f: f,
-		// Copy the pattern rather than aliasing the caller's buffers, so a
-		// caller that restamps its matrix in place cannot corrupt the
-		// verification behind the hash key.
-		colptr: append([]int(nil), a.Colptr...),
-		rowidx: append([]int(nil), a.Rowidx...),
-		key:    key,
+	num, err := core.Factor(a, sym)
+	if err != nil {
+		return nil, wrapErr(err)
 	}
+	f := newFactorization(num)
+	// Verification data is the analysis' own pattern copy (never the
+	// caller's buffers), so a caller that restamps its matrix in place
+	// cannot corrupt the check behind the hash key.
+	entry := &poolEntry{f: f, key: key}
 	return &Lease{Factorization: f, pool: p, entry: entry}, nil
 }
 
@@ -175,10 +300,14 @@ func (p *Pool) SolveMany(a *Matrix, bs [][]float64) error {
 type PoolStats struct {
 	// Hits counts Acquires served through the Refactor fast path.
 	Hits uint64
-	// Misses counts Acquires that ran a full Factor, including fallbacks
-	// from a cached factorization whose pivot sequence the new values
-	// defeated.
+	// Misses counts acquisitions that ran a full Factor with freshly
+	// allocated storage (first sight of a pattern, or a recycled entry
+	// whose FactorInto failed).
 	Misses uint64
+	// FactorReuses counts freshly pivoted factorizations that recycled a
+	// cached entry's storage: Pool.Factor fast paths and the re-pivoting
+	// fallback inside Acquire.
+	FactorReuses uint64
 	// Idle counts factorizations currently cached.
 	Idle int
 }
@@ -191,7 +320,7 @@ func (p *Pool) Stats() PoolStats {
 	for _, b := range p.idle {
 		idle += len(b)
 	}
-	return PoolStats{Hits: p.hits, Misses: p.misses, Idle: idle}
+	return PoolStats{Hits: p.hits, Misses: p.misses, FactorReuses: p.factorReuses, Idle: idle}
 }
 
 // patternKey hashes the sparsity pattern of a (dimensions, column
@@ -218,19 +347,9 @@ func patternKey(a *Matrix) uint64 {
 	return h.Sum64()
 }
 
+// samePattern verifies the caller's matrix against the entry's analyzed
+// pattern (pool entries are only ever built through a symbolic analysis of
+// their own pattern, so the analysis' recorded pattern is the entry's).
 func samePattern(e *poolEntry, a *Matrix) bool {
-	if len(e.colptr) != len(a.Colptr) || len(e.rowidx) != len(a.Rowidx) {
-		return false
-	}
-	for i, c := range e.colptr {
-		if a.Colptr[i] != c {
-			return false
-		}
-	}
-	for i, r := range e.rowidx {
-		if a.Rowidx[i] != r {
-			return false
-		}
-	}
-	return true
+	return e.f.num.Sym.PatternMatches(a)
 }

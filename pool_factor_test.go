@@ -1,0 +1,179 @@
+package basker
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/matgen"
+	"repro/internal/sparse"
+)
+
+// poolFactorFixture builds a short transient sequence sharing one pattern.
+func poolFactorFixture(scale float64) []*sparse.CSC {
+	base := matgen.XyceSequenceBase(scale)
+	mats := make([]*sparse.CSC, 8)
+	for t := range mats {
+		mats[t] = matgen.TransientStep(base, t, 99)
+	}
+	return mats
+}
+
+// TestPoolFactorFreshPivots: Pool.Factor must run a genuinely fresh
+// pivoting factorization (recycling storage), produce correct solves, and
+// count its reuses.
+func TestPoolFactorFreshPivots(t *testing.T) {
+	mats := poolFactorFixture(0.1)
+	pool := NewPool(PoolOptions{Options: Options{Threads: 2, BigBlockMin: 64}})
+	rng := rand.New(rand.NewSource(3))
+	for i, a := range mats {
+		lease, err := pool.Factor(a)
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		x := make([]float64, a.N)
+		for k := range x {
+			x[k] = rng.NormFloat64()
+		}
+		b := make([]float64, a.N)
+		a.MulVec(b, x)
+		lease.Solve(b)
+		for k := range x {
+			if math.Abs(b[k]-x[k]) > 1e-6*(1+math.Abs(x[k])) {
+				t.Fatalf("step %d: x[%d] = %v, want %v", i, k, b[k], x[k])
+			}
+		}
+		lease.Release()
+	}
+	st := pool.Stats()
+	if st.Misses != 1 {
+		t.Fatalf("want exactly one cold miss, got %d", st.Misses)
+	}
+	if st.FactorReuses != uint64(len(mats)-1) {
+		t.Fatalf("want %d storage-recycled factorizations, got %d", len(mats)-1, st.FactorReuses)
+	}
+}
+
+// TestPoolFactorAllocBudget pins the PR's memory acceptance bar: repeated
+// same-pattern fresh factorization through the pool must allocate at most
+// 5% of what the factor-every-call path (full Analyze + Factor, the pre-PR
+// pool miss) allocates.
+func TestPoolFactorAllocBudget(t *testing.T) {
+	mats := poolFactorFixture(0.1)
+	opts := Options{Threads: 2, BigBlockMin: 64}
+
+	solver := New(opts)
+	if _, err := solver.Factor(mats[0]); err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	baseline := testing.AllocsPerRun(20, func() {
+		i++
+		if _, err := solver.Factor(mats[i%len(mats)]); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	pool := NewPool(PoolOptions{Options: opts})
+	for w := 0; w < 3; w++ { // warm the symbolic cache and one pooled entry
+		lease, err := pool.Factor(mats[w])
+		if err != nil {
+			t.Fatal(err)
+		}
+		lease.Release()
+	}
+	i = 0
+	pooled := testing.AllocsPerRun(20, func() {
+		i++
+		lease, err := pool.Factor(mats[i%len(mats)])
+		if err != nil {
+			t.Fatal(err)
+		}
+		lease.Release()
+	})
+	if baseline == 0 {
+		t.Fatal("baseline allocation measurement broken")
+	}
+	if ratio := pooled / baseline; ratio > 0.05 {
+		t.Fatalf("pool.Factor allocates %.0f/op vs %.0f/op for factor-every-call (%.1f%%, budget 5%%)",
+			pooled, baseline, 100*ratio)
+	}
+}
+
+// TestPoolSymbolicCacheBounded: a workload whose sparsity pattern evolves
+// must not grow the symbolic cache without bound; evicted patterns simply
+// re-analyze on their next miss and everything keeps solving.
+func TestPoolSymbolicCacheBounded(t *testing.T) {
+	pool := NewPool(PoolOptions{
+		Options:           Options{Threads: 1, BigBlockMin: 64},
+		MaxCachedPatterns: 2,
+	})
+	rng := rand.New(rand.NewSource(17))
+	patterns := make([]*sparse.CSC, 5)
+	for i := range patterns {
+		patterns[i] = matgen.Circuit(matgen.CircuitParams{
+			N: 220 + 20*i, BTFPct: 50, Blocks: 10, Core: matgen.CoreLadder,
+			ExtraDensity: 0.3, Seed: int64(100 + i),
+		})
+	}
+	for round := 0; round < 3; round++ {
+		for i, a := range patterns {
+			lease, err := pool.Factor(a)
+			if err != nil {
+				t.Fatalf("round %d pattern %d: %v", round, i, err)
+			}
+			x := make([]float64, a.N)
+			for k := range x {
+				x[k] = rng.NormFloat64()
+			}
+			b := make([]float64, a.N)
+			a.MulVec(b, x)
+			lease.Solve(b)
+			for k := range x {
+				if math.Abs(b[k]-x[k]) > 1e-6*(1+math.Abs(x[k])) {
+					t.Fatalf("round %d pattern %d: x[%d] = %v, want %v", round, i, k, b[k], x[k])
+				}
+			}
+			lease.Release()
+		}
+	}
+}
+
+// TestPoolAcquireRepivotFallbackReusesStorage: when new values defeat a
+// cached pivot sequence, Acquire re-pivots in the recycled entry instead of
+// discarding it.
+func TestPoolAcquireRepivotFallbackReusesStorage(t *testing.T) {
+	mats := poolFactorFixture(0.08)
+	pool := NewPool(PoolOptions{Options: Options{Threads: 1, BigBlockMin: 64}})
+	l0, err := pool.Acquire(mats[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	l0.Release()
+	// Negate everything and scale wildly: the pattern is unchanged, so
+	// Acquire verifies, tries Refactor, and either succeeds (fast path) or
+	// re-pivots. Then force the pivot-defeating case: zero the old pivots'
+	// magnitudes by scaling one step's values to span many decades.
+	drifted := mats[1].Clone()
+	rng := rand.New(rand.NewSource(8))
+	for p := range drifted.Values {
+		drifted.Values[p] = -drifted.Values[p] * math.Pow(10, float64(rng.Intn(6)-3))
+	}
+	l1, err := pool.Acquire(drifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, drifted.N)
+	for k := range x {
+		x[k] = rng.NormFloat64()
+	}
+	b := make([]float64, drifted.N)
+	drifted.MulVec(b, x)
+	l1.Solve(b)
+	for k := range x {
+		if math.Abs(b[k]-x[k]) > 1e-5*(1+math.Abs(x[k])) {
+			t.Fatalf("x[%d] = %v, want %v", k, b[k], x[k])
+		}
+	}
+	l1.Release()
+}
