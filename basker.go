@@ -189,6 +189,61 @@ func (f *Factorization) Refactor(a *Matrix) error {
 	return wrapErr(f.num.Refactor(a))
 }
 
+// RefactorPartial is Refactor for a matrix that differs from the values the
+// factorization currently holds only in the listed columns (original
+// indices) — the localized-perturbation fast path of transient simulation,
+// where each Newton or time step restamps a handful of devices. Only the
+// coarse BTF blocks the change set touches are refreshed; inside them, only
+// the dependency closure of the dirty columns recomputes (small blocks) or
+// the dirty kernels of the 2D hierarchy rerun (fine-ND blocks). Clean
+// blocks keep their factors untouched, so steady-state cost scales with
+// what the perturbation reaches, not with the matrix. Listing extra
+// unchanged columns is allowed; columns not listed must be bitwise
+// identical to the previous refresh. Near-total change sets transparently
+// degrade to the full Refactor sweep.
+//
+// Exclusion and error contracts match Refactor. After a failed refresh the
+// next incremental call automatically runs a full recovery sweep.
+func (f *Factorization) RefactorPartial(a *Matrix, changedCols []int) error {
+	return wrapErr(f.num.RefactorPartial(a, changedCols))
+}
+
+// RefactorAuto is Refactor with automatic change discovery: incoming values
+// are diffed against the cached previous gather entry by entry, and only
+// the blocks a real change reaches are refreshed. Use it when tracking an
+// explicit change set is impractical; the cost over RefactorPartial is one
+// compare per matrix entry, and a fully-changed matrix degrades gracefully
+// to roughly full-Refactor speed. Pool.Acquire uses this path, so pooled
+// lease holders get incremental refreshes transparently.
+//
+// Exclusion and error contracts match Refactor.
+func (f *Factorization) RefactorAuto(a *Matrix) error {
+	return wrapErr(f.num.RefactorAuto(a))
+}
+
+// NumBlocks reports the number of coarse BTF blocks of the factorization.
+func (f *Factorization) NumBlocks() int { return f.num.Sym.NumBlocks() }
+
+// BlockOfColumn reports the coarse BTF block containing original column j —
+// the index to use with the AffectedSolutionBlocks result — or -1 when j is
+// out of range (matching AffectedSolutionBlocks, which skips out-of-range
+// columns).
+func (f *Factorization) BlockOfColumn(j int) int {
+	return f.ts.BlockOfColumn(j)
+}
+
+// AffectedSolutionBlocks reports, per coarse BTF block, whether the block's
+// solution component can change when the listed columns' values change: the
+// blocks whose factors the change set dirties plus everything upstream of
+// them through the coupling structure (the reachability closure of the
+// block dependency graph the parallel solver schedules with). Blocks
+// reported false produce bit-for-bit identical solution components for the
+// same right-hand side, so callers running incremental refactorization can
+// reuse per-block solution work across steps.
+func (f *Factorization) AffectedSolutionBlocks(changedCols []int) []bool {
+	return f.ts.SolutionClosure(changedCols)
+}
+
 // SolveRefined solves A·x = b with iterative refinement: after the direct
 // solve, up to iters refinement steps (x += A⁻¹(b − A·x)) sharpen the
 // answer — useful when the KLU-style pivot tolerance traded stability for

@@ -5,8 +5,9 @@
 //
 // Usage:
 //
-//	baskerbench -experiment=table1|table2|fig5|fig6a|fig6b|fig7a|fig7b|fig7c|fig8|xyce|sync|geomean|ablation|solve|refactor|all
+//	baskerbench -experiment=table1|table2|fig5|fig6a|fig6b|fig7a|fig7b|fig7c|fig8|xyce|sync|geomean|ablation|solve|refactor|factor|incremental|all
 //	            [-scale=1.0] [-maxcores=16] [-seqlen=200] [-mintime=50ms] [-refactorjson=BENCH_refactor.json]
+//	            [-factorjson=BENCH_factor.json] [-incrementaljson=BENCH_incremental.json]
 //
 // Absolute numbers differ from the paper (different hardware, matrices
 // scaled down, pure Go); the shapes — who wins, by what factor, where the
@@ -44,6 +45,8 @@ var (
 		"output path for the refactor-trajectory JSON (refactor experiment); empty disables the file")
 	factorJSON = flag.String("factorjson", "BENCH_factor.json",
 		"output path for the fresh-factorization trajectory JSON (factor experiment); empty disables the file")
+	incrementalJSON = flag.String("incrementaljson", "BENCH_incremental.json",
+		"output path for the incremental-refactorization trajectory JSON (incremental experiment); empty disables the file")
 )
 
 func main() {
@@ -76,6 +79,7 @@ func main() {
 	run("solve", solvePhase)
 	run("refactor", refactorTrajectory)
 	run("factor", factorTrajectory)
+	run("incremental", incrementalTrajectory)
 }
 
 // sweep returns the power-of-two core counts 1..max.
@@ -856,6 +860,157 @@ func factorTrajectory() {
 		return
 	}
 	fmt.Printf("  trajectory written to %s\n", *factorJSON)
+}
+
+// ---- incremental: the change-set-aware refactorization pipeline ----
+
+// incrementalTrajectory measures, per suite matrix, the steady-state
+// RefactorPartial against the full Refactor sweep while the fraction of
+// changed columns climbs from 0.1% to 100%, and emits the trajectory as
+// BENCH_incremental.json. Change sets come in two shapes: clustered (a
+// contiguous run of original columns — the localized device-stamp
+// perturbation transient simulation actually produces) and scattered (a
+// uniform subset — the adversarial spread). The diff-based RefactorAuto is
+// timed at every point too, since it is what pooled lease holders get
+// transparently.
+func incrementalTrajectory() {
+	fmt.Println("Incremental refactorization: full Refactor vs RefactorPartial/RefactorAuto")
+	fmt.Println("(wall-clock on this host, like the other trajectories)")
+	fractions := []float64{0.001, 0.01, 0.05, 0.25, 1.0}
+	type point struct {
+		Fraction   float64 `json:"fraction"`
+		Cols       int     `json:"cols"`
+		FullSec    float64 `json:"full_s"`
+		PartialSec float64 `json:"partial_s"`
+		AutoSec    float64 `json:"auto_s"`
+		ScatterSec float64 `json:"scatter_partial_s"`
+	}
+	type matrixRun struct {
+		Name   string  `json:"name"`
+		N      int     `json:"n"`
+		Nnz    int     `json:"nnz"`
+		Points []point `json:"points"`
+	}
+	type report struct {
+		Scale          float64     `json:"scale"`
+		Threads        int         `json:"threads"`
+		Fractions      []float64   `json:"fractions"`
+		Matrices       []matrixRun `json:"matrices"`
+		GeomeanSpeedup []float64   `json:"geomean_partial_speedup"`
+		GeomeanAuto    []float64   `json:"geomean_auto_speedup"`
+		GeomeanScatter []float64   `json:"geomean_scatter_speedup"`
+	}
+	rep := report{Scale: *scale, Threads: *maxCores, Fractions: fractions}
+	speedups := make([][]float64, len(fractions))
+	autoSp := make([][]float64, len(fractions))
+	scatterSp := make([][]float64, len(fractions))
+	var rows [][]string
+	for _, m := range matgen.TableISuite(*scale) {
+		a := m.Gen()
+		opts := core.DefaultOptions()
+		opts.Threads = *maxCores
+		sym, err := core.Analyze(a, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: analyze failed: %v\n", m.Name, err)
+			continue
+		}
+		num, err := core.Factor(a, sym)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: factor failed: %v\n", m.Name, err)
+			continue
+		}
+		if err := num.Refactor(a); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: warm refactor failed: %v\n", m.Name, err)
+			continue
+		}
+		mr := matrixRun{Name: m.Name, N: a.N, Nnz: a.Nnz()}
+		row := []string{m.Name}
+		failed := false
+		for fi, frac := range fractions {
+			cluster := matgen.ChangeSet(a.N, frac, int64(1000+fi), true)
+			scatter := matgen.ChangeSet(a.N, frac, int64(2000+fi), false)
+			pt := point{Fraction: frac, Cols: len(cluster)}
+			// Every step perturbs the same base inside the chosen set, so
+			// consecutive (and wrapping) steps differ only in that set.
+			measure := func(cols []int, refresh func(step *sparse.CSC) error) (float64, bool) {
+				steps := make([]*sparse.CSC, 4)
+				for t := range steps {
+					steps[t] = matgen.PerturbColumns(a, cols, t+1, 4242)
+				}
+				for _, s := range steps {
+					if err := refresh(s); err != nil {
+						fmt.Fprintf(os.Stderr, "%s: warm incremental refresh failed: %v\n", m.Name, err)
+						return 0, false
+					}
+				}
+				i := 0
+				sec := perf.Time(*minTime, func() {
+					if err := refresh(steps[i%len(steps)]); err != nil {
+						panic(err)
+					}
+					i++
+				})
+				// Leave the resident values equal to the base so the next
+				// change set's contract holds.
+				if err := num.Refactor(a); err != nil {
+					return 0, false
+				}
+				return sec, true
+			}
+			var ok bool
+			if pt.FullSec, ok = measure(cluster, num.Refactor); !ok {
+				failed = true
+				break
+			}
+			if pt.PartialSec, ok = measure(cluster, func(s *sparse.CSC) error { return num.RefactorPartial(s, cluster) }); !ok {
+				failed = true
+				break
+			}
+			if pt.AutoSec, ok = measure(cluster, num.RefactorAuto); !ok {
+				failed = true
+				break
+			}
+			if pt.ScatterSec, ok = measure(scatter, func(s *sparse.CSC) error { return num.RefactorPartial(s, scatter) }); !ok {
+				failed = true
+				break
+			}
+			mr.Points = append(mr.Points, pt)
+			speedups[fi] = append(speedups[fi], pt.FullSec/pt.PartialSec)
+			autoSp[fi] = append(autoSp[fi], pt.FullSec/pt.AutoSec)
+			scatterSp[fi] = append(scatterSp[fi], pt.FullSec/pt.ScatterSec)
+			row = append(row, fmt.Sprintf("%.2fx", pt.FullSec/pt.PartialSec))
+		}
+		if failed {
+			continue
+		}
+		rep.Matrices = append(rep.Matrices, mr)
+		rows = append(rows, row)
+	}
+	header := []string{"Matrix"}
+	for _, f := range fractions {
+		header = append(header, fmt.Sprintf("%g%%", f*100))
+	}
+	fmt.Print(perf.Table(header, rows))
+	for fi := range fractions {
+		rep.GeomeanSpeedup = append(rep.GeomeanSpeedup, perf.GeoMean(speedups[fi]))
+		rep.GeomeanAuto = append(rep.GeomeanAuto, perf.GeoMean(autoSp[fi]))
+		rep.GeomeanScatter = append(rep.GeomeanScatter, perf.GeoMean(scatterSp[fi]))
+		fmt.Printf("  %5.1f%% changed: geomean speedup partial %.2fx, auto %.2fx, scattered %.2fx\n",
+			fractions[fi]*100, rep.GeomeanSpeedup[fi], rep.GeomeanAuto[fi], rep.GeomeanScatter[fi])
+	}
+	if *incrementalJSON == "" {
+		return
+	}
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "incremental json:", err)
+		return
+	}
+	if err := os.WriteFile(*incrementalJSON, append(blob, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "incremental json:", err)
+		return
+	}
+	fmt.Printf("  trajectory written to %s\n", *incrementalJSON)
 }
 
 // ---- solve phase: the concurrent solve subsystem (internal/trisolve) ----

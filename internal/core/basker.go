@@ -162,6 +162,14 @@ type Numeric struct {
 	// refresh (entry maps, cached diagonal blocks, pooled workspaces, the
 	// resettable completion fabric).
 	pipe *refactorPipeline
+	// inc is the change-tracking state of the incremental refactorization
+	// fast path (RefactorPartial/RefactorAuto), built on first use.
+	inc *incState
+	// incPoisoned remembers that the last refresh sweep failed, leaving the
+	// resident values unspecified: the next incremental call must run a
+	// full refresh instead of trusting its change set. Cleared by any
+	// successful refresh.
+	incPoisoned bool
 	// hooks instruments the factor/refactor schedulers for tests (nil in
 	// production).
 	hooks *schedHooks
@@ -268,7 +276,9 @@ func Analyze(a *sparse.CSC, opts Options) (*Symbolic, error) {
 
 	// ---- Coarse structure (paper §III-A).
 	if opts.UseBTF {
-		form, err := btf.Compute(a, opts.UseMWCM)
+		ws := btfWSPool.Get().(*btf.Workspace)
+		form, err := btf.ComputeWith(a, opts.UseMWCM, ws)
+		btfWSPool.Put(ws)
 		if err != nil {
 			return nil, fmt.Errorf("core: btf: %w", err)
 		}
@@ -439,6 +449,17 @@ func (sym *Symbolic) buildFactorPlan(a *sparse.CSC) {
 	sym.plan = pl
 }
 
+// btfWSPool and matchWSPool recycle the serial front end's workspaces
+// across Analyze calls (and across the parallel per-block analyses, which
+// draw one matching workspace per in-flight block): the coarse BTF and
+// bottleneck-matching scratch used to be reallocated on every call, a
+// measurable slice of the symbolic phase the paper insists must not
+// serialize the pipeline.
+var (
+	btfWSPool   = sync.Pool{New: func() any { return btf.NewWorkspace() }}
+	matchWSPool = sync.Pool{New: func() any { return matching.NewWorkspace() }}
+)
+
 // parallelBlocks runs fn(blk) for every block, fanning independent blocks
 // out over up to nt worker goroutines (inline when nt <= 1).
 func parallelBlocks(nblocks, nt int, fn func(blk int)) {
@@ -480,7 +501,9 @@ func analyzeND(sym *Symbolic, b *sparse.CSC, blk, r0, r1 int, rowPerm, colPerm [
 	// reduce the need to pivot.
 	localRow := sparse.IdentityPerm(bs)
 	if opts.UseMWCM {
-		m, err := matching.Bottleneck(d)
+		ws := matchWSPool.Get().(*matching.Workspace)
+		m, err := matching.BottleneckWith(d, ws)
+		matchWSPool.Put(ws)
 		if err != nil {
 			return fmt.Errorf("core: nd block %d matching: %w", blk, err)
 		}
@@ -638,6 +661,7 @@ func factorImpl(a *sparse.CSC, sym *Symbolic, num *Numeric, hooks *schedHooks) (
 	}
 	for _, err := range num.factorErrs {
 		if err != nil {
+			num.incPoisoned = true
 			return nil, err
 		}
 	}
@@ -651,6 +675,7 @@ func factorImpl(a *sparse.CSC, sym *Symbolic, num *Numeric, hooks *schedHooks) (
 	if fresh {
 		num.compactStorage()
 	}
+	num.incPoisoned = false
 	return num, nil
 }
 
@@ -807,6 +832,7 @@ func (num *Numeric) Refactor(a *sparse.CSC) error {
 	}
 	for _, err := range pipe.errs {
 		if err != nil {
+			num.incPoisoned = true
 			return err
 		}
 	}
@@ -820,6 +846,7 @@ func (num *Numeric) Refactor(a *sparse.CSC) error {
 		num.nnzLU = num.countNnzLU()
 		pipe.changed.Store(false)
 	}
+	num.incPoisoned = false
 	return nil
 }
 
@@ -990,6 +1017,7 @@ func (num *Numeric) refactorBlock(blk, t int) {
 			if err == nil {
 				fresh.ensureRefactorState(num.Perm, r0)
 				num.nd[blk] = fresh
+				num.remapBlockDst(blk)
 				pipe.changed.Store(true)
 			}
 		}

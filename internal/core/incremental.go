@@ -1,0 +1,626 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/gp"
+	"repro/internal/sparse"
+)
+
+// incState is the change-tracking side of the incremental refactorization
+// subsystem, built lazily on the first RefactorPartial/RefactorAuto call
+// and reused forever: epoch-stamped dirty sets at every granularity the
+// sweep skips work at — coarse BTF blocks, the dirty columns inside a
+// diagonal block (gp.RefactorSelective recomputes their dependency
+// closure alone), and the (row-node, column-node) pairs of each fine-ND
+// block's 2D hierarchy. All marking is O(size of the change set); nothing
+// here allocates after construction.
+type incState struct {
+	// permColOf[j] is the permuted column position of original column j
+	// (the inverse of Sym.ColPerm).
+	permColOf []int
+	// epoch stamps the current partial sweep; a dirty mark is live only
+	// when its stamp equals the epoch, so resetting the dirty sets between
+	// sweeps costs one increment.
+	epoch uint64
+	// blkStamp[blk] == epoch marks coarse block blk dirty this sweep.
+	blkStamp []uint64
+	// nd[blk] is the fine-grained dirty state of fine-ND blocks (nil for
+	// small blocks).
+	nd []*ndIncState
+	// colStamp[k] == epoch marks permuted column k as carrying an in-block
+	// change; rerun[k] is the per-sweep scratch the selective
+	// Gilbert–Peierls refresh records its column closure in. Both are
+	// indexed by permuted position, so each diagonal block owns a disjoint
+	// slice and concurrent block refreshes never share state.
+	colStamp []uint64
+	rerun    []bool
+	// aDst/aPos are the reverse scatter map of the diagonal-block gathers:
+	// permuted entry t lands at aDst[t].Values[aPos[t]] (nil for coarse
+	// off-diagonal entries, which live in permuted storage only). Marking a
+	// changed entry forwards its value straight into the small-block or
+	// 2D-hierarchy input storage, so the partial sweep never re-extracts a
+	// block and the marking cost stays proportional to the change set.
+	aDst []*sparse.CSC
+	aPos []int
+	// dirty counts the coarse blocks marked this epoch.
+	dirty int
+}
+
+// ndIncState tracks dirtiness inside one fine-ND block at tree-node
+// granularity: pairStamp marks the (row-node, column-node) input blocks a
+// change set touches, and chg is the per-sweep materialized changed-kernel
+// matrix the dependency recurrences of computeChanged fill from those
+// marks.
+type ndIncState struct {
+	// nodeOf[c] is the tree node whose index range contains block-local
+	// row/column c; colOf[c] is c's column index local to that node.
+	nodeOf []int
+	colOf  []int
+	// pairStamp[i*nb+j] == epoch marks input block (i, j) as holding
+	// changed values.
+	pairStamp []uint64
+	// chg[i*nb+j] reports whether kernel (i, j) must rerun this sweep.
+	chg []bool
+	// nodeStamp[v] == epoch marks node v's column range as touched;
+	// nodeFirst[v] is then the smallest changed node-local column, and
+	// first[v] its per-sweep resolution (0 for untouched nodes) — the
+	// suffix starting point the leaf off-diagonal kernels refactor from.
+	nodeStamp []uint64
+	nodeFirst []int
+	first     []int
+	// colStamp/rerun are this coarse block's slices of the incState arrays
+	// (block-local indexing), and epoch the sweep's stamp — what the leaf
+	// diagonal kernels need for the selective per-column refresh.
+	colStamp []uint64
+	rerun    []bool
+	epoch    uint64
+}
+
+// ensureIncremental builds the refactor pipeline (if the first incremental
+// call precedes any full Refactor) and the change-tracking state.
+func (num *Numeric) ensureIncremental(a *sparse.CSC) error {
+	if num.pipe == nil {
+		pipe, err := num.buildPipeline(a)
+		if err != nil {
+			return err
+		}
+		num.pipe = pipe
+	}
+	if num.inc != nil {
+		return nil
+	}
+	sym := num.Sym
+	nblocks := sym.NumBlocks()
+	inc := &incState{
+		permColOf: make([]int, sym.N),
+		blkStamp:  make([]uint64, nblocks),
+		nd:        make([]*ndIncState, nblocks),
+		colStamp:  make([]uint64, sym.N),
+		rerun:     make([]bool, sym.N),
+		aDst:      make([]*sparse.CSC, num.Perm.Nnz()),
+		aPos:      make([]int, num.Perm.Nnz()),
+	}
+	for k, j := range sym.ColPerm {
+		inc.permColOf[j] = k
+	}
+	for blk := 0; blk < nblocks; blk++ {
+		switch sym.kind[blk] {
+		case blockSmall:
+			sub := num.pipe.smallSub[blk]
+			for q, src := range num.pipe.smallSrc[blk] {
+				inc.aDst[src] = sub
+				inc.aPos[src] = q
+			}
+		case blockND:
+			ns := sym.ndsym[blk]
+			bs := sym.BlockPtr[blk+1] - sym.BlockPtr[blk]
+			st := &ndIncState{
+				nodeOf:    make([]int, bs),
+				colOf:     make([]int, bs),
+				pairStamp: make([]uint64, ns.nb*ns.nb),
+				chg:       make([]bool, ns.nb*ns.nb),
+				nodeStamp: make([]uint64, ns.nb),
+				nodeFirst: make([]int, ns.nb),
+				first:     make([]int, ns.nb),
+				colStamp:  inc.colStamp[sym.BlockPtr[blk]:sym.BlockPtr[blk+1]],
+				rerun:     inc.rerun[sym.BlockPtr[blk]:sym.BlockPtr[blk+1]],
+			}
+			for b := 0; b < ns.nb; b++ {
+				b0, b1 := ns.blockRange(b)
+				for c := b0; c < b1; c++ {
+					st.nodeOf[c] = b
+					st.colOf[c] = c - b0
+				}
+			}
+			inc.nd[blk] = st
+		}
+	}
+	num.inc = inc
+	for blk := 0; blk < nblocks; blk++ {
+		if sym.kind[blk] == blockND {
+			num.remapBlockDst(blk)
+		}
+	}
+	return nil
+}
+
+// RefactorPartial is Refactor for a matrix that differs from the one the
+// factorization currently holds only in the listed original-index columns:
+// the change set is scattered through the cached entry maps, the dirty
+// coarse blocks (and, inside fine-ND blocks, the dirty kernels of the 2D
+// hierarchy) are derived from it, and every clean block or kernel keeps
+// its factored values — inside a dirty fine-ND block the skipped kernels'
+// completion flags are pre-armed, so the rerun kernels synchronize
+// point-to-point and fall back per block exactly like Refactor, while the
+// sweep touches only what the perturbation reaches. Columns not listed must hold values identical to
+// the previous refresh (Factor, FactorInto, Refactor, RefactorPartial or
+// RefactorAuto — whichever last ran, including a failed attempt); listing
+// extra unchanged columns is allowed and merely wastes work. The sparsity
+// pattern must match the analyzed one: dimensions, the column pointers and
+// every changed column's rows are verified, while unchanged columns are
+// trusted (the full O(nnz) verification of Refactor would dwarf a small
+// change set).
+//
+// The exclusion and error contracts are Refactor's: no concurrent solves,
+// and on error the values are unspecified until a subsequent refresh
+// succeeds (a failed sweep is remembered, so the next incremental call
+// transparently runs a full refresh to re-establish a consistent state).
+func (num *Numeric) RefactorPartial(a *sparse.CSC, changed []int) error {
+	sym := num.Sym
+	if a.N != sym.N || a.M != sym.N {
+		return fmt.Errorf("core: dimension mismatch with symbolic analysis")
+	}
+	if err := num.ensureIncremental(a); err != nil {
+		return err
+	}
+	if num.incPoisoned {
+		// A prior failed sweep left unspecified values behind; the partial
+		// contract cannot hold, so recover through one full refresh.
+		return num.Refactor(a)
+	}
+	if len(changed)*2 >= sym.N {
+		// Near-total change sets gain nothing from per-column marking; the
+		// flat full sweep is faster, so degrade to it transparently (this
+		// also keeps the 100%-changed case at full-Refactor speed).
+		return num.Refactor(a)
+	}
+	pipe := num.pipe
+	if a.Nnz() != len(pipe.rowidx) {
+		return fmt.Errorf("core: refactor pattern mismatch: %d entries, analyzed %d", a.Nnz(), len(pipe.rowidx))
+	}
+	for j, c := range pipe.colptr {
+		if a.Colptr[j] != c {
+			return fmt.Errorf("core: refactor pattern mismatch in column %d", j-1)
+		}
+	}
+	// Validate the whole change set before gathering anything: a rejected
+	// column must not leave earlier columns' values already scattered into
+	// resident storage (that would silently break the next sweep's
+	// unchanged-columns contract without the poison flag ever being set).
+	inc := num.inc
+	for _, j := range changed {
+		if j < 0 || j >= sym.N {
+			return fmt.Errorf("core: RefactorPartial: column %d out of range", j)
+		}
+		k := inc.permColOf[j]
+		p0, p1 := num.Perm.Colptr[k], num.Perm.Colptr[k+1]
+		for t := p0; t < p1; t++ {
+			if s := pipe.permMap[t]; a.Rowidx[s] != pipe.rowidx[s] {
+				return fmt.Errorf("core: refactor pattern mismatch in column %d", j)
+			}
+		}
+	}
+	inc.epoch++
+	inc.dirty = 0
+	for _, j := range changed {
+		num.gatherChangedColumn(a, inc.permColOf[j])
+	}
+	return num.refactorPartialSweep()
+}
+
+// RefactorAuto is Refactor with automatic change discovery: the incoming
+// values are diffed against the cached previous gather while they are
+// scattered into permuted storage, and the sweep then refreshes only the
+// blocks the diff reached — callers that cannot (or do not want to) track
+// their own change sets get the incremental fast path transparently, for
+// one compare per entry on top of the gather Refactor already performs. A
+// fully-changed matrix degrades gracefully to roughly full-sweep cost (the
+// diff pass replaces the flat gather).
+//
+// Exclusion and error contracts are Refactor's.
+func (num *Numeric) RefactorAuto(a *sparse.CSC) error {
+	sym := num.Sym
+	if a.N != sym.N || a.M != sym.N {
+		return fmt.Errorf("core: dimension mismatch with symbolic analysis")
+	}
+	if err := num.ensureIncremental(a); err != nil {
+		return err
+	}
+	if num.incPoisoned {
+		return num.Refactor(a)
+	}
+	pipe := num.pipe
+	if err := pipe.checkPattern(a); err != nil {
+		return err
+	}
+	inc := num.inc
+	inc.epoch++
+	inc.dirty = 0
+	for k := 0; k < sym.N; k++ {
+		num.diffColumn(a, k)
+	}
+	return num.refactorPartialSweep()
+}
+
+// markDirtyBlock records coarse block blk as dirty this epoch.
+func (num *Numeric) markDirtyBlock(blk int) {
+	inc := num.inc
+	if inc.blkStamp[blk] != inc.epoch {
+		inc.blkStamp[blk] = inc.epoch
+		inc.dirty++
+	}
+}
+
+// markNDNode records a change in node jn at node-local column c.
+func (st *ndIncState) markNDNode(jn, c int, epoch uint64) {
+	if st.nodeStamp[jn] != epoch {
+		st.nodeStamp[jn] = epoch
+		st.nodeFirst[jn] = c
+	} else if c < st.nodeFirst[jn] {
+		st.nodeFirst[jn] = c
+	}
+}
+
+// gatherChangedColumn scatters permuted column k of a into permuted storage
+// and, through the reverse scatter map, into the owning block's input
+// storage, marking the dirty structures as it goes — the explicit
+// change-set path, which trusts the caller that any entry of the column may
+// have changed.
+func (num *Numeric) gatherChangedColumn(a *sparse.CSC, k int) {
+	sym, pipe, inc := num.Sym, num.pipe, num.inc
+	perm := num.Perm
+	p0, p1 := perm.Colptr[k], perm.Colptr[k+1]
+	sparse.GatherRange(perm, a, pipe.permMap, p0, p1)
+	blk := sym.blockOf[k]
+	r0 := sym.BlockPtr[blk]
+	inc.colStamp[k] = inc.epoch
+	num.markDirtyBlock(blk)
+	pv := perm.Values
+	if sym.kind[blk] != blockND {
+		for t := p0; t < p1; t++ {
+			if d := inc.aDst[t]; d != nil {
+				d.Values[inc.aPos[t]] = pv[t]
+			}
+		}
+		return
+	}
+	st := inc.nd[blk]
+	nb := sym.ndsym[blk].nb
+	jn := st.nodeOf[k-r0]
+	st.markNDNode(jn, st.colOf[k-r0], inc.epoch)
+	for t := p0; t < p1; t++ {
+		d := inc.aDst[t]
+		if d == nil {
+			continue // coarse off-diagonal entry: permuted storage only
+		}
+		d.Values[inc.aPos[t]] = pv[t]
+		st.pairStamp[st.nodeOf[perm.Rowidx[t]-r0]*nb+jn] = inc.epoch
+	}
+}
+
+// diffColumn scatters permuted column k of a into permuted storage entry by
+// entry, comparing against the resident values; real changes are forwarded
+// through the reverse scatter map and mark the dirty structures, but only
+// when they land inside the diagonal block (coarse off-diagonal entries
+// feed solves straight from permuted storage and never dirty a factor).
+func (num *Numeric) diffColumn(a *sparse.CSC, k int) {
+	sym, pipe, inc := num.Sym, num.pipe, num.inc
+	perm := num.Perm
+	p0, p1 := perm.Colptr[k], perm.Colptr[k+1]
+	blk := sym.blockOf[k]
+	r0 := sym.BlockPtr[blk]
+	nd := sym.kind[blk] == blockND
+	var st *ndIncState
+	var nb, jn int
+	if nd {
+		st = inc.nd[blk]
+		nb = sym.ndsym[blk].nb
+		jn = st.nodeOf[k-r0]
+	}
+	av, pv := a.Values, perm.Values
+	inBlock := false
+	for t := p0; t < p1; t++ {
+		v := av[pipe.permMap[t]]
+		if pv[t] == v {
+			continue
+		}
+		pv[t] = v
+		d := inc.aDst[t]
+		if d == nil {
+			continue
+		}
+		d.Values[inc.aPos[t]] = v
+		inBlock = true
+		if nd {
+			st.pairStamp[st.nodeOf[perm.Rowidx[t]-r0]*nb+jn] = inc.epoch
+		}
+	}
+	if !inBlock {
+		return
+	}
+	inc.colStamp[k] = inc.epoch
+	num.markDirtyBlock(blk)
+	if nd {
+		st.markNDNode(jn, st.colOf[k-r0], inc.epoch)
+	}
+}
+
+// remapBlockDst re-points the reverse scatter map at coarse block blk's
+// current input storage — required after an ND pivot-drift fallback
+// replaces the whole 2D hierarchy (small-block fallbacks keep their gather
+// target, so only fine-ND blocks ever need this).
+func (num *Numeric) remapBlockDst(blk int) {
+	inc := num.inc
+	if inc == nil {
+		return
+	}
+	ndn := num.nd[blk]
+	for i := range ndn.aSrc {
+		for j, src := range ndn.aSrc[i] {
+			if src == nil {
+				continue
+			}
+			b := ndn.a[i][j]
+			for q, s := range src {
+				inc.aDst[s] = b
+				inc.aPos[s] = q
+			}
+		}
+	}
+}
+
+// computeChanged materializes st.chg, the changed-kernel matrix of one
+// fine-ND block, from the epoch's dirty input pairs by walking the 2D
+// sweep's dependency structure in schedule order: a kernel must rerun when
+// its own input block changed, when a factor it consumes was itself rerun,
+// or when any (lower, upper) pair feeding its reduction changed. This is
+// the fine-grained form of "a dirty separator column dirties its ancestors
+// up the ND tree": dirtiness propagates upward exactly along the paper's
+// dependency tree, and nothing else reruns.
+func (ndn *ndNum) computeChanged(st *ndIncState, epoch uint64) bool {
+	s := ndn.sym
+	nb := s.nb
+	chg := st.chg
+	for i := range chg {
+		chg[i] = false
+	}
+	pair := func(i, j int) bool { return st.pairStamp[i*nb+j] == epoch }
+	st.epoch = epoch
+	for v := range st.first {
+		if st.nodeStamp[v] == epoch {
+			st.first[v] = st.nodeFirst[v]
+		} else {
+			st.first[v] = 0
+		}
+	}
+	any := false
+	for j := 0; j < nb; j++ {
+		// Upper targets U_kp,j for descendants kp of j, in schedule order:
+		// rerun when the input block changed, the solving diagonal factor
+		// LU_kp,kp was rerun, or a reduction term from subtree(kp) changed.
+		for kp := s.subLo[j]; kp < j; kp++ {
+			c := pair(kp, j) || chg[kp*nb+kp]
+			for k2 := s.subLo[kp]; k2 < kp && !c; k2++ {
+				c = chg[kp*nb+k2] || chg[k2*nb+j]
+			}
+			if c {
+				chg[kp*nb+j] = true
+				any = true
+			}
+		}
+		// The diagonal LU_jj: input block or any reduction term.
+		c := pair(j, j)
+		for k2 := s.subLo[j]; k2 < j && !c; k2++ {
+			c = chg[j*nb+k2] || chg[k2*nb+j]
+		}
+		if c {
+			chg[j*nb+j] = true
+			any = true
+		}
+		// Lower targets L_ij for ancestors i of j: input block, the (just
+		// decided) diagonal LU_jj, or any reduction term.
+		for _, i := range s.ancestors[j] {
+			c := pair(i, j) || chg[j*nb+j]
+			for k2 := s.subLo[j]; k2 < j && !c; k2++ {
+				c = chg[i*nb+k2] || chg[k2*nb+j]
+			}
+			if c {
+				chg[i*nb+j] = true
+				any = true
+			}
+		}
+	}
+	return any
+}
+
+// refactorPartialSweep runs the dirty-block refresh: clean coarse blocks
+// have their completion slots pre-armed and are never visited; dirty small
+// blocks refresh their suffix from the first dirty column; dirty fine-ND
+// blocks rerun exactly the kernels computeChanged selected. Scheduling,
+// synchronization, pivot-drift fallbacks and the error contract mirror the
+// full Refactor sweep.
+func (num *Numeric) refactorPartialSweep() error {
+	sym := num.Sym
+	pipe := num.pipe
+	inc := num.inc
+	nblocks := sym.NumBlocks()
+	for i := range pipe.errs {
+		pipe.errs[i] = nil
+	}
+	for t := range num.btfBusy {
+		num.btfBusy[t] = 0
+	}
+	num.SyncWaits = 0
+	num.ndSim = 0
+	// The coarse completion fabric is not touched here: nothing in the
+	// partial path waits on it (the parallel join is a WaitGroup, since
+	// coarse diagonal blocks are independent under refactorization), and
+	// the full sweep re-arms it itself. The load-bearing pre-arming is the
+	// fine-ND epoch flags inside each dirty block's refactorSweep.
+	for blk := 0; blk < nblocks; blk++ {
+		if inc.blkStamp[blk] == inc.epoch && sym.kind[blk] == blockND {
+			num.nd[blk].computeChanged(inc.nd[blk], inc.epoch)
+		}
+	}
+	if inc.dirty > 0 {
+		nt := sym.Opts.threads()
+		if nt == 1 {
+			for blk := 0; blk < nblocks; blk++ {
+				if inc.blkStamp[blk] == inc.epoch {
+					num.refactorBlockPartial(blk, 0)
+				}
+			}
+		} else {
+			num.refactorParallelPartial(nt)
+		}
+	}
+	for _, err := range pipe.errs {
+		if err != nil {
+			num.incPoisoned = true
+			return err
+		}
+	}
+	for blk := 0; blk < nblocks; blk++ {
+		if inc.blkStamp[blk] == inc.epoch && sym.kind[blk] == blockND {
+			num.SyncWaits += num.nd[blk].SyncWaits
+			num.ndSim += num.nd[blk].simSeconds()
+		}
+	}
+	if pipe.changed.Load() {
+		num.nnzLU = num.countNnzLU()
+		pipe.changed.Store(false)
+	}
+	num.incPoisoned = false
+	return nil
+}
+
+// refactorParallelPartial is refactorParallel restricted to dirty blocks:
+// clean blocks were pre-armed by the driver, dirty fine-ND blocks get their
+// cooperative regions, and only fine-BTF workers owning at least one dirty
+// block launch. Unlike the full sweep, the join is a WaitGroup rather than
+// the per-block completion fabric: a partition worker consults the epoch
+// stamps after signalling its last dirty block, so the driver must not
+// start the next sweep's marking until every worker goroutine has exited,
+// not merely until every slot is set.
+func (num *Numeric) refactorParallelPartial(nt int) {
+	sym := num.Sym
+	pipe := num.pipe
+	inc := num.inc
+	dirty := func(blk int) bool { return inc.blkStamp[blk] == inc.epoch }
+	for _, blk := range pipe.unowned {
+		if dirty(blk) {
+			num.refactorBlockPartial(blk, 0)
+		}
+	}
+	var wg sync.WaitGroup
+	for blk := 0; blk < sym.NumBlocks(); blk++ {
+		if sym.kind[blk] != blockND || !dirty(blk) {
+			continue
+		}
+		wg.Add(1)
+		go func(blk int) {
+			defer wg.Done()
+			num.refactorBlockPartial(blk, 0)
+		}(blk)
+	}
+	for t := 0; t < nt; t++ {
+		launch := false
+		for _, blk := range sym.partition[t] {
+			if dirty(blk) {
+				launch = true
+				break
+			}
+		}
+		if !launch {
+			continue
+		}
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			for _, blk := range sym.partition[t] {
+				if dirty(blk) {
+					num.refactorBlockPartial(blk, t)
+				}
+			}
+		}(t)
+	}
+	wg.Wait()
+}
+
+// refactorBlockPartial refreshes one dirty coarse block in place and
+// signals its completion slot, with the same pivot-drift fallbacks as
+// refactorBlock: the fallbacks rebuild from permuted storage, which the
+// marking phase keeps fully current, so a partially-dirty block can always
+// recover with a complete re-pivoting.
+func (num *Numeric) refactorBlockPartial(blk, t int) {
+	sym := num.Sym
+	pipe := num.pipe
+	inc := num.inc
+	switch sym.kind[blk] {
+	case blockSmall:
+		num.hookStart(blk, false)
+		// The marking phase forwarded every changed value into sub through
+		// the reverse scatter map, so the block input is already current.
+		sub := pipe.smallSub[blk]
+		r0, r1 := sym.BlockPtr[blk], sym.BlockPtr[blk+1]
+		t0 := time.Now()
+		err := num.small[blk].RefactorSelective(sub, num.workerWS(t),
+			inc.colStamp[r0:r1], inc.epoch, inc.rerun[r0:r1])
+		if err != nil && errors.Is(err, gp.ErrSingular) {
+			// Pivot drift: re-pivot this block alone (sub's clean prefix
+			// still holds the resident values, so the fresh factorization
+			// sees the complete current block).
+			var f *gp.Factors
+			f, err = gp.Factor(sub, sym.estNnz[blk], sym.Opts.gpOptions(), num.workerWS(t))
+			if err == nil {
+				num.small[blk] = f
+				pipe.changed.Store(true)
+			}
+		}
+		num.btfBusy[t] += time.Since(t0).Seconds()
+		if err != nil {
+			pipe.errs[blk] = fmt.Errorf("core: refactor small block %d: %w", blk, err)
+		}
+		num.hookDone(blk, false)
+	case blockND:
+		num.hookStart(blk, true)
+		r0 := sym.BlockPtr[blk]
+		err := num.nd[blk].refactorSweep(num.Perm, r0, inc.nd[blk])
+		if err != nil && errors.Is(err, gp.ErrSingular) {
+			// Pivot drift inside the 2D hierarchy: rebuild this coarse
+			// block with a fresh parallel factorization (new pivots); the
+			// rebuild regathers its whole input hierarchy from permuted
+			// storage, published only once completely built.
+			var grid *ndGrid
+			if num.planned {
+				grid = sym.ndsym[blk].grid
+			}
+			var fresh *ndNum
+			fresh, err = factorND(num.Perm, r0, sym.ndsym[blk], sym.Opts, grid, nil)
+			if err == nil {
+				fresh.ensureRefactorState(num.Perm, r0)
+				num.nd[blk] = fresh
+				num.remapBlockDst(blk)
+				pipe.changed.Store(true)
+			}
+		}
+		if err != nil {
+			pipe.errs[blk] = fmt.Errorf("core: refactor nd block %d: %w", blk, err)
+		}
+		num.hookDone(blk, true)
+	}
+}

@@ -44,8 +44,6 @@ func (num *ndNum) ensureRefactorState(perm *sparse.CSC, r0 int) {
 // allocation. On error (a reused pivot drifted to zero) the values are left
 // partially refreshed — the caller falls back to a fresh factorND.
 func (num *ndNum) refactorInPlace(perm *sparse.CSC, r0 int) error {
-	num.ensureRefactorState(perm, r0)
-	re := num.re
 	s := num.sym
 	for i := 0; i < s.nb; i++ {
 		for j, src := range num.aSrc[i] {
@@ -54,20 +52,48 @@ func (num *ndNum) refactorInPlace(perm *sparse.CSC, r0 int) error {
 			}
 		}
 	}
+	return num.refactorSweep(perm, r0, nil)
+}
+
+// refactorSweep runs the in-place refactorization of this block's 2D
+// hierarchy. st, when non-nil, carries the sweep's changed-kernel matrix
+// (st.chg, nb×nb row major) and per-node first-dirty columns (st.first):
+// only kernels whose chg entry is true are rerun — clean kernels keep
+// their factored values and their completion flags are pre-armed for the
+// epoch, so dirty kernels still synchronize point-to-point exactly as the
+// full sweep does — and leaf kernels, which have no reduction terms,
+// restrict their refresh to the dirty column suffix. The caller is
+// responsible for having regathered the input blocks that feed dirty
+// kernels (the full-sweep wrapper refactorInPlace gathers everything; the
+// incremental layer gathers per changed column).
+func (num *ndNum) refactorSweep(perm *sparse.CSC, r0 int, st *ndIncState) error {
+	num.ensureRefactorState(perm, r0)
+	re := num.re
+	s := num.sym
 	re.flags.Reset()
+	if st != nil {
+		for i := 0; i < s.nb; i++ {
+			row := st.chg[i*s.nb : (i+1)*s.nb]
+			for j, c := range row {
+				if !c {
+					re.flags.set(i, j)
+				}
+			}
+		}
+	}
 	num.firstErr = nil
 	for t := range num.phaseDur {
 		num.phaseDur[t] = num.phaseDur[t][:0]
 	}
 	if s.p == 1 {
-		num.refactorWorker(0)
+		num.refactorWorker(0, st)
 	} else {
 		var wg sync.WaitGroup
 		for t := 0; t < s.p; t++ {
 			wg.Add(1)
 			go func(t int) {
 				defer wg.Done()
-				num.refactorWorker(t)
+				num.refactorWorker(t, st)
 			}(t)
 		}
 		wg.Wait()
@@ -93,22 +119,60 @@ func (num *ndNum) failRefactor(err error) {
 // resettable epoch flags (refactorization always uses point-to-point
 // synchronization; the barrier ablation concerns first factorization).
 // Compute time lands in phaseDur exactly like the factor path, so the
-// simulated-makespan model covers refactorization too.
-func (num *ndNum) refactorWorker(t int) {
+// simulated-makespan model covers refactorization too. st, when non-nil,
+// selects the kernels to rerun (nil reruns everything); skipped kernels
+// keep their values and rely on the driver's pre-armed flags, and the
+// phase-duration appends stay unconditional so the makespan model's phase
+// alignment across threads survives partial sweeps.
+//
+// Per-column granularity at the leaves: leaf kernels consume no reduction,
+// so when the change set first touches node v at column st.first[v], the
+// leaf diagonal refactors from that column (factor column k depends only
+// on input columns up to k and earlier factor columns), leaf lower blocks
+// refresh from it (output column c reads input column c, factor column c
+// and earlier output columns, none of which changed before the first dirty
+// column), and leaf upper blocks refresh from the target column's first
+// dirty column provided the leaf factor itself did not change this sweep
+// (each upper column reads the whole leaf L).
+func (num *ndNum) refactorWorker(t int, st *ndIncState) {
 	s := num.sym
 	re := num.re
 	leaf := s.tree.Leaves[t]
 	ws, _, acc := num.workerScratch(t)
+	live := func(i, j int) bool { return st == nil || st.chg[i*s.nb+j] }
+	firstOf := func(j int) int {
+		if st == nil {
+			return 0
+		}
+		return st.first[j]
+	}
 	var busy float64
 
 	// ---- treelevel -1: refresh the leaf diagonal and its lower blocks.
 	t0 := time.Now()
-	err := num.diag[leaf].Refactor(num.a[leaf][leaf], ws)
+	var err error
+	if live(leaf, leaf) {
+		if st == nil {
+			err = num.diag[leaf].Refactor(num.a[leaf][leaf], ws)
+		} else {
+			// Selective per-column refresh: only the closure of the leaf's
+			// dirty columns under the factor's own column dependencies
+			// reruns (a leaf diagonal consumes no reduction, so the input
+			// stamps tell the whole story).
+			b0, b1 := s.blockRange(leaf)
+			err = num.diag[leaf].RefactorSelective(num.a[leaf][leaf], ws,
+				st.colStamp[b0:b1], st.epoch, st.rerun[b0:b1])
+		}
+		if err == nil {
+			re.flags.set(leaf, leaf)
+		}
+	}
 	if err == nil {
-		re.flags.set(leaf, leaf)
 		for _, i := range s.ancestors[leaf] {
-			num.diag[leaf].RefactorLowerBlock(num.lower[i][leaf], num.a[i][leaf], acc)
-			re.flags.set(i, leaf)
+			if live(i, leaf) {
+				num.diag[leaf].RefactorLowerBlockFrom(num.lower[i][leaf], num.a[i][leaf], acc, firstOf(leaf))
+				re.flags.set(i, leaf)
+			}
 		}
 	}
 	busy += time.Since(t0).Seconds()
@@ -126,10 +190,16 @@ func (num *ndNum) refactorWorker(t int) {
 	for slevel := 1; slevel <= s.maxH; slevel++ {
 		j := ancestorAtHeight(s, leaf, slevel)
 		// Step A: my leaf's upper block U_{leaf,j}.
-		t0 = time.Now()
-		num.diag[leaf].RefactorUpperBlock(num.upper[leaf][j], num.a[leaf][j], ws)
-		re.flags.set(leaf, j)
-		busy += time.Since(t0).Seconds()
+		if live(leaf, j) {
+			k0 := 0
+			if st != nil && !st.chg[leaf*s.nb+leaf] {
+				k0 = st.first[j]
+			}
+			t0 = time.Now()
+			num.diag[leaf].RefactorUpperBlockFrom(num.upper[leaf][j], num.a[leaf][j], ws, k0)
+			re.flags.set(leaf, j)
+			busy += time.Since(t0).Seconds()
+		}
 		num.phaseDur[t] = append(num.phaseDur[t], busy)
 		busy = 0
 		if re.flags.Aborted() {
@@ -138,7 +208,7 @@ func (num *ndNum) refactorWorker(t int) {
 		// Step B: internal path nodes I owned by this thread.
 		for h := 1; h < slevel; h++ {
 			k := ancestorAtHeight(s, leaf, h)
-			if s.owner[k] == t {
+			if s.owner[k] == t && live(k, j) {
 				lows, ups, ok := num.gatherReductionOn(re.flags, k, j, t)
 				if !ok {
 					num.phaseDur[t] = append(num.phaseDur[t], busy)
@@ -161,7 +231,7 @@ func (num *ndNum) refactorWorker(t int) {
 			}
 		}
 		// Step C: the diagonal LU_jj by the owner of j.
-		if s.owner[j] == t {
+		if s.owner[j] == t && live(j, j) {
 			lows, ups, ok := num.gatherReductionOn(re.flags, j, j, t)
 			if !ok {
 				num.phaseDur[t] = append(num.phaseDur[t], busy)
@@ -197,6 +267,9 @@ func (num *ndNum) refactorWorker(t int) {
 		nsub := s.leafHi[j] - s.leafLo[j] + 1
 		for idx, i := range s.ancestors[j] {
 			if idx%nsub != t-s.leafLo[j] {
+				continue
+			}
+			if !live(i, j) {
 				continue
 			}
 			lows, ups, ok := num.gatherRowReductionOn(re.flags, i, j, t)

@@ -162,8 +162,8 @@ func FactorInto(f *Factors, a *sparse.CSC, estNnz int, opts Options, ws *Workspa
 	f.N = n
 	f.L = resetFactorCSC(f.L, n, estNnz)
 	f.U = resetFactorCSC(f.U, n, estNnz)
-	f.P = growInts(f.P, n)
-	f.Pinv = growInts(f.Pinv, n)
+	f.P = sparse.GrowInts(f.P, n)
+	f.Pinv = sparse.GrowInts(f.Pinv, n)
 	f.Flops = 0
 	for i := range f.Pinv {
 		f.Pinv[i] = -1
@@ -178,7 +178,7 @@ func FactorInto(f *Factors, a *sparse.CSC, estNnz int, opts Options, ws *Workspa
 		// During the factorization PruneEnd[j] records the *step* at which
 		// column j was pruned (-1 = never); it is converted to a storage
 		// position once L is remapped and sorted.
-		f.PruneEnd = growInts(f.PruneEnd, n)
+		f.PruneEnd = sparse.GrowInts(f.PruneEnd, n)
 		for j := range f.PruneEnd {
 			f.PruneEnd[j] = -1
 		}
@@ -421,15 +421,6 @@ func resetFactorCSC(c *sparse.CSC, n, estNnz int) *sparse.CSC {
 	return c
 }
 
-// growInts returns s resized to exactly n elements, reusing its backing
-// array when large enough.
-func growInts(s []int, n int) []int {
-	if cap(s) >= n {
-		return s[:n]
-	}
-	return make([]int, n)
-}
-
 func clearX(x []float64, xi []int, top, n int, a *sparse.CSC, k int) {
 	for t := top; t < n; t++ {
 		x[xi[t]] = 0
@@ -634,6 +625,21 @@ func (f *Factors) USolve(y []float64) {
 // the Xyce transient-sequence experiment: one symbolic+pivoting
 // factorization followed by many cheap refactorizations.
 func (f *Factors) Refactor(a *sparse.CSC, ws *Workspace) error {
+	return f.RefactorFrom(a, ws, 0)
+}
+
+// RefactorSelective is Refactor restricted to the dependency closure of a
+// dirty column set: column k is recomputed when its input column changed
+// (colStamp[k] == epoch) or when an already-recomputed column appears in
+// U(:,k)'s structural pattern — exactly the factor columns its elimination
+// consumes — and skipped otherwise, its values provably identical to what
+// a full Refactor would produce. rerun must have length n; it is
+// overwritten with the computed closure so the caller can inspect what
+// reran. The skipped-column scan costs one walk of U's pattern, orders of
+// magnitude below the arithmetic it avoids, which is what makes localized
+// change sets cheap even inside a large diagonal block whose fill-reducing
+// ordering scattered them.
+func (f *Factors) RefactorSelective(a *sparse.CSC, ws *Workspace, colStamp []uint64, epoch uint64, rerun []bool) error {
 	n := f.N
 	if a.M != n || a.N != n {
 		return fmt.Errorf("gp: refactor dimension mismatch")
@@ -645,46 +651,100 @@ func (f *Factors) Refactor(a *sparse.CSC, ws *Workspace) error {
 	}
 	x := ws.X
 	for k := 0; k < n; k++ {
-		// Scatter P·A(:,k) over pivot positions.
-		for p := a.Colptr[k]; p < a.Colptr[k+1]; p++ {
-			x[f.Pinv[a.Rowidx[p]]] = a.Values[p]
-		}
-		// Eliminate along U(:,k)'s pattern in ascending row order.
-		up0, up1 := f.U.Colptr[k], f.U.Colptr[k+1]
-		for p := up0; p < up1-1; p++ {
-			j := f.U.Rowidx[p]
-			xj := x[j]
-			f.U.Values[p] = xj
-			if xj == 0 {
-				continue
-			}
-			rows := f.L.Rowidx[f.L.Colptr[j]+1 : f.L.Colptr[j+1]]
-			vals := f.L.Values[f.L.Colptr[j]+1 : f.L.Colptr[j+1]]
-			vals = vals[:len(rows)] // bounds-check elimination hint
-			for t, i := range rows {
-				x[i] -= vals[t] * xj
+		need := colStamp[k] == epoch
+		if !need {
+			up0, up1 := f.U.Colptr[k], f.U.Colptr[k+1]
+			for p := up0; p < up1-1; p++ {
+				if rerun[f.U.Rowidx[p]] {
+					need = true
+					break
+				}
 			}
 		}
-		piv := x[k]
-		if piv == 0 {
-			// Clear workspace before reporting.
-			for p := up0; p < up1; p++ {
-				x[f.U.Rowidx[p]] = 0
-			}
-			for t := f.L.Colptr[k]; t < f.L.Colptr[k+1]; t++ {
-				x[f.L.Rowidx[t]] = 0
-			}
-			return fmt.Errorf("gp: refactor column %d: %w", k, ErrSingular)
+		rerun[k] = need
+		if !need {
+			continue
 		}
-		f.U.Values[up1-1] = piv
-		for t := f.L.Colptr[k] + 1; t < f.L.Colptr[k+1]; t++ {
-			i := f.L.Rowidx[t]
-			f.L.Values[t] = x[i] / piv
-			x[i] = 0
+		if err := f.refactorColumn(a, x, k); err != nil {
+			return err
 		}
+	}
+	return nil
+}
+
+// RefactorFrom is Refactor restricted to columns k0..n-1: factor column k
+// depends only on A(:,k) and on earlier factor columns, so when every
+// column before k0 of a is unchanged since the last refresh, the prefix
+// factor columns are already correct and recomputing the suffix alone
+// yields values bitwise identical to a full Refactor. This is the
+// per-column granularity the change-set-aware refactorization uses inside a
+// dirty diagonal block: k0 is the first column the change set touches.
+func (f *Factors) RefactorFrom(a *sparse.CSC, ws *Workspace, k0 int) error {
+	n := f.N
+	if a.M != n || a.N != n {
+		return fmt.Errorf("gp: refactor dimension mismatch")
+	}
+	if k0 < 0 {
+		k0 = 0
+	}
+	if ws == nil {
+		ws = NewWorkspace(n)
+	} else {
+		ws.Grow(n)
+	}
+	x := ws.X
+	for k := k0; k < n; k++ {
+		if err := f.refactorColumn(a, x, k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// refactorColumn refreshes factor column k from a's column k with the
+// fixed pivot sequence: the one-column body shared by Refactor,
+// RefactorFrom and RefactorSelective. x is the dense accumulator (clean on
+// entry and on return, including the singular-pivot error path).
+func (f *Factors) refactorColumn(a *sparse.CSC, x []float64, k int) error {
+	// Scatter P·A(:,k) over pivot positions.
+	for p := a.Colptr[k]; p < a.Colptr[k+1]; p++ {
+		x[f.Pinv[a.Rowidx[p]]] = a.Values[p]
+	}
+	// Eliminate along U(:,k)'s pattern in ascending row order.
+	up0, up1 := f.U.Colptr[k], f.U.Colptr[k+1]
+	for p := up0; p < up1-1; p++ {
+		j := f.U.Rowidx[p]
+		xj := x[j]
+		f.U.Values[p] = xj
+		if xj == 0 {
+			continue
+		}
+		rows := f.L.Rowidx[f.L.Colptr[j]+1 : f.L.Colptr[j+1]]
+		vals := f.L.Values[f.L.Colptr[j]+1 : f.L.Colptr[j+1]]
+		vals = vals[:len(rows)] // bounds-check elimination hint
+		for t, i := range rows {
+			x[i] -= vals[t] * xj
+		}
+	}
+	piv := x[k]
+	if piv == 0 {
+		// Clear workspace before reporting.
 		for p := up0; p < up1; p++ {
 			x[f.U.Rowidx[p]] = 0
 		}
+		for t := f.L.Colptr[k]; t < f.L.Colptr[k+1]; t++ {
+			x[f.L.Rowidx[t]] = 0
+		}
+		return fmt.Errorf("gp: refactor column %d: %w", k, ErrSingular)
+	}
+	f.U.Values[up1-1] = piv
+	for t := f.L.Colptr[k] + 1; t < f.L.Colptr[k+1]; t++ {
+		i := f.L.Rowidx[t]
+		f.L.Values[t] = x[i] / piv
+		x[i] = 0
+	}
+	for p := up0; p < up1; p++ {
+		x[f.U.Rowidx[p]] = 0
 	}
 	return nil
 }

@@ -176,7 +176,18 @@ func (f *Factors) LowerBlockSolveInto(dst, b *sparse.CSC, mark []int, tagp *int,
 // no pattern discovery and performs no allocation. acc must have length
 // ≥ B.M and arrive zeroed; it comes back clean.
 func (f *Factors) RefactorLowerBlock(dst, b *sparse.CSC, acc []float64) {
-	for c := 0; c < b.N; c++ {
+	f.RefactorLowerBlockFrom(dst, b, acc, 0)
+}
+
+// RefactorLowerBlockFrom is RefactorLowerBlock restricted to columns
+// c0..N-1. Column c of the result depends only on input column c, factor
+// column U(:,c) and earlier result columns, so when neither the input's
+// columns before c0 nor the factor's columns before c0 changed since the
+// last refresh, the prefix is already correct and recomputing the suffix
+// alone matches a full refresh bitwise — the per-column granularity the
+// incremental sweep applies to fine-ND leaf kernels.
+func (f *Factors) RefactorLowerBlockFrom(dst, b *sparse.CSC, acc []float64, c0 int) {
+	for c := c0; c < b.N; c++ {
 		for p := b.Colptr[c]; p < b.Colptr[c+1]; p++ {
 			acc[b.Rowidx[p]] += b.Values[p]
 		}
@@ -207,9 +218,18 @@ func (f *Factors) RefactorLowerBlock(dst, b *sparse.CSC, acc []float64) {
 // of the forward solve, so each column is one masked substitution pass;
 // no DFS, no allocation. ws provides the dense accumulator.
 func (f *Factors) RefactorUpperBlock(dst, b *sparse.CSC, ws *Workspace) {
+	f.RefactorUpperBlockFrom(dst, b, ws, 0)
+}
+
+// RefactorUpperBlockFrom is RefactorUpperBlock restricted to columns
+// c0..N-1. Unlike the lower-block sweep, each output column here is
+// independent of the others but reads the whole of L, so the suffix
+// restriction is sound only when the factor itself did not change this
+// sweep and every changed input column lies at or beyond c0.
+func (f *Factors) RefactorUpperBlockFrom(dst, b *sparse.CSC, ws *Workspace, c0 int) {
 	ws.Grow(f.N)
 	x := ws.X
-	for c := 0; c < b.N; c++ {
+	for c := c0; c < b.N; c++ {
 		for p := b.Colptr[c]; p < b.Colptr[c+1]; p++ {
 			x[f.Pinv[b.Rowidx[p]]] = b.Values[p]
 		}

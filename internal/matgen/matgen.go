@@ -291,3 +291,52 @@ func TransientStep(base *sparse.CSC, t int, seed int64) *sparse.CSC {
 	}
 	return out
 }
+
+// PerturbColumns produces a transient step that touches only the listed
+// columns: the returned matrix has base's pattern, values in cols modulated
+// with TransientStep's stamping semantics (diagonals bounded away from
+// zero), and every other column bitwise identical to base — the localized
+// device-stamp perturbation the incremental refactorization path is built
+// for. Steps generated from one base with the same cols differ from each
+// other only inside cols.
+func PerturbColumns(base *sparse.CSC, cols []int, t int, seed int64) *sparse.CSC {
+	rng := rand.New(rand.NewSource(seed + int64(t)*1000003))
+	out := base.Clone()
+	phase := float64(t) * 0.05
+	for _, j := range cols {
+		for p := out.Colptr[j]; p < out.Colptr[j+1]; p++ {
+			f := 1 + 0.4*math.Sin(phase+float64(j)*0.01) + 0.1*rng.NormFloat64()
+			if out.Rowidx[p] == j && f < 0.3 {
+				f = 0.3
+			}
+			out.Values[p] *= f
+		}
+	}
+	return out
+}
+
+// ChangeSet returns a deterministic set of max(1, frac·n) column indices.
+// clustered picks a contiguous run at a seed-dependent offset — the shape
+// of a localized device perturbation, which graph-locality-preserving
+// orderings keep confined to few blocks — while scattered draws a uniform
+// subset, the adversarial spread for change-set-aware refactorization.
+func ChangeSet(n int, frac float64, seed int64, clustered bool) []int {
+	k := int(frac*float64(n) + 0.5)
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	rng := rand.New(rand.NewSource(seed))
+	cols := make([]int, k)
+	if clustered {
+		start := rng.Intn(n - k + 1)
+		for i := range cols {
+			cols[i] = start + i
+		}
+		return cols
+	}
+	copy(cols, rng.Perm(n)[:k])
+	return cols
+}

@@ -60,18 +60,51 @@ func (f *Form) PercentInSmallBlocks(threshold int) float64 {
 	return 100 * float64(small) / float64(n)
 }
 
+// Workspace holds the reusable scratch of the BTF front end: the matching
+// search's buffers, the values-free pattern transpose the SCC search walks,
+// and Tarjan's stacks. Reusing one workspace across Analyze calls removes
+// the front end's per-call allocation churn — the serial symbolic-phase
+// cost the paper's Algorithm 3 discussion warns about.
+type Workspace struct {
+	// Match is the matching searches' scratch.
+	Match matching.Workspace
+
+	// tptr/tadj hold the pattern of Aᵀ (no values — the SCC search is
+	// structural); tnext is the fill cursor.
+	tptr, tadj, tnext []int
+
+	// Tarjan scratch.
+	index, lowlink, comp, stack []int
+	onStack                     []bool
+	dfs                         []sccFrame
+	sccSizes, newID, next       []int
+}
+
+// NewWorkspace returns an empty workspace; buffers grow on first use.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
 // Compute finds the BTF of a. The matching permutation is chosen by useMWCM:
 // true selects the bottleneck maximum weight matching (Basker's Pm), false
 // the plain maximum cardinality matching (pattern only). Returns
 // matching.ErrStructurallySingular for structurally singular inputs.
 func Compute(a *sparse.CSC, useMWCM bool) (*Form, error) {
+	return ComputeWith(a, useMWCM, nil)
+}
+
+// ComputeWith is Compute drawing all scratch from ws (nil allocates a
+// private workspace). Only the returned Form's slices are freshly
+// allocated.
+func ComputeWith(a *sparse.CSC, useMWCM bool, ws *Workspace) (*Form, error) {
+	if ws == nil {
+		ws = NewWorkspace()
+	}
 	n := a.N
 	var match *matching.Result
 	var err error
 	if useMWCM {
-		match, err = matching.Bottleneck(a)
+		match, err = matching.BottleneckWith(a, &ws.Match)
 	} else {
-		match, err = matching.MaxCardinalityPerm(a)
+		match, err = matching.MaxCardinalityPermWith(a, &ws.Match)
 	}
 	if err != nil {
 		return nil, err
@@ -79,10 +112,11 @@ func Compute(a *sparse.CSC, useMWCM bool) (*Form, error) {
 	// B = A(match.RowPerm, :) has a zero-free diagonal. Its digraph has an
 	// edge u -> v for every nonzero B(u, v); SCCs of that digraph in
 	// topological order give the upper BTF. Out-neighbours of u are the
-	// pattern of row u of B, i.e. column u of Bᵀ.
-	b := a.Permute(match.RowPerm, nil)
-	bt := b.Transpose()
-	sccOrder, blockPtr := tarjanSCC(n, bt.Colptr, bt.Rowidx)
+	// pattern of row match.RowPerm[u] of A — column match.RowPerm[u] of the
+	// pattern transpose, so one values-free transpose replaces the old
+	// Permute+Transpose round trip.
+	ws.transposePattern(a)
+	sccOrder, blockPtr := tarjanSCC(n, match.RowPerm, ws)
 
 	// sccOrder is a symmetric permutation of B: final ColPerm = sccOrder,
 	// final RowPerm composes the matching with sccOrder.
@@ -93,36 +127,74 @@ func Compute(a *sparse.CSC, useMWCM bool) (*Form, error) {
 	return &Form{RowPerm: rowPerm, ColPerm: sccOrder, BlockPtr: blockPtr}, nil
 }
 
+// transposePattern fills ws.tptr/tadj with the pattern of aᵀ: column i of
+// the transpose lists the columns of a whose pattern contains row i.
+func (ws *Workspace) transposePattern(a *sparse.CSC) {
+	nnz := a.Nnz()
+	ws.tptr = sparse.GrowInts(ws.tptr, a.M+1)
+	ws.tadj = sparse.GrowInts(ws.tadj, nnz)
+	ws.tnext = sparse.GrowInts(ws.tnext, a.M)
+	tptr, tadj, next := ws.tptr, ws.tadj, ws.tnext
+	for i := range tptr {
+		tptr[i] = 0
+	}
+	for _, i := range a.Rowidx[:nnz] {
+		tptr[i+1]++
+	}
+	for i := 0; i < a.M; i++ {
+		tptr[i+1] += tptr[i]
+		next[i] = tptr[i]
+	}
+	for j := 0; j < a.N; j++ {
+		for p := a.Colptr[j]; p < a.Colptr[j+1]; p++ {
+			i := a.Rowidx[p]
+			tadj[next[i]] = j
+			next[i]++
+		}
+	}
+}
+
+// sccFrame is one DFS frame of the SCC search.
+type sccFrame struct{ v, ptr int }
+
 // tarjanSCC runs an iterative Tarjan strongly-connected-components search on
-// the digraph with out-adjacency adj[ptr[u]:ptr[u+1]] for vertex u. It
-// returns a new-to-old vertex permutation that lists SCCs contiguously in
-// topological order of the condensation (all edges point from earlier blocks
-// to later blocks), plus the block boundaries.
-func tarjanSCC(n int, ptr, adj []int) (perm []int, blockPtr []int) {
+// the digraph whose vertex u has out-adjacency
+// tadj[tptr[rowPerm[u]]:tptr[rowPerm[u]+1]] (the matching indirection over
+// the pattern transpose). It returns a new-to-old vertex permutation that
+// lists SCCs contiguously in topological order of the condensation (all
+// edges point from earlier blocks to later blocks), plus the block
+// boundaries; both are freshly allocated, all scratch comes from ws.
+func tarjanSCC(n int, rowPerm []int, ws *Workspace) (perm []int, blockPtr []int) {
 	const unvisited = -1
-	index := make([]int, n)
-	lowlink := make([]int, n)
-	onStack := make([]bool, n)
-	comp := make([]int, n)
-	for i := range index {
+	ws.index = sparse.GrowInts(ws.index, n)
+	ws.lowlink = sparse.GrowInts(ws.lowlink, n)
+	ws.comp = sparse.GrowInts(ws.comp, n)
+	ws.onStack = sparse.GrowBools(ws.onStack, n)
+	index, lowlink, comp, onStack := ws.index, ws.lowlink, ws.comp, ws.onStack
+	for i := 0; i < n; i++ {
 		index[i] = unvisited
 		comp[i] = -1
+		onStack[i] = false
+	}
+	ptr, adj := ws.tptr, ws.tadj
+	outs := func(u int) (int, int) {
+		p := rowPerm[u]
+		return ptr[p], ptr[p+1]
 	}
 	var (
 		counter  int
 		sccCount int
-		stack    []int // Tarjan's SCC stack
 	)
-	sccSizes := []int{}
-
-	type frame struct{ v, ptr int }
-	dfs := make([]frame, 0, 64)
+	stack := ws.stack[:0] // Tarjan's SCC stack
+	sccSizes := ws.sccSizes[:0]
+	dfs := ws.dfs[:0]
 
 	for root := 0; root < n; root++ {
 		if index[root] != unvisited {
 			continue
 		}
-		dfs = append(dfs[:0], frame{root, ptr[root]})
+		p0, _ := outs(root)
+		dfs = append(dfs[:0], sccFrame{root, p0})
 		index[root] = counter
 		lowlink[root] = counter
 		counter++
@@ -131,7 +203,8 @@ func tarjanSCC(n int, ptr, adj []int) (perm []int, blockPtr []int) {
 		for len(dfs) > 0 {
 			top := &dfs[len(dfs)-1]
 			v := top.v
-			if top.ptr < ptr[v+1] {
+			_, pend := outs(v)
+			if top.ptr < pend {
 				w := adj[top.ptr]
 				top.ptr++
 				if index[w] == unvisited {
@@ -140,7 +213,8 @@ func tarjanSCC(n int, ptr, adj []int) (perm []int, blockPtr []int) {
 					counter++
 					stack = append(stack, w)
 					onStack[w] = true
-					dfs = append(dfs, frame{w, ptr[w]})
+					w0, _ := outs(w)
+					dfs = append(dfs, sccFrame{w, w0})
 				} else if onStack[w] && index[w] < lowlink[v] {
 					lowlink[v] = index[w]
 				}
@@ -171,11 +245,13 @@ func tarjanSCC(n int, ptr, adj []int) (perm []int, blockPtr []int) {
 			}
 		}
 	}
+	ws.stack, ws.sccSizes, ws.dfs = stack, sccSizes, dfs // keep grown capacity
 
 	// Tarjan emits SCCs in reverse topological order (an SCC is emitted
 	// before any SCC that reaches it). Renumber so block 0 comes first in
 	// topological order and edges go earlier -> later (upper triangular).
-	newID := make([]int, sccCount)
+	ws.newID = sparse.GrowInts(ws.newID, sccCount)
+	newID := ws.newID
 	for c := 0; c < sccCount; c++ {
 		newID[c] = sccCount - 1 - c
 	}
@@ -186,7 +262,8 @@ func tarjanSCC(n int, ptr, adj []int) (perm []int, blockPtr []int) {
 	for b := 0; b < sccCount; b++ {
 		blockPtr[b+1] += blockPtr[b]
 	}
-	next := make([]int, sccCount)
+	ws.next = sparse.GrowInts(ws.next, sccCount)
+	next := ws.next
 	for b := 0; b < sccCount; b++ {
 		next[b] = blockPtr[b]
 	}

@@ -157,3 +157,27 @@ func TestSingularBTF(t *testing.T) {
 		t.Fatal("expected structural singularity error")
 	}
 }
+
+// BenchmarkCompute profiles the front end's allocation behaviour: the
+// pooled variant reuses one workspace across calls (the Analyze serving
+// pattern), the unpooled one allocates per call as the front end used to.
+func BenchmarkCompute(b *testing.B) {
+	a := randBTFable(rand.New(rand.NewSource(1)), 1500, 0.002)
+	b.Run("pooled", func(b *testing.B) {
+		b.ReportAllocs()
+		ws := NewWorkspace()
+		for i := 0; i < b.N; i++ {
+			if _, err := ComputeWith(a, true, ws); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("unpooled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Compute(a, true); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -21,19 +21,42 @@ import (
 // the matrix cannot be permuted to a zero-free diagonal.
 var ErrStructurallySingular = errors.New("matching: matrix is structurally singular")
 
+// Workspace holds the reusable scratch of the matching searches. The
+// bottleneck search runs O(log nnz) feasibility probes, each of which used
+// to allocate its full scratch set; a Workspace carried across probes — and
+// across Analyze calls, which run one matching per BTF front end plus one
+// per fine-ND block — removes that churn from the serial symbolic phase.
+type Workspace struct {
+	rowOf, colOf, visited []int
+	best                  []int
+	pathRow               []int
+	stack                 []augFrame
+	mags                  []float64
+}
+
+// augFrame is one DFS frame of the augmenting-path search.
+type augFrame struct{ col, ptr int }
+
+// NewWorkspace returns an empty workspace; buffers grow on first use.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
 // MaxCardinality computes a maximum cardinality matching of the columns of a
 // to its rows. It returns rowOf where rowOf[j] is the row matched to column
-// j, or -1 if column j is unmatched, along with the matching size.
+// j, or -1 if column j is unmatched, along with the matching size. The
+// returned slice is freshly allocated (callers retain it).
 func MaxCardinality(a *sparse.CSC) (rowOf []int, size int) {
-	return maxCardinalityFiltered(a, 0)
+	r, s := maxCardinalityFiltered(a, 0, NewWorkspace())
+	return append([]int(nil), r...), s
 }
 
 // maxCardinalityFiltered matches using only entries with |value| >= thresh.
-// thresh == 0 admits every stored entry (pattern matching).
-func maxCardinalityFiltered(a *sparse.CSC, thresh float64) ([]int, int) {
+// thresh == 0 admits every stored entry (pattern matching). The returned
+// slice aliases ws.rowOf and is valid only until the workspace is reused.
+func maxCardinalityFiltered(a *sparse.CSC, thresh float64, ws *Workspace) ([]int, int) {
 	n := a.N
-	rowOf := make([]int, n)   // column -> matched row
-	colOf := make([]int, a.M) // row -> matched column
+	ws.rowOf = sparse.GrowInts(ws.rowOf, n)   // column -> matched row
+	ws.colOf = sparse.GrowInts(ws.colOf, a.M) // row -> matched column
+	rowOf, colOf := ws.rowOf, ws.colOf
 	for j := range rowOf {
 		rowOf[j] = -1
 	}
@@ -57,21 +80,26 @@ func maxCardinalityFiltered(a *sparse.CSC, thresh float64) ([]int, int) {
 		}
 	}
 	// Augmenting path search (iterative DFS, one pass per unmatched column).
-	// visited[i] == j+1 marks row i as seen while augmenting column j.
-	visited := make([]int, a.M)
-	// Explicit DFS stack: pairs of (column, next entry pointer).
-	type frame struct{ col, ptr int }
-	stack := make([]frame, 0, 64)
-	// pathRow[d] records the row chosen at depth d so the augmentation can
-	// be applied once a free row is found.
-	pathRow := make([]int, 0, 64)
+	// visited[i] == j0+1 marks row i as seen while augmenting column j0; the
+	// array must start clean, since stale marks from a previous search could
+	// collide with the same j0.
+	ws.visited = sparse.GrowInts(ws.visited, a.M)
+	visited := ws.visited
+	for i := range visited {
+		visited[i] = 0
+	}
+	// Explicit DFS stack: pairs of (column, next entry pointer). pathRow[d]
+	// records the row chosen at depth d so the augmentation can be applied
+	// once a free row is found.
+	stack := ws.stack[:0]
+	pathRow := ws.pathRow[:0]
 	for j0 := 0; j0 < n; j0++ {
 		if rowOf[j0] != -1 {
 			continue
 		}
 		stack = stack[:0]
 		pathRow = pathRow[:0]
-		stack = append(stack, frame{j0, a.Colptr[j0]})
+		stack = append(stack, augFrame{j0, a.Colptr[j0]})
 		found := false
 		for len(stack) > 0 && !found {
 			top := &stack[len(stack)-1]
@@ -100,7 +128,7 @@ func maxCardinalityFiltered(a *sparse.CSC, thresh float64) ([]int, int) {
 					found = true
 				} else {
 					pathRow = append(pathRow, i)
-					stack = append(stack, frame{colOf[i], a.Colptr[colOf[i]]})
+					stack = append(stack, augFrame{colOf[i], a.Colptr[colOf[i]]})
 				}
 				advanced = true
 				break
@@ -113,6 +141,7 @@ func maxCardinalityFiltered(a *sparse.CSC, thresh float64) ([]int, int) {
 			}
 		}
 	}
+	ws.stack, ws.pathRow = stack, pathRow // keep grown capacity
 	return rowOf, size
 }
 
@@ -128,14 +157,23 @@ type Result struct {
 // MaxCardinalityPerm returns a row permutation placing nonzeros on the
 // diagonal, or ErrStructurallySingular if none exists.
 func MaxCardinalityPerm(a *sparse.CSC) (*Result, error) {
+	return MaxCardinalityPermWith(a, nil)
+}
+
+// MaxCardinalityPermWith is MaxCardinalityPerm drawing scratch from ws
+// (nil allocates a private workspace).
+func MaxCardinalityPermWith(a *sparse.CSC, ws *Workspace) (*Result, error) {
 	if a.M != a.N {
 		return nil, errors.New("matching: matrix must be square")
 	}
-	rowOf, size := MaxCardinality(a)
+	if ws == nil {
+		ws = NewWorkspace()
+	}
+	rowOf, size := maxCardinalityFiltered(a, 0, ws)
 	if size != a.N {
 		return nil, ErrStructurallySingular
 	}
-	return &Result{RowPerm: rowOf}, nil
+	return &Result{RowPerm: append([]int(nil), rowOf...)}, nil
 }
 
 // Bottleneck computes a maximum weight-cardinality matching that maximizes
@@ -143,6 +181,13 @@ func MaxCardinalityPerm(a *sparse.CSC) (*Result, error) {
 // the distinct entry magnitudes and testing perfect-matching feasibility
 // with the filtered MC21. Complexity O(nnz · log nnz · augmenting cost).
 func Bottleneck(a *sparse.CSC) (*Result, error) {
+	return BottleneckWith(a, nil)
+}
+
+// BottleneckWith is Bottleneck drawing all scratch — including every
+// feasibility probe's — from ws (nil allocates a private workspace). Only
+// the returned permutation is freshly allocated.
+func BottleneckWith(a *sparse.CSC, ws *Workspace) (*Result, error) {
 	if a.M != a.N {
 		return nil, errors.New("matching: matrix must be square")
 	}
@@ -150,36 +195,40 @@ func Bottleneck(a *sparse.CSC) (*Result, error) {
 	if n == 0 {
 		return &Result{RowPerm: []int{}}, nil
 	}
+	if ws == nil {
+		ws = NewWorkspace()
+	}
 	// Distinct magnitudes, ascending. Zero entries can never be diagonal
 	// candidates for a *weighted* matching unless nothing else works; keep
 	// them so pattern-singular detection still goes through MC21.
-	mags := make([]float64, 0, a.Nnz())
+	mags := ws.mags[:0]
 	for _, v := range a.Values[:a.Nnz()] {
 		mags = append(mags, math.Abs(v))
 	}
 	sort.Float64s(mags)
 	mags = dedupSorted(mags)
+	ws.mags = mags
 
 	// Feasibility at the smallest magnitude == plain maximum matching.
-	rowOf, size := maxCardinalityFiltered(a, 0)
+	rowOf, size := maxCardinalityFiltered(a, 0, ws)
 	if size != n {
 		return nil, ErrStructurallySingular
 	}
-	best := rowOf
+	ws.best = append(ws.best[:0], rowOf...)
 	bestThresh := 0.0
 	lo, hi := 0, len(mags)-1 // mags[lo] is always feasible once set
 	for lo <= hi {
 		mid := (lo + hi) / 2
-		r, s := maxCardinalityFiltered(a, mags[mid])
+		r, s := maxCardinalityFiltered(a, mags[mid], ws)
 		if s == n {
-			best = r
+			ws.best = append(ws.best[:0], r...)
 			bestThresh = mags[mid]
 			lo = mid + 1
 		} else {
 			hi = mid - 1
 		}
 	}
-	return &Result{RowPerm: best, Bottleneck: bestThresh}, nil
+	return &Result{RowPerm: append([]int(nil), ws.best...), Bottleneck: bestThresh}, nil
 }
 
 func dedupSorted(x []float64) []float64 {

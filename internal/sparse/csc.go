@@ -280,6 +280,18 @@ func ExtractBlockInto(dst, src *CSC, entryMap []int) {
 	gatherValues(dst.Values[:len(entryMap)], src.Values, entryMap)
 }
 
+// GatherRange refreshes only the entry range [p0, p1) of dst from src
+// through an entry map built by PermuteWithMap or ExtractBlockWithMap — the
+// partial-scatter primitive of the incremental refactorization pipeline: a
+// change set that touches a few columns gathers exactly those columns'
+// entries instead of the whole matrix. Zero allocation.
+func GatherRange(dst, src *CSC, entryMap []int, p0, p1 int) {
+	dv, sv := dst.Values, src.Values
+	for t := p0; t < p1; t++ {
+		dv[t] = sv[entryMap[t]]
+	}
+}
+
 func gatherValues(dst, src []float64, entryMap []int) {
 	for t, s := range entryMap {
 		dst[t] = src[s]
@@ -305,6 +317,24 @@ func SamePattern(colptr, rowidx []int, a *CSC) bool {
 		}
 	}
 	return true
+}
+
+// GrowInts returns s resized to exactly n elements, reusing its backing
+// array when large enough (contents unspecified) — the scratch-growth
+// helper shared by the pooled-workspace consumers across packages.
+func GrowInts(s []int, n int) []int {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]int, n)
+}
+
+// GrowBools is GrowInts for bool scratch.
+func GrowBools(s []bool, n int) []bool {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]bool, n)
 }
 
 // InversePerm returns pinv with pinv[p[k]] = k, or nil for nil input.

@@ -3,6 +3,8 @@ package trisolve
 import (
 	"sort"
 	"sync"
+
+	"repro/internal/sparse"
 )
 
 // buildDeps derives, once per Solver, the coarse-block dependency
@@ -47,7 +49,77 @@ func (s *Solver) buildDeps() {
 			}
 		}
 		s.feeds, s.deps = feeds, deps
+		// Inverse column permutation for SolutionClosure and BlockOfColumn;
+		// built here so per-step closure queries allocate only their result.
+		s.colPos = sparse.InversePerm(sym.ColPerm)
 	})
+}
+
+// BlockOfColumn reports the coarse block containing original column j, or
+// -1 when j is out of range (mirroring SolutionClosure, which skips
+// out-of-range columns instead of panicking — the two are used together).
+func (s *Solver) BlockOfColumn(j int) int {
+	s.buildDeps()
+	if j < 0 || j >= len(s.colPos) {
+		return -1
+	}
+	return s.num.Sym.BlockOf(s.colPos[j])
+}
+
+// SolutionClosure reports which coarse blocks' solution components can
+// change when the listed original-index columns' values change: the blocks
+// whose diagonal (factored) entries the columns touch, the blocks their
+// coarse off-diagonal entries feed, and everything reachable from those
+// through the block dependency structure — the reachability closure of the
+// BTF coupling graph that `deps` encodes. A block absent from the result is
+// guaranteed to produce a bit-for-bit identical solution component for the
+// same right-hand side, which is what lets callers of the incremental
+// refactorization path reuse cached per-block solution work.
+//
+// The result is freshly allocated (len NumBlocks); this is an analysis
+// helper, not a hot-loop primitive.
+func (s *Solver) SolutionClosure(changedCols []int) []bool {
+	s.buildDeps()
+	num := s.num
+	sym := num.Sym
+	perm := num.Perm
+	nb := sym.NumBlocks()
+	dirty := make([]bool, nb)
+	colPos := s.colPos
+	for _, c := range changedCols {
+		if c < 0 || c >= sym.N {
+			continue
+		}
+		k := colPos[c]
+		bj := sym.BlockOf(k)
+		r0, _ := sym.BlockRange(bj)
+		for p := perm.Colptr[k]; p < perm.Colptr[k+1]; p++ {
+			i := perm.Rowidx[p]
+			if i >= r0 {
+				// Diagonal-block entry: the block's factors change, so its
+				// solution does. Rows are sorted, so the rest of the column
+				// is diagonal-block too.
+				dirty[bj] = true
+				break
+			}
+			// Coarse off-diagonal entry: feeds the owning block's solution.
+			dirty[sym.BlockOf(i)] = true
+		}
+	}
+	// Close downstream: deps[i] lists strictly later blocks, so one
+	// descending pass reaches the fixed point.
+	for i := nb - 1; i >= 0; i-- {
+		if dirty[i] {
+			continue
+		}
+		for _, j := range s.deps[i] {
+			if dirty[j] {
+				dirty[i] = true
+				break
+			}
+		}
+	}
+	return dirty
 }
 
 // solveBlockParallel runs the single-RHS BTF back-substitution with

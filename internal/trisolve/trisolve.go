@@ -70,10 +70,12 @@ type Solver struct {
 	pool     *wsPool
 
 	// Block-dependency structure for the parallel sweep, built lazily once
-	// (the pattern is immutable across Refactor).
+	// (the pattern is immutable across Refactor). colPos is the inverse
+	// column permutation SolutionClosure maps changed columns through.
 	depOnce sync.Once
 	feeds   [][]feed
 	deps    [][]int
+	colPos  []int
 }
 
 // feed is one off-block coupling entry: y[row] -= Perm.Values[p] · y[col].

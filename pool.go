@@ -3,6 +3,7 @@ package basker
 import (
 	"hash/fnv"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 )
@@ -11,10 +12,11 @@ import (
 // workloads where many goroutines stamp matrices with a small set of
 // recurring sparsity patterns (one per circuit/scenario family) and solve
 // concurrently. Acquire hands each caller a private Factorization for its
-// matrix — refreshed through the cheap Refactor path when a cached
-// factorization with the same pattern is idle, or built with a full Factor
-// on a miss — so solves never contend and transient sequences hit the
-// fast path almost always.
+// matrix — refreshed through the change-set-aware RefactorAuto path when a
+// cached factorization with the same pattern is idle (only the blocks whose
+// values actually differ are reworked), or built with a full Factor on a
+// miss — so solves never contend and transient sequences hit the
+// incremental fast path almost always.
 //
 // Typical serving loop:
 //
@@ -37,6 +39,9 @@ type Pool struct {
 	solver  *Solver
 	maxIdle int
 	maxSyms int
+	maxAge  time.Duration
+	// now is the clock (replaceable by tests of the age-based eviction).
+	now func() time.Time
 
 	mu       sync.Mutex
 	idle     map[uint64][]*poolEntry
@@ -47,11 +52,16 @@ type Pool struct {
 	// factorReuses counts fresh factorizations that recycled a cached
 	// entry's storage (the Pool.Factor fast path and re-pivoting fallbacks).
 	factorReuses uint64
+	// evictions counts idle factorizations dropped by the capacity cap or
+	// the idle-age limit.
+	evictions uint64
 }
 
 type poolEntry struct {
 	f   *Factorization
 	key uint64
+	// idleSince is when the entry last entered the idle cache.
+	idleSince time.Time
 }
 
 // symEntry caches one sparsity pattern's symbolic analysis, so repeated
@@ -81,6 +91,12 @@ type PoolOptions struct {
 	// workload whose patterns evolve over time cannot grow the pool's
 	// memory without bound.
 	MaxCachedPatterns int
+	// MaxIdleAge drops idle factorizations that have not been leased for
+	// this long, so a pattern family that goes quiet releases its numeric
+	// storage instead of pinning it until the capacity cap evicts it.
+	// 0 disables age-based eviction. Expiry is enforced lazily on the
+	// pool's own operations (no background goroutine).
+	MaxIdleAge time.Duration
 }
 
 // NewPool returns an empty factorization pool.
@@ -103,8 +119,37 @@ func NewPool(opts PoolOptions) *Pool {
 		solver:  New(opts.Options),
 		maxIdle: maxIdle,
 		maxSyms: maxSyms,
+		maxAge:  opts.MaxIdleAge,
+		now:     time.Now,
 		idle:    map[uint64][]*poolEntry{},
 		syms:    map[uint64][]*symEntry{},
+	}
+}
+
+// evictExpiredLocked drops idle entries whose idle age exceeds MaxIdleAge,
+// across every pattern bucket: a pattern family that has gone quiet is
+// never touched by its own key again, so expiry must piggyback on whatever
+// pool traffic still flows (bucket counts are small — one per live pattern
+// family). Caller holds p.mu.
+func (p *Pool) evictExpiredLocked() {
+	if p.maxAge <= 0 {
+		return
+	}
+	cutoff := p.now().Add(-p.maxAge)
+	for key, bucket := range p.idle {
+		kept := bucket[:0]
+		for _, e := range bucket {
+			if e.idleSince.Before(cutoff) {
+				p.evictions++
+				continue
+			}
+			kept = append(kept, e)
+		}
+		if len(kept) == 0 {
+			delete(p.idle, key)
+			continue
+		}
+		p.idle[key] = kept
 	}
 }
 
@@ -123,6 +168,7 @@ type Lease struct {
 func (p *Pool) Acquire(a *Matrix) (*Lease, error) {
 	key := patternKey(a)
 	p.mu.Lock()
+	p.evictExpiredLocked()
 	var entry *poolEntry
 	bucket := p.idle[key]
 	for i, e := range bucket {
@@ -137,7 +183,10 @@ func (p *Pool) Acquire(a *Matrix) (*Lease, error) {
 	p.mu.Unlock()
 
 	if entry != nil {
-		if err := entry.f.Refactor(a); err != nil {
+		// Diff-based incremental refresh: transient lease holders whose
+		// steps perturb a few stamps get the change-set-aware sweep
+		// transparently; fully-changed matrices degrade to ~full Refactor.
+		if err := entry.f.RefactorAuto(a); err != nil {
 			// A same-pattern matrix whose values defeat the cached pivot
 			// sequence: fall back to a fresh factorization with new pivots,
 			// recycling the entry's storage.
@@ -166,6 +215,7 @@ func (p *Pool) Acquire(a *Matrix) (*Lease, error) {
 func (p *Pool) Factor(a *Matrix) (*Lease, error) {
 	key := patternKey(a)
 	p.mu.Lock()
+	p.evictExpiredLocked()
 	var entry *poolEntry
 	bucket := p.idle[key]
 	for i, e := range bucket {
@@ -267,8 +317,12 @@ func (p *Pool) factorMiss(a *Matrix, key uint64) (*Lease, error) {
 func (l *Lease) Release() {
 	p := l.pool
 	p.mu.Lock()
+	p.evictExpiredLocked()
 	if len(p.idle[l.entry.key]) < p.maxIdle {
+		l.entry.idleSince = p.now()
 		p.idle[l.entry.key] = append(p.idle[l.entry.key], l.entry)
+	} else {
+		p.evictions++
 	}
 	p.mu.Unlock()
 }
@@ -308,11 +362,18 @@ type PoolStats struct {
 	// cached entry's storage: Pool.Factor fast paths and the re-pivoting
 	// fallback inside Acquire.
 	FactorReuses uint64
+	// Evictions counts idle factorizations dropped by the capacity cap or
+	// the idle-age limit.
+	Evictions uint64
 	// Idle counts factorizations currently cached.
 	Idle int
+	// CachedSymbolics counts sparsity patterns holding a cached symbolic
+	// analysis.
+	CachedSymbolics int
 }
 
-// Stats snapshots the pool counters.
+// Stats snapshots the pool counters. Age-based eviction is lazy, so idle
+// counts may include entries that would expire on their next touch.
 func (p *Pool) Stats() PoolStats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -320,7 +381,14 @@ func (p *Pool) Stats() PoolStats {
 	for _, b := range p.idle {
 		idle += len(b)
 	}
-	return PoolStats{Hits: p.hits, Misses: p.misses, FactorReuses: p.factorReuses, Idle: idle}
+	return PoolStats{
+		Hits:            p.hits,
+		Misses:          p.misses,
+		FactorReuses:    p.factorReuses,
+		Evictions:       p.evictions,
+		Idle:            idle,
+		CachedSymbolics: p.symCount,
+	}
 }
 
 // patternKey hashes the sparsity pattern of a (dimensions, column

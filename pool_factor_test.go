@@ -3,7 +3,9 @@ package basker
 import (
 	"math"
 	"math/rand"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/matgen"
 	"repro/internal/sparse"
@@ -176,4 +178,151 @@ func TestPoolAcquireRepivotFallbackReusesStorage(t *testing.T) {
 		}
 	}
 	l1.Release()
+}
+
+// TestPoolAgeEviction: idle entries older than MaxIdleAge are dropped
+// lazily on the pool's own operations, counted in Stats, and do not break
+// subsequent acquisitions (they just miss).
+func TestPoolAgeEviction(t *testing.T) {
+	mats := poolFactorFixture(0.1)
+	pool := NewPool(PoolOptions{
+		Options:    Options{Threads: 1, BigBlockMin: 64},
+		MaxIdleAge: time.Minute,
+	})
+	clock := time.Now()
+	pool.now = func() time.Time { return clock }
+
+	lease, err := pool.Acquire(mats[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	lease.Release()
+	if st := pool.Stats(); st.Idle != 1 || st.Evictions != 0 {
+		t.Fatalf("after release: %+v", st)
+	}
+	// Within the age limit: the entry is reused (a hit).
+	clock = clock.Add(30 * time.Second)
+	lease, err = pool.Acquire(mats[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	lease.Release()
+	if st := pool.Stats(); st.Hits != 1 {
+		t.Fatalf("expected a hit within the age limit: %+v", st)
+	}
+	// Beyond the age limit: the entry is evicted and the acquire misses.
+	clock = clock.Add(2 * time.Minute)
+	lease, err = pool.Acquire(mats[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := pool.Stats()
+	if st.Evictions != 1 {
+		t.Fatalf("expected one age eviction: %+v", st)
+	}
+	if st.Misses != 2 { // first-ever acquire + post-expiry acquire
+		t.Fatalf("expected the expired entry to miss: %+v", st)
+	}
+	if st.CachedSymbolics != 1 {
+		t.Fatalf("symbolic analysis should survive entry eviction: %+v", st)
+	}
+	solveProbe(t, lease.Factorization, mats[2])
+	lease.Release()
+}
+
+// TestPoolCapacityEvictionCounted: releases beyond MaxIdlePerPattern count
+// as evictions.
+func TestPoolCapacityEvictionCounted(t *testing.T) {
+	mats := poolFactorFixture(0.1)
+	pool := NewPool(PoolOptions{
+		Options:           Options{Threads: 1, BigBlockMin: 64},
+		MaxIdlePerPattern: 1,
+	})
+	l1, err := pool.Acquire(mats[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := pool.Acquire(mats[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1.Release()
+	l2.Release()
+	st := pool.Stats()
+	if st.Idle != 1 || st.Evictions != 1 {
+		t.Fatalf("capacity eviction not counted: %+v", st)
+	}
+}
+
+// solveProbe checks one factorization against a generated matrix.
+func solveProbe(t *testing.T, f *Factorization, a *sparse.CSC) {
+	t.Helper()
+	x := make([]float64, a.N)
+	for i := range x {
+		x[i] = 1 + float64(i%3)
+	}
+	b := make([]float64, a.N)
+	a.MulVec(b, x)
+	f.Solve(b)
+	for i := range x {
+		if math.Abs(b[i]-x[i]) > 1e-6 {
+			t.Fatalf("x[%d] = %v, want %v", i, b[i], x[i])
+		}
+	}
+}
+
+// BenchmarkPoolMultiPattern is the multi-pattern contention benchmark of
+// the serving-layer hardening: goroutines hammer Acquire/Solve/Release
+// across several distinct sparsity-pattern families concurrently, so the
+// pool lock, the per-pattern buckets and the symbolic cache all see
+// contention (the earlier benches covered one pattern family only).
+func BenchmarkPoolMultiPattern(b *testing.B) {
+	const patterns = 4
+	bases := make([][]*sparse.CSC, patterns)
+	for pidx := range bases {
+		base := matgen.XyceSequenceBase(0.05 + 0.02*float64(pidx))
+		steps := make([]*sparse.CSC, 4)
+		for t := range steps {
+			steps[t] = matgen.TransientStep(base, t, int64(100*pidx))
+		}
+		bases[pidx] = steps
+	}
+	pool := NewPool(PoolOptions{Options: Options{Threads: 1, BigBlockMin: 64}})
+	// Warm every pattern so the timed loop measures steady-state serving.
+	for _, steps := range bases {
+		if err := pool.Solve(steps[0], make([]float64, steps[0].N)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var firstErr atomic.Value
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			steps := bases[i%patterns]
+			a := steps[i%len(steps)]
+			lease, err := pool.Acquire(a)
+			if err != nil {
+				// FailNow must run on the benchmark goroutine; record and
+				// bail out of this worker instead.
+				firstErr.CompareAndSwap(nil, err)
+				return
+			}
+			rhs := make([]float64, a.N)
+			for j := range rhs {
+				rhs[j] = 1
+			}
+			lease.Solve(rhs)
+			lease.Release()
+			i++
+		}
+	})
+	if err := firstErr.Load(); err != nil {
+		b.Fatal(err)
+	}
+	st := pool.Stats()
+	if total := st.Hits + st.Misses; total > 0 {
+		b.ReportMetric(float64(st.Hits)/float64(total)*100, "hit%")
+	}
 }
