@@ -83,6 +83,14 @@ type Options struct {
 	// Barrier switches the ND engine from point-to-point synchronization
 	// to global barriers (slower; exists for the paper's ablation).
 	Barrier bool
+	// NoDenseKernels disables the density-adaptive dense panel kernels of
+	// the fine-ND engine: fill-heavy separator blocks stay on the sparse
+	// Gilbert–Peierls path (exists for the ablation study).
+	NoDenseKernels bool
+	// DenseKernelThreshold overrides the estimated block density at which
+	// fine-ND kernels switch to the dense panel layer. 0 selects the
+	// default; values above 1 never trigger.
+	DenseKernelThreshold float64
 }
 
 func (o Options) internal() core.Options {
@@ -100,6 +108,8 @@ func (o Options) internal() core.Options {
 	if o.Barrier {
 		c.Sync = core.SyncBarrier
 	}
+	c.NoDenseKernels = o.NoDenseKernels
+	c.DenseKernelThreshold = o.DenseKernelThreshold
 	return c
 }
 

@@ -47,6 +47,8 @@ var (
 		"output path for the fresh-factorization trajectory JSON (factor experiment); empty disables the file")
 	incrementalJSON = flag.String("incrementaljson", "BENCH_incremental.json",
 		"output path for the incremental-refactorization trajectory JSON (incremental experiment); empty disables the file")
+	densendJSON = flag.String("densendjson", "BENCH_densend.json",
+		"output path for the dense-ND kernel trajectory JSON (densend experiment); empty disables the file")
 )
 
 func main() {
@@ -80,6 +82,7 @@ func main() {
 	run("refactor", refactorTrajectory)
 	run("factor", factorTrajectory)
 	run("incremental", incrementalTrajectory)
+	run("densend", densendTrajectory)
 }
 
 // sweep returns the power-of-two core counts 1..max.
@@ -1011,6 +1014,135 @@ func incrementalTrajectory() {
 		return
 	}
 	fmt.Printf("  trajectory written to %s\n", *incrementalJSON)
+}
+
+// ---- densend: the density-adaptive dense kernel layer ----
+
+// densendTrajectory measures, per suite matrix, the fresh numeric
+// factorization with the dense panel layer on (default) and off
+// (NoDenseKernels, the ablation oracle): from-scratch Factor and the pooled
+// FactorInto serving loop, both wall-clock, plus the number of dense-tagged
+// kernels and the |L+U| inflation the structural fully dense blocks cost.
+// The trajectory lands in BENCH_densend.json with geomean speedups split
+// into the fill-heavy 3D-stencil subset (the G2_Circuit / twotone /
+// onetone1 classes the layer targets) and the low-fill remainder, which
+// must not regress.
+func densendTrajectory() {
+	fmt.Println("Dense-ND kernel layer: fresh factorization, dense vs NoDenseKernels")
+	fmt.Println("(wall-clock on this host, like the factor trajectory)")
+	wall := func(f func()) float64 { return perf.Time(*minTime, f) }
+	fillHeavy := map[string]bool{"G2_Circuit": true, "twotone": true, "onetone1": true}
+	type point struct {
+		Name          string  `json:"name"`
+		N             int     `json:"n"`
+		Nnz           int     `json:"nnz"`
+		DenseKernels  int     `json:"dense_kernels"`
+		FillHeavy     bool    `json:"fill_heavy"`
+		FactorDense   float64 `json:"factor_dense_s"`
+		FactorNoDense float64 `json:"factor_nodense_s"`
+		PooledDense   float64 `json:"pooled_dense_s"`
+		PooledNoDense float64 `json:"pooled_nodense_s"`
+		NnzLURatio    float64 `json:"nnzlu_ratio"`
+	}
+	type report struct {
+		Scale            float64 `json:"scale"`
+		Threads          int     `json:"threads"`
+		Threshold        float64 `json:"threshold"`
+		Matrices         []point `json:"matrices"`
+		GeomeanFillHeavy float64 `json:"geomean_fillheavy_speedup"`
+		GeomeanLowFill   float64 `json:"geomean_lowfill_speedup"`
+	}
+	rep := report{Scale: *scale, Threads: *maxCores, Threshold: core.DefaultDenseKernelThreshold}
+	var rows [][]string
+	var heavySp, lowSp []float64
+	for _, m := range matgen.TableISuite(*scale) {
+		a := m.Gen()
+		opts := core.DefaultOptions()
+		opts.Threads = *maxCores
+		symD, err := core.Analyze(a, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: analyze failed: %v\n", m.Name, err)
+			continue
+		}
+		numD, err := core.Factor(a, symD)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: factor failed: %v\n", m.Name, err)
+			continue
+		}
+		oOpts := opts
+		oOpts.NoDenseKernels = true
+		symS, err := core.Analyze(a, oOpts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: nodense analyze failed: %v\n", m.Name, err)
+			continue
+		}
+		numS, err := core.Factor(a, symS)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: nodense factor failed: %v\n", m.Name, err)
+			continue
+		}
+		pt := point{
+			Name: m.Name, N: a.N, Nnz: a.Nnz(),
+			DenseKernels: symD.DenseKernels(),
+			FillHeavy:    fillHeavy[m.Name],
+			NnzLURatio:   float64(numD.NnzLU()) / float64(numS.NnzLU()),
+		}
+		pt.FactorDense = wall(func() {
+			if _, err := core.Factor(a, symD); err != nil {
+				panic(err)
+			}
+		})
+		pt.FactorNoDense = wall(func() {
+			if _, err := core.Factor(a, symS); err != nil {
+				panic(err)
+			}
+		})
+		pt.PooledDense = wall(func() {
+			if err := numD.FactorInto(a); err != nil {
+				panic(err)
+			}
+		})
+		pt.PooledNoDense = wall(func() {
+			if err := numS.FactorInto(a); err != nil {
+				panic(err)
+			}
+		})
+		rep.Matrices = append(rep.Matrices, pt)
+		sp := pt.PooledNoDense / pt.PooledDense
+		if pt.FillHeavy {
+			heavySp = append(heavySp, sp)
+		} else {
+			lowSp = append(lowSp, sp)
+		}
+		rows = append(rows, []string{
+			m.Name,
+			fmt.Sprintf("%d", pt.DenseKernels),
+			fmt.Sprintf("%.1f", pt.PooledDense*1e6),
+			fmt.Sprintf("%.1f", pt.PooledNoDense*1e6),
+			fmt.Sprintf("%.2fx", sp),
+			fmt.Sprintf("%.2fx", pt.FactorNoDense/pt.FactorDense),
+			fmt.Sprintf("%.2f", pt.NnzLURatio),
+		})
+	}
+	fmt.Print(perf.Table(
+		[]string{"Matrix", "dense kernels", "dense us", "nodense us", "pooled speedup", "factor speedup", "|L+U| ratio"}, rows))
+	rep.GeomeanFillHeavy = perf.GeoMean(heavySp)
+	rep.GeomeanLowFill = perf.GeoMean(lowSp)
+	fmt.Printf("  geomean speedup: fill-heavy subset %.2fx (acceptance ≥1.3x), low-fill remainder %.2fx (acceptance ≥0.95x)\n",
+		rep.GeomeanFillHeavy, rep.GeomeanLowFill)
+	if *densendJSON == "" {
+		return
+	}
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "densend json:", err)
+		return
+	}
+	if err := os.WriteFile(*densendJSON, append(blob, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "densend json:", err)
+		return
+	}
+	fmt.Printf("  trajectory written to %s\n", *densendJSON)
 }
 
 // ---- solve phase: the concurrent solve subsystem (internal/trisolve) ----

@@ -547,6 +547,9 @@ func analyzeND(sym *Symbolic, b *sparse.CSC, blk, r0, r1 int, rowPerm, colPerm [
 	// Algorithm 3: parallel symbolic estimation over the final 2D layout,
 	// so the numeric phase can pre-size factor storage.
 	ns.est = estimateND(d.Permute(rowL, colL), ns)
+	// Density-adaptive kernel classification: fill-heavy separator kernels
+	// are tagged here, once per analysis, for the dense panel layer.
+	ns.computeDenseTags(opts)
 	sym.ndsym[blk] = ns
 	return nil
 }

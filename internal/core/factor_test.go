@@ -295,6 +295,79 @@ func TestPrunedFactorEquivalenceCore(t *testing.T) {
 	}
 }
 
+// TestDenseKernelEquivalenceSuite sweeps every matrix-generator class
+// through the full solver with the dense panel layer on and off
+// (NoDenseKernels as the oracle): solve residuals must be on par, and
+// wherever the sparse path's pivoting was deterministic — it kept every
+// natural pivot, the diagonally dominant common case — the dense path must
+// reproduce the pivot sequence exactly (the dense LU applies the same
+// diagonal-preference rule). The suite scale is chosen so the fill-heavy
+// classes actually tag separator kernels; the sweep asserts that, so the
+// equivalence can never silently go vacuous.
+func TestDenseKernelEquivalenceSuite(t *testing.T) {
+	suite := matgen.TableISuite(0.25)
+	suite = append(suite, matgen.TableIISuite(0.25)...)
+	tagged := 0
+	for _, m := range suite {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			a := m.Gen()
+			opts := optsWithThreads(4)
+			symD, err := Analyze(a, opts)
+			if err != nil {
+				t.Fatalf("dense analyze: %v", err)
+			}
+			tagged += symD.DenseKernels()
+			numD, err := Factor(a, symD)
+			if err != nil {
+				t.Fatalf("dense factor: %v", err)
+			}
+			oOpts := opts
+			oOpts.NoDenseKernels = true
+			numS, err := FactorDirect(a, oOpts)
+			if err != nil {
+				t.Fatalf("sparse factor: %v", err)
+			}
+			dres := relResidual(a, numD, 1)
+			sres := relResidual(a, numS, 1)
+			if dres > 1e-6 && dres > 100*sres {
+				t.Fatalf("dense-path residual %.3e, sparse %.3e", dres, sres)
+			}
+			// Pivot determinism: per fine-ND diagonal block, if the sparse
+			// path chose the natural pivot everywhere, so must the dense path.
+			for blk := range numS.nd {
+				if numS.nd[blk] == nil {
+					continue
+				}
+				for b, fs := range numS.nd[blk].diag {
+					if fs == nil {
+						continue
+					}
+					natural := true
+					for k, p := range fs.P {
+						if p != k {
+							natural = false
+							break
+						}
+					}
+					if !natural {
+						continue
+					}
+					fd := numD.nd[blk].diag[b]
+					for k, p := range fd.P {
+						if p != k {
+							t.Fatalf("nd block %d diag %d: sparse pivots are natural, dense path deviates at step %d (row %d)", blk, b, k, p)
+						}
+					}
+				}
+			}
+		})
+	}
+	if tagged == 0 {
+		t.Error("no suite matrix tagged a dense kernel; the equivalence sweep is vacuous")
+	}
+}
+
 // TestFactorCompactsFreshStorage: a fresh Factor hands back factors clipped
 // to their exact length (the 2x symbolic estimate slack is released), while
 // the pooled FactorInto path deliberately keeps its slack.

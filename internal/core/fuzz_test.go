@@ -1,0 +1,93 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/matgen"
+)
+
+// FuzzFactorSolve drives randomized sparsity patterns and values (through
+// the matgen generators, so every matrix is structurally nonsingular and
+// diagonally dominant) across the dense/sparse kernel boundary: for each
+// generated matrix and threshold — including the edge values 0 (default),
+// a tiny epsilon (everything eligible goes dense), 1 (only estimate-
+// saturating kernels) and 2 (nothing, the sparse path through the
+// threshold alone) — the dense-path factorization must not panic, must
+// solve to residuals on par with the NoDenseKernels oracle, and must agree
+// with it again after a same-pattern Refactor and a change-set-restricted
+// RefactorPartial.
+//
+// Run the smoke locally with:
+//
+//	go test -run xxx -fuzz FuzzFactorSolve -fuzztime=10s ./internal/core
+func FuzzFactorSolve(f *testing.F) {
+	// Seed corpus: every core kind, every threshold class, serial and
+	// parallel, with and without small BTF blocks.
+	f.Add(int64(1), uint8(0), uint8(0), uint16(200), uint8(0), uint8(1))
+	f.Add(int64(2), uint8(1), uint8(1), uint16(300), uint8(30), uint8(2))
+	f.Add(int64(3), uint8(2), uint8(0), uint16(400), uint8(0), uint8(4))
+	f.Add(int64(4), uint8(2), uint8(2), uint16(350), uint8(50), uint8(3))
+	f.Add(int64(5), uint8(2), uint8(3), uint16(256), uint8(10), uint8(2))
+	f.Add(int64(6), uint8(0), uint8(1), uint16(64), uint8(100), uint8(1))
+	f.Fuzz(func(t *testing.T, seed int64, coreSel, thrSel uint8, nSel uint16, btfPct, threads uint8) {
+		n := 64 + int(nSel)%448
+		thr := []float64{0, 1e-9, 1, 2}[int(thrSel)%4]
+		a := matgen.Circuit(matgen.CircuitParams{
+			N:            n,
+			BTFPct:       float64(int(btfPct) % 101),
+			Blocks:       1 + n/40,
+			Core:         matgen.CoreKind(int(coreSel) % 3),
+			ExtraDensity: float64(((seed%3)+3)%3) * 0.3, // seed may be negative
+			Seed:         seed,
+		})
+		opts := DefaultOptions()
+		opts.Threads = 1 + int(threads)%4
+		opts.DenseKernelThreshold = thr
+		sym, err := Analyze(a, opts)
+		if err != nil {
+			t.Skip() // degenerate structure; nothing to compare
+		}
+		num, derr := Factor(a, sym)
+		oOpts := opts
+		oOpts.NoDenseKernels = true
+		oracle, serr := FactorDirect(a, oOpts)
+		if (derr == nil) != (serr == nil) {
+			t.Fatalf("dense/sparse disagree on factorability: dense %v, sparse %v", derr, serr)
+		}
+		if derr != nil {
+			t.Skip()
+		}
+		check := func(stage string) {
+			dres := relResidual(a, num, seed)
+			sres := relResidual(a, oracle, seed)
+			if math.IsNaN(dres) || (dres > 1e-6 && dres > 100*sres) {
+				t.Fatalf("%s: dense-path residual %.3e, oracle %.3e (threshold %g, %d dense kernels)",
+					stage, dres, sres, thr, sym.DenseKernels())
+			}
+		}
+		check("factor")
+
+		// Same-pattern refresh across the kernel boundary.
+		a = matgen.TransientStep(a, 1, seed)
+		if err := num.Refactor(a); err != nil {
+			t.Skip() // pivot sequence defeated and fallback also singular
+		}
+		if err := oracle.Refactor(a); err != nil {
+			t.Skip()
+		}
+		check("refactor")
+
+		// Change-set-restricted refresh: perturb a clustered slice of
+		// columns and send only those through RefactorPartial.
+		cols := matgen.ChangeSet(n, 0.05, seed, seed%2 == 0)
+		a = matgen.PerturbColumns(a, cols, 2, seed)
+		if err := num.RefactorPartial(a, cols); err != nil {
+			t.Skip()
+		}
+		if err := oracle.Refactor(a); err != nil {
+			t.Skip()
+		}
+		check("refactor-partial")
+	})
+}

@@ -125,6 +125,52 @@ func TestRefactorPartialSuiteEquivalence(t *testing.T) {
 	}
 }
 
+// TestRefactorPartialDenseNDBitwise locks the incremental contract down on
+// dense-path numerics: a fine-ND hierarchy carrying dense-tagged separator
+// kernels must keep RefactorPartial and RefactorAuto bitwise identical to
+// the full Refactor — the dirty-kernel routing of the 2D sweep refreshes
+// dense-built (structural fully dense) blocks through the same in-place
+// kernels, so skipping clean work can never change a bit.
+func TestRefactorPartialDenseNDBitwise(t *testing.T) {
+	base := grid3dCircuit(900, 20, 81)
+	opts := optsWithThreads(4)
+	sym, err := Analyze(base, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sym.DenseKernels() == 0 {
+		t.Fatal("test matrix tagged no dense kernels; bitwise sweep would be vacuous")
+	}
+	var nums [3]*Numeric // full, partial, auto
+	for i := range nums {
+		if nums[i], err = Factor(base, sym); err != nil {
+			t.Fatal(err)
+		}
+		if err := nums[i].Refactor(base); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cur := base
+	for step, frac := range []float64{0.002, 0.05, 0.3} {
+		clustered := step%2 == 0
+		cols := matgen.ChangeSet(base.N, frac, int64(17*step+3), clustered)
+		next := matgen.PerturbColumns(cur, cols, step+1, 661)
+		if err := nums[0].Refactor(next); err != nil {
+			t.Fatalf("full refactor step %d: %v", step, err)
+		}
+		if err := nums[1].RefactorPartial(next, cols); err != nil {
+			t.Fatalf("partial refactor step %d: %v", step, err)
+		}
+		if err := nums[2].RefactorAuto(next); err != nil {
+			t.Fatalf("auto refactor step %d: %v", step, err)
+		}
+		assertSameFactors(t, nums[0], nums[1], "dense partial")
+		assertSameFactors(t, nums[0], nums[2], "dense auto")
+		cur = next
+	}
+	solveCheck(t, cur, nums[1], 1e-6)
+}
+
 // TestRefactorPartialExtraColumns checks that listing unchanged or
 // duplicate columns in the change set is harmless: the factors still match
 // a full Refactor bitwise.

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/dense"
 	"repro/internal/gp"
 	"repro/internal/order/nd"
 	"repro/internal/sparse"
@@ -29,6 +30,11 @@ type ndSym struct {
 	// est holds the Algorithm 3 nonzero estimates (may be nil when the
 	// symbolic phase was skipped, e.g. in unit tests of the numeric layer).
 	est *ndEstimates
+	// dense[i*nb+j] tags kernel (i, j) for the dense panel layer: its
+	// estimated density reached Options.DenseKernelThreshold at Analyze
+	// time. nil when nothing is tagged (including NoDenseKernels and the
+	// est-free unit-test path).
+	dense []bool
 	// grid caches the 2D input-block patterns and their entry maps into the
 	// globally permuted matrix, built once at Analyze time so every numeric
 	// factorization gathers block values instead of re-extracting them.
@@ -176,6 +182,10 @@ type ndNum struct {
 	ftag  []int
 	flows [][]*sparse.CSC
 	fups  [][]*sparse.CSC
+	// fdws[t] is worker t's pooled dense panel workspace, lazily built on
+	// the first dense-tagged kernel it runs (nil forever on untagged
+	// hierarchies, so the low-fill path carries no dense-layer cost).
+	fdws []*dense.Workspace
 	// re holds the reusable state of the in-place refactorization sweep
 	// (pooled per-worker workspaces, the resettable epoch flag fabric).
 	// Built on the first Refactor.
@@ -257,6 +267,7 @@ func factorND(perm *sparse.CSC, r0 int, sym *ndSym, opts Options, grid *ndGrid, 
 			ftag:  make([]int, sym.p),
 			flows: make([][]*sparse.CSC, sym.p),
 			fups:  make([][]*sparse.CSC, sym.p),
+			fdws:  make([]*dense.Workspace, sym.p),
 		}
 		for i := 0; i < nb; i++ {
 			num.a[i] = make([]*sparse.CSC, nb)
@@ -328,6 +339,61 @@ func (num *ndNum) workerScratch(t int) (*gp.Workspace, []int, []float64) {
 		num.facc[t] = make([]float64, num.n+1)
 	}
 	return num.fws[t], num.fmark[t], num.facc[t]
+}
+
+// denseWS returns worker t's pooled dense panel workspace.
+func (num *ndNum) denseWS(t int) *dense.Workspace {
+	if num.fdws[t] == nil {
+		num.fdws[t] = dense.NewWorkspace()
+	}
+	return num.fdws[t]
+}
+
+// useDense reports whether kernel (i, j) runs on the dense panel layer:
+// tagged at Analyze time from the symbolic density estimates, and not
+// ablated away. The decision is value-independent and fixed per analysis,
+// so every sweep of this numeric routes the kernel the same way and the
+// block patterns stay stable.
+func (num *ndNum) useDense(i, j int) bool {
+	return !num.opts.NoDenseKernels && num.sym.isDense(i, j)
+}
+
+// upperKernel computes U_kj = L_kk⁻¹·P_k·Â_kj from the reduced block ahat:
+// the dense panel TRSM when both the kernel and the solving diagonal are
+// dense-tagged (the dense path reads L's contiguous dense columns), the
+// sparse Gilbert–Peierls reach solve otherwise.
+func (num *ndNum) upperKernel(k, j int, ahat *sparse.CSC, ws *gp.Workspace, t int) *sparse.CSC {
+	if num.useDense(k, j) && num.useDense(k, k) {
+		return num.diag[k].DenseUpperSolveInto(num.upper[k][j], ahat, num.denseWS(t))
+	}
+	return num.solveUpper(k, ahat, ws, num.upper[k][j])
+}
+
+// lowerKernel computes L_ij solving X·U_jj = Â_ij: the dense panel TRSM
+// when both the kernel and the diagonal are dense-tagged, the sparse
+// column sweep otherwise.
+func (num *ndNum) lowerKernel(i, j int, ahat *sparse.CSC, mark []int, tagp *int, acc []float64, t int) *sparse.CSC {
+	if num.useDense(i, j) && num.useDense(j, j) {
+		return num.diag[j].DenseLowerSolveInto(num.lower[i][j], ahat, num.denseWS(t))
+	}
+	return num.diag[j].LowerBlockSolveInto(num.lower[i][j], ahat, mark, tagp, acc)
+}
+
+// reduceKernel assembles the reduced block Â_ij = A_ij − Σ L·U feeding
+// kernel (i, j), caching it in red[i][j] for the in-place refresh sweeps:
+// the dense accumulation panel for dense-tagged targets (no occupancy
+// marks, no pattern sort), the scatter-accumulate otherwise. With no
+// contributions the input block passes through untouched.
+func (num *ndNum) reduceKernel(i, j int, lows, ups []*sparse.CSC, mark []int, tagp *int, acc []float64, t int) *sparse.CSC {
+	if len(lows) == 0 {
+		return num.a[i][j]
+	}
+	if num.useDense(i, j) {
+		num.red[i][j] = reduceBlockDense(num.a[i][j], lows, ups, num.red[i][j], num.denseWS(t))
+	} else {
+		num.red[i][j] = reduceBlock(num.a[i][j], lows, ups, mark, tagp, acc, num.red[i][j])
+	}
+	return num.red[i][j]
 }
 
 // n reports the dimension of the grid's square hierarchy.
@@ -417,12 +483,12 @@ func (num *ndNum) worker(t int) {
 
 	// ---- treelevel -1: factor the leaf diagonal and its lower blocks.
 	ok := compute(func() error {
-		if err := num.factorDiag(leaf, num.a[leaf][leaf], ws); err != nil {
+		if err := num.factorDiag(leaf, num.a[leaf][leaf], ws, t); err != nil {
 			return err
 		}
 		num.flags.set(leaf, leaf)
 		for _, i := range s.ancestors[leaf] {
-			num.lower[i][leaf] = num.diag[leaf].LowerBlockSolveInto(num.lower[i][leaf], num.a[i][leaf], mark, &tag, acc)
+			num.lower[i][leaf] = num.lowerKernel(i, leaf, num.a[i][leaf], mark, &tag, acc, t)
 			num.flags.set(i, leaf)
 		}
 		return nil
@@ -437,7 +503,7 @@ func (num *ndNum) worker(t int) {
 		j := ancestorAtHeight(s, leaf, slevel)
 		// Step A (treelevel 0): my leaf's upper block U_{leaf,j}.
 		ok = compute(func() error {
-			num.upper[leaf][j] = num.solveUpper(leaf, num.a[leaf][j], ws, num.upper[leaf][j])
+			num.upper[leaf][j] = num.upperKernel(leaf, j, num.a[leaf][j], ws, t)
 			num.flags.set(leaf, j)
 			return nil
 		})
@@ -455,12 +521,8 @@ func (num *ndNum) worker(t int) {
 					return
 				}
 				if !compute(func() error {
-					ahat := num.a[k][j]
-					if len(lows) > 0 {
-						ahat = reduceBlock(num.a[k][j], lows, ups, mark, &tag, acc, num.red[k][j])
-						num.red[k][j] = ahat
-					}
-					num.upper[k][j] = num.solveUpper(k, ahat, ws, num.upper[k][j])
+					ahat := num.reduceKernel(k, j, lows, ups, mark, &tag, acc, t)
+					num.upper[k][j] = num.upperKernel(k, j, ahat, ws, t)
 					num.flags.set(k, j)
 					return nil
 				}) {
@@ -481,12 +543,8 @@ func (num *ndNum) worker(t int) {
 				return
 			}
 			if !compute(func() error {
-				ahat := num.a[j][j]
-				if len(lows) > 0 {
-					ahat = reduceBlock(num.a[j][j], lows, ups, mark, &tag, acc, num.red[j][j])
-					num.red[j][j] = ahat
-				}
-				if err := num.factorDiag(j, ahat, ws); err != nil {
+				ahat := num.reduceKernel(j, j, lows, ups, mark, &tag, acc, t)
+				if err := num.factorDiag(j, ahat, ws, t); err != nil {
 					return err
 				}
 				num.flags.set(j, j)
@@ -516,12 +574,8 @@ func (num *ndNum) worker(t int) {
 				return
 			}
 			if !compute(func() error {
-				ahat := num.a[i][j]
-				if len(lows) > 0 {
-					ahat = reduceBlock(num.a[i][j], lows, ups, mark, &tag, acc, num.red[i][j])
-					num.red[i][j] = ahat
-				}
-				num.lower[i][j] = num.diag[j].LowerBlockSolveInto(num.lower[i][j], ahat, mark, &tag, acc)
+				ahat := num.reduceKernel(i, j, lows, ups, mark, &tag, acc, t)
+				num.lower[i][j] = num.lowerKernel(i, j, ahat, mark, &tag, acc, t)
 				num.flags.set(i, j)
 				return nil
 			}) {
@@ -537,14 +591,21 @@ func (num *ndNum) worker(t int) {
 }
 
 // factorDiag factors diagonal block b from matrix m, reusing the block's
-// prior factor storage when present.
-func (num *ndNum) factorDiag(b int, m *sparse.CSC, ws *gp.Workspace) error {
+// prior factor storage when present; dense-tagged diagonals go through the
+// pivoted panel LU (worker index t selects the pooled panel workspace).
+func (num *ndNum) factorDiag(b int, m *sparse.CSC, ws *gp.Workspace, t int) error {
+	if num.diag[b] == nil {
+		num.diag[b] = &gp.Factors{}
+	}
+	if num.useDense(b, b) {
+		if err := gp.FactorDenseInto(num.diag[b], m, num.opts.gpOptions(), num.denseWS(t)); err != nil {
+			return fmt.Errorf("core: nd diag block %d: %w", b, err)
+		}
+		return nil
+	}
 	hint := 0
 	if num.sym.est != nil {
 		hint = num.sym.est.diagNnz[b]
-	}
-	if num.diag[b] == nil {
-		num.diag[b] = &gp.Factors{}
 	}
 	if err := gp.FactorInto(num.diag[b], m, hint, num.opts.gpOptions(), ws); err != nil {
 		return fmt.Errorf("core: nd diag block %d: %w", b, err)
@@ -742,6 +803,57 @@ func reduceBlock(a0 *sparse.CSC, lows, ups []*sparse.CSC, mark []int, tagp *int,
 		out.Colptr[c+1] = len(out.Rowidx)
 	}
 	return out
+}
+
+// reduceBlockDense assembles Â = A0 − Σ_t lows[t]·ups[t] through a dense
+// accumulation panel — no occupancy marks, no pattern collection, no sort —
+// and emits a structural fully dense block into recycle's storage (nil
+// allocates). The contribution order per element matches reduceBlock and
+// reduceBlockInto exactly (A0 first, then the pairs in order, each upper
+// entry scattering its lower column), so the in-place refresh sweeps
+// reproduce dense-reduced blocks bitwise. Contributor columns that are
+// themselves fully dense (dense-built factor blocks) collapse to contiguous
+// axpys — the blocked rank-k update of the dense layer.
+func reduceBlockDense(a0 *sparse.CSC, lows, ups []*sparse.CSC, recycle *sparse.CSC, dws *dense.Workspace) *sparse.CSC {
+	m, n := 0, 0
+	if a0 != nil {
+		m, n = a0.M, a0.N
+	} else {
+		m, n = lows[0].M, ups[0].N
+	}
+	panel := dws.Panel(m, n)
+	for c := 0; c < n; c++ {
+		col := panel.Col(c)
+		if a0 != nil {
+			for p := a0.Colptr[c]; p < a0.Colptr[c+1]; p++ {
+				col[a0.Rowidx[p]] += a0.Values[p]
+			}
+		}
+		for t := range lows {
+			lo, up := lows[t], ups[t]
+			for p := up.Colptr[c]; p < up.Colptr[c+1]; p++ {
+				k := up.Rowidx[p]
+				ukc := up.Values[p]
+				if ukc == 0 {
+					continue
+				}
+				rows := lo.Rowidx[lo.Colptr[k]:lo.Colptr[k+1]]
+				vals := lo.Values[lo.Colptr[k]:lo.Colptr[k+1]]
+				vals = vals[:len(rows)] // bounds-check elimination hint
+				if len(rows) == m {
+					// Fully dense contributor column: rows are 0..m-1.
+					for i, v := range vals {
+						col[i] -= v * ukc
+					}
+					continue
+				}
+				for qi, i := range rows {
+					col[i] -= vals[qi] * ukc
+				}
+			}
+		}
+	}
+	return sparse.FillDense(recycle, m, n, panel.Data)
 }
 
 func ancestorAtHeight(s *ndSym, leaf, h int) int {

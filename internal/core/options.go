@@ -64,7 +64,24 @@ type Options struct {
 	// NoPrune disables Eisenstat–Liu symmetric pruning inside every
 	// Gilbert–Peierls kernel (ablation; see gp.Options.NoPrune).
 	NoPrune bool
+	// DenseKernelThreshold is the estimated block density (from the fine-ND
+	// symbolic estimates, Algorithm 3) at or above which a 2D kernel is
+	// routed through the dense panel layer at numeric time. 0 selects
+	// DefaultDenseKernelThreshold; values above 1 never trigger (only the
+	// density estimate's clamp reaches exactly 1), so e.g. 2 disables the
+	// layer through the threshold alone.
+	DenseKernelThreshold float64
+	// NoDenseKernels disables the density-adaptive dense kernel layer
+	// entirely (ablation; every fine-ND kernel stays on the sparse
+	// Gilbert–Peierls path regardless of the density estimates).
+	NoDenseKernels bool
 }
+
+// DefaultDenseKernelThreshold is the estimated-density line above which
+// fine-ND kernels switch to dense panels. Chosen by the threshold sweep
+// recorded in README.md: the fill-heavy suite classes saturate their
+// speedup well below it while the low-fill classes stay untagged above it.
+const DefaultDenseKernelThreshold = 0.5
 
 // DefaultOptions returns the paper-faithful defaults: BTF + MWCM on,
 // KLU-style pivot tolerance, point-to-point synchronization.
@@ -100,6 +117,14 @@ func (o Options) ndLeaves() int {
 		p *= 2
 	}
 	return p
+}
+
+// denseKernelThreshold resolves the dense-path density line.
+func (o Options) denseKernelThreshold() float64 {
+	if o.DenseKernelThreshold <= 0 {
+		return DefaultDenseKernelThreshold
+	}
+	return o.DenseKernelThreshold
 }
 
 func (o Options) bigBlockMin() int {

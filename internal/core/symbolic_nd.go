@@ -148,6 +148,128 @@ func estimateND(d *sparse.CSC, s *ndSym) *ndEstimates {
 	return est
 }
 
+// denseMinDim is the smallest 2D block dimension routed through the dense
+// panel layer: below it the panel scatter/zero overhead beats the
+// mark/append/sort bookkeeping the dense kernels avoid.
+const denseMinDim = 16
+
+// computeDenseTags classifies every kernel of one fine-ND block's 2D
+// hierarchy from the Algorithm 3 nonzero estimates: a kernel whose
+// estimated density (estimate over block area, clamped to 1) reaches the
+// threshold is tagged for the dense panel layer at numeric time. The
+// estimates are upper bounds, so tagging errs toward dense — which is why
+// the default threshold sits well above the fill densities of the paper's
+// low-fill circuit classes (see the README sweep). Both block dimensions
+// must reach denseMinDim. Tags depend only on the symbolic pattern and the
+// analysis options, never on values, so the dense/sparse routing of every
+// kernel is fixed for the lifetime of the analysis — the property that
+// keeps factor block patterns stable across Factor, FactorInto, Refactor
+// and the pool's recycled fresh factorizations.
+func (s *ndSym) computeDenseTags(opts Options) {
+	if opts.NoDenseKernels || s.est == nil {
+		return
+	}
+	thr := opts.denseKernelThreshold()
+	nb := s.nb
+	tags := make([]bool, nb*nb)
+	any := false
+	density := func(nnzEst, area int) float64 {
+		if area <= 0 {
+			return 0
+		}
+		d := float64(nnzEst) / float64(area)
+		if d > 1 {
+			d = 1
+		}
+		return d
+	}
+	dim := func(b int) int {
+		b0, b1 := s.blockRange(b)
+		return b1 - b0
+	}
+	// Diagonal kernels first: their estimates (elimination-tree column
+	// counts for leaves, the overlap fill bound for separators) track the
+	// realized factor density closely.
+	for j := 0; j < nb; j++ {
+		w := dim(j)
+		if w >= denseMinDim && density(s.est.diagNnz[j], w*(w+1)) >= thr {
+			tags[j*nb+j] = true
+			any = true
+		}
+	}
+	// Off-diagonal kernels. Every off-diagonal tag requires its *solving*
+	// diagonal (the factor the kernel substitutes against: node j for lower
+	// targets, node kp for upper targets) to be dense — a dense-tagged
+	// coupling solved by a sparse diagonal would pay the fully dense
+	// reduction emission with no dense-solve payoff. On top of that gate, a
+	// kernel is tagged either by its own estimate or structurally: the
+	// lest/uest min/max row-range bounds badly *under*estimate coupling
+	// blocks between two dense separators — the reduction Σ L_ik·U_kj over
+	// the shared subtree fills them toward the product of the endpoint
+	// densities, which the per-column range bounds cannot see — so a
+	// coupling whose endpoint diagonals are both dense AND parent-child in
+	// the dependency tree is tagged too (adjacent dense separators share
+	// their whole elimination subtree; measured ≥0.92 realized density on
+	// the fill-heavy suite classes, while couplings two or more tree levels
+	// apart stay moderate at 0.3–0.7 and keep the sparse path).
+	for j := 0; j < nb; j++ {
+		w := dim(j)
+		if w < denseMinDim {
+			continue
+		}
+		adjacent := func(i int) bool {
+			return tags[i*nb+i] && tags[j*nb+j] &&
+				(s.tree.Parent[i] == j || s.tree.Parent[j] == i)
+		}
+		for _, i := range s.ancestors[j] {
+			h := dim(i)
+			if h < denseMinDim || !tags[j*nb+j] {
+				continue
+			}
+			if density(s.est.lowerNnz[i][j], h*w) >= thr || adjacent(i) {
+				tags[i*nb+j] = true
+				any = true
+			}
+		}
+		for kp := s.subLo[j]; kp < j; kp++ {
+			h := dim(kp)
+			if h < denseMinDim || !tags[kp*nb+kp] {
+				continue
+			}
+			if density(s.est.upperNnz[kp][j], h*w) >= thr || adjacent(kp) {
+				tags[kp*nb+j] = true
+				any = true
+			}
+		}
+	}
+	if any {
+		s.dense = tags
+	}
+}
+
+// isDense reports whether kernel (i, j) was tagged for the dense layer.
+func (s *ndSym) isDense(i, j int) bool {
+	return s.dense != nil && s.dense[i*s.nb+j]
+}
+
+// DenseKernels reports how many fine-ND kernels the analysis tagged for the
+// dense panel layer (0 under NoDenseKernels, or when no block's estimated
+// density reaches the threshold — the low-fill regime the paper targets).
+func (s *Symbolic) DenseKernels() int {
+	total := 0
+	for _, ns := range s.ndsym {
+		if ns == nil {
+			continue
+		}
+		for _, d := range ns.dense {
+			if d {
+				total++
+			}
+		}
+	}
+	return total
+}
+
 // blockRowRanges records the min/max row index of every column of a block —
 // the paper's lest/uest data structure.
 func blockRowRanges(b *sparse.CSC) struct{ lo, hi []int } {

@@ -1,14 +1,20 @@
 // Package dense provides the small column-major dense kernels used by the
-// supernodal baseline solver: panel LU, triangular solves and rank-k
-// updates. They are deliberately simple loop nests — the point of the
-// supernodal baseline is to capture the *algorithmic* behaviour of a
-// BLAS-based solver (dense panels amortize memory traffic on high-fill
-// matrices), not to compete with vendor BLAS.
+// supernodal baseline solver and, since the density-adaptive kernel layer,
+// by the fine-ND engine's fill-heavy separator blocks: panel LU (unpivoted
+// and partially pivoted), triangular solves and rank-k updates. They are
+// deliberately simple loop nests with contiguous column access — the point
+// is to capture the *algorithmic* behaviour of a BLAS-based solver (dense
+// panels amortize memory traffic on high-fill matrices), not to compete
+// with vendor BLAS.
 package dense
 
-import "errors"
+import (
+	"errors"
+	"math"
+)
 
-// ErrSingular reports a zero pivot during unpivoted panel factorization.
+// ErrSingular reports a zero pivot during unpivoted panel factorization, or
+// an all-zero pivot column during pivoted factorization.
 var ErrSingular = errors.New("dense: zero pivot")
 
 // Matrix is a column-major dense matrix view: element (i,j) is
@@ -76,6 +82,120 @@ func (m *Matrix) LUNoPivot(k int, minPiv float64) error {
 		}
 	}
 	return nil
+}
+
+// LUPartialPivot factors the leading Cols columns of the panel in place
+// with row partial pivoting, right-looking: on return the strictly lower
+// part of column d holds L (unit diagonal implicit) and the upper part U,
+// both in pivot order. rows must have length Rows and carry the original
+// row id of each panel position (typically initialized to the identity); on
+// return rows[k] is the original row that pivots step k — the factor's P.
+//
+// The pivot rule mirrors the sparse Gilbert–Peierls kernel's: the remaining
+// row of largest magnitude wins, unless the natural row (original row d) is
+// still unpivoted and within tol of the maximum — the diagonal preference
+// that protects a fill-reducing ordering. noPivot forces the natural row
+// (static pivoting) and fails on a zero natural pivot.
+func (m *Matrix) LUPartialPivot(tol float64, noPivot bool, rows []int) error {
+	n := m.Cols
+	for d := 0; d < n; d++ {
+		cd := m.Col(d)
+		// Pivot search over the unpivoted positions d..Rows-1, tracking
+		// where the natural row currently lives.
+		best, nat := -1, -1
+		maxAbs := 0.0
+		for i := d; i < m.Rows; i++ {
+			if v := math.Abs(cd[i]); v > maxAbs {
+				maxAbs = v
+				best = i
+			}
+			if rows[i] == d {
+				nat = i
+			}
+		}
+		piv := best
+		if noPivot {
+			if nat == -1 || cd[nat] == 0 {
+				return ErrSingular
+			}
+			piv = nat
+		} else {
+			if best == -1 || maxAbs == 0 {
+				return ErrSingular
+			}
+			if nat >= 0 {
+				if v := math.Abs(cd[nat]); v >= tol*maxAbs && v > 0 {
+					piv = nat
+				}
+			}
+		}
+		if piv != d {
+			m.SwapRows(d, piv)
+			rows[d], rows[piv] = rows[piv], rows[d]
+		}
+		pv := cd[d]
+		// Division (not reciprocal multiplication) keeps the per-element
+		// arithmetic bitwise identical to the sparse kernels' refresh paths.
+		for i := d + 1; i < m.Rows; i++ {
+			cd[i] /= pv
+		}
+		lo := cd[d+1 : m.Rows]
+		for j := d + 1; j < n; j++ {
+			cj := m.Col(j)
+			f := cj[d]
+			if f == 0 {
+				continue
+			}
+			tgt := cj[d+1 : m.Rows]
+			tgt = tgt[:len(lo)] // bounds-check elimination hint
+			for i, v := range lo {
+				tgt[i] -= f * v
+			}
+		}
+	}
+	return nil
+}
+
+// SwapRows exchanges rows a and b across every column.
+func (m *Matrix) SwapRows(a, b int) {
+	for j := 0; j < m.Cols; j++ {
+		c := m.Col(j)
+		c[a], c[b] = c[b], c[a]
+	}
+}
+
+// Workspace pools the scratch of the dense kernel layer: one panel buffer
+// plus integer row scratch, grown on demand and reused forever, so the hot
+// factorization loops allocate nothing in steady state. One panel is live
+// at a time per workspace (each kernel call replaces the previous view).
+type Workspace struct {
+	buf  []float64
+	rows []int
+	mat  Matrix
+}
+
+// NewWorkspace returns an empty workspace; buffers grow on first use.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// Panel returns a zeroed rows×cols column-major view backed by the pooled
+// buffer. The view (and its Data) is valid until the next Panel call.
+func (w *Workspace) Panel(rows, cols int) *Matrix {
+	n := rows * cols
+	if cap(w.buf) < n {
+		w.buf = make([]float64, n)
+	}
+	w.buf = w.buf[:n]
+	clear(w.buf)
+	w.mat = Matrix{Rows: rows, Cols: cols, LD: rows, Data: w.buf}
+	return &w.mat
+}
+
+// Rows returns pooled integer scratch of length n (contents unspecified).
+func (w *Workspace) Rows(n int) []int {
+	if cap(w.rows) < n {
+		w.rows = make([]int, n)
+	}
+	return w.rows[:n]
 }
 
 // TRSMLowerUnit solves L·X = B in place where L is the kxk unit lower

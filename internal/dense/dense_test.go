@@ -77,6 +77,130 @@ func TestLUNoPivotPerturbs(t *testing.T) {
 	}
 }
 
+func TestLUPartialPivotReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 9
+	m := New(n, n)
+	orig := New(n, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			v := rng.NormFloat64()
+			m.Set(i, j, v)
+			orig.Set(i, j, v)
+		}
+	}
+	rows := make([]int, n)
+	for i := range rows {
+		rows[i] = i
+	}
+	// tol=1 forces true partial pivoting on a random matrix.
+	if err := m.LUPartialPivot(1, false, rows); err != nil {
+		t.Fatal(err)
+	}
+	// Reconstruct: L·U must equal the row-permuted original, P·A.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			sum := 0.0
+			for d := 0; d <= j; d++ {
+				var lid float64
+				switch {
+				case i == d:
+					lid = 1
+				case i > d:
+					lid = m.At(i, d)
+				}
+				sum += lid * m.At(d, j)
+			}
+			if want := orig.At(rows[i], j); math.Abs(sum-want) > 1e-10 {
+				t.Fatalf("PA(%d,%d) = %v, want %v", i, j, sum, want)
+			}
+		}
+	}
+	// Partial pivoting bounds every multiplier by 1.
+	for d := 0; d < n; d++ {
+		for i := d + 1; i < n; i++ {
+			if math.Abs(m.At(i, d)) > 1+1e-12 {
+				t.Fatalf("unbounded multiplier L(%d,%d) = %v", i, d, m.At(i, d))
+			}
+		}
+	}
+}
+
+func TestLUPartialPivotDiagonalPreference(t *testing.T) {
+	// Diagonally dominant: with a small tolerance the natural pivots win
+	// everywhere, so rows stays the identity (the Gilbert–Peierls diagonal
+	// preference the sparse kernel applies).
+	rng := rand.New(rand.NewSource(3))
+	n := 12
+	m := New(n, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			v := 0.5 * rng.NormFloat64()
+			if i == j {
+				v = 10 + rng.Float64()
+			}
+			m.Set(i, j, v)
+		}
+	}
+	rows := make([]int, n)
+	for i := range rows {
+		rows[i] = i
+	}
+	if err := m.LUPartialPivot(0.001, false, rows); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rows {
+		if r != i {
+			t.Fatalf("diagonal preference violated: rows[%d] = %d", i, r)
+		}
+	}
+}
+
+func TestLUPartialPivotSingular(t *testing.T) {
+	m := New(3, 3)
+	m.Set(0, 0, 1) // column 1 is entirely zero
+	m.Set(2, 2, 1)
+	rows := []int{0, 1, 2}
+	if err := m.LUPartialPivot(1, false, rows); err != ErrSingular {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestLUPartialPivotNoPivotForcesNatural(t *testing.T) {
+	m := New(2, 2)
+	m.Set(0, 0, 1e-12) // tiny but nonzero natural pivot
+	m.Set(1, 0, 100)
+	m.Set(0, 1, 1)
+	m.Set(1, 1, 1)
+	rows := []int{0, 1}
+	if err := m.LUPartialPivot(1, true, rows); err != nil {
+		t.Fatal(err)
+	}
+	if rows[0] != 0 || rows[1] != 1 {
+		t.Fatalf("noPivot must keep the natural order, got %v", rows)
+	}
+}
+
+func TestWorkspacePanelReuse(t *testing.T) {
+	w := NewWorkspace()
+	p := w.Panel(4, 3)
+	for i := range p.Data {
+		p.Data[i] = 1
+	}
+	q := w.Panel(3, 2) // smaller view over the same buffer must come back zeroed
+	for i, v := range q.Data {
+		if v != 0 {
+			t.Fatalf("reused panel not zeroed at %d: %v", i, v)
+		}
+	}
+	if &q.Data[0] != &p.Data[0] {
+		t.Fatal("workspace did not reuse its buffer")
+	}
+	if len(w.Rows(5)) != 5 || len(w.Rows(2)) != 2 {
+		t.Fatal("Rows sizing broken")
+	}
+}
+
 func TestTRSMLowerUnit(t *testing.T) {
 	// L = [[1,0],[2,1]], B = [[1],[4]] -> X = [[1],[2]].
 	lu := New(2, 2)

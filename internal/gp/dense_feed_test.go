@@ -1,0 +1,253 @@
+package gp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dense"
+	"repro/internal/sparse"
+)
+
+// denseishCSC builds an n×n matrix with the given fill fraction plus a
+// dominant diagonal (so the diagonal-preference pivot rule is exercised on
+// realistic separator-like blocks).
+func denseishCSC(rng *rand.Rand, n int, fill float64, dominant bool) *sparse.CSC {
+	coo := sparse.NewCOO(n, n, int(float64(n*n)*fill)+n)
+	for i := 0; i < n; i++ {
+		d := rng.NormFloat64()
+		if dominant {
+			d = 20 + rng.Float64()
+		}
+		coo.Add(i, i, d)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && rng.Float64() < fill {
+				coo.Add(i, j, rng.NormFloat64())
+			}
+		}
+	}
+	return coo.ToCSC(false)
+}
+
+// TestFactorDenseIntoMatchesSparse: the dense panel factorization must pick
+// the same pivot sequence as the sparse kernel on diagonally dominant
+// blocks (both prefer the natural pivot) and solve to equivalent residuals;
+// its emitted factors must be structural fully dense with sorted columns,
+// unit-diagonal-first L and pivot-last U — everything downstream assumes.
+func TestFactorDenseIntoMatchesSparse(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for _, n := range []int{5, 16, 33, 64} {
+		a := denseishCSC(rng, n, 0.4, true)
+		sp, err := Factor(a, 0, Options{}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dn := &Factors{}
+		if err := FactorDenseInto(dn, a, Options{}, dense.NewWorkspace()); err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < n; k++ {
+			if sp.P[k] != dn.P[k] {
+				t.Fatalf("n=%d: pivot %d differs: sparse %d dense %d", n, k, sp.P[k], dn.P[k])
+			}
+		}
+		// Structural shape: L column k holds rows k..n-1 (unit diagonal
+		// first), U column k rows 0..k (pivot last).
+		for k := 0; k < n; k++ {
+			if got := dn.L.Colptr[k+1] - dn.L.Colptr[k]; got != n-k {
+				t.Fatalf("L column %d has %d entries, want %d", k, got, n-k)
+			}
+			if dn.L.Values[dn.L.Colptr[k]] != 1 || dn.L.Rowidx[dn.L.Colptr[k]] != k {
+				t.Fatalf("L column %d missing leading unit diagonal", k)
+			}
+			if got := dn.U.Colptr[k+1] - dn.U.Colptr[k]; got != k+1 {
+				t.Fatalf("U column %d has %d entries, want %d", k, got, k+1)
+			}
+			if dn.U.Rowidx[dn.U.Colptr[k+1]-1] != k {
+				t.Fatalf("U column %d pivot not last", k)
+			}
+		}
+		// Identical pivots + same math ⇒ equal values up to roundoff.
+		b := make([]float64, n)
+		x := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+			x[i] = b[i]
+		}
+		sp.Solve(b)
+		dn.Solve(x)
+		for i := range b {
+			if math.Abs(b[i]-x[i]) > 1e-9*(1+math.Abs(b[i])) {
+				t.Fatalf("n=%d: solve diverges at %d: %v vs %v", n, i, b[i], x[i])
+			}
+		}
+	}
+}
+
+// TestFactorDenseIntoPivots: with tol=1 (true partial pivoting) on a
+// non-dominant matrix, L·U must still reconstruct P·A.
+func TestFactorDenseIntoPivots(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	n := 24
+	a := denseishCSC(rng, n, 0.6, false)
+	f := &Factors{}
+	if err := FactorDenseInto(f, a, Options{PivotTol: 1}, dense.NewWorkspace()); err != nil {
+		t.Fatal(err)
+	}
+	// Check L·U = A(P,:) column by column.
+	for j := 0; j < n; j++ {
+		col := make([]float64, n)
+		for p := f.U.Colptr[j]; p < f.U.Colptr[j+1]; p++ {
+			k := f.U.Rowidx[p]
+			ukj := f.U.Values[p]
+			for q := f.L.Colptr[k]; q < f.L.Colptr[k+1]; q++ {
+				col[f.L.Rowidx[q]] += f.L.Values[q] * ukj
+			}
+		}
+		for i := 0; i < n; i++ {
+			if v := a.At(f.P[i], j); math.Abs(col[i]-v) > 1e-9*(1+math.Abs(v)) {
+				t.Fatalf("P·A(%d,%d): LU gives %v, want %v", i, j, col[i], v)
+			}
+		}
+	}
+}
+
+// TestFactorDenseIntoSingular: an all-zero column must report ErrSingular
+// through the usual error chain (the pivot-drift fallbacks rely on it).
+func TestFactorDenseIntoSingular(t *testing.T) {
+	coo := sparse.NewCOO(3, 3, 3)
+	coo.Add(0, 0, 1)
+	coo.Add(2, 2, 1)
+	coo.Add(0, 1, 0) // structural entry, zero value
+	f := &Factors{}
+	err := FactorDenseInto(f, coo.ToCSC(false), Options{}, dense.NewWorkspace())
+	if !errors.Is(err, ErrSingular) {
+		t.Fatalf("err = %v, want ErrSingular in chain", err)
+	}
+}
+
+// TestDenseSolvesMatchSparseKernels: the dense TRSM kernels must agree with
+// the sparse off-diagonal kernels they replace — same factorization, same
+// right-hand blocks, equal values on the shared pattern (and exact zeros on
+// the dense-only positions).
+func TestDenseSolvesMatchSparseKernels(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	n, m := 32, 20
+	a := denseishCSC(rng, n, 0.5, true)
+	f := &Factors{}
+	dws := dense.NewWorkspace()
+	if err := FactorDenseInto(f, a, Options{}, dws); err != nil {
+		t.Fatal(err)
+	}
+
+	// Upper kernel: U = L⁻¹·P·B against the sparse reach solve.
+	b := denseishCSC(rng, n, 0.2, false).ExtractBlock(0, n, 0, m)
+	up := f.DenseUpperSolveInto(nil, b, dws)
+	ws := NewWorkspace(n)
+	for c := 0; c < m; c++ {
+		bIdx := b.Rowidx[b.Colptr[c]:b.Colptr[c+1]]
+		bVal := b.Values[b.Colptr[c]:b.Colptr[c+1]]
+		patt := f.SolveSparseL(bIdx, bVal, ws)
+		got := make([]float64, n)
+		for p := up.Colptr[c]; p < up.Colptr[c+1]; p++ {
+			got[up.Rowidx[p]] = up.Values[p]
+		}
+		want := make([]float64, n)
+		for _, r := range patt {
+			want[r] = ws.X[r]
+		}
+		ClearSparse(ws, patt)
+		for i := 0; i < n; i++ {
+			if math.Abs(got[i]-want[i]) > 1e-10*(1+math.Abs(want[i])) {
+				t.Fatalf("upper col %d row %d: dense %v sparse %v", c, i, got[i], want[i])
+			}
+		}
+	}
+
+	// Lower kernel: X·U = B against LowerBlockSolve.
+	h := 17
+	bl := denseishCSC(rng, n, 0.25, false).ExtractBlock(0, h, 0, n)
+	mark := make([]int, h+1)
+	acc := make([]float64, h+1)
+	tag := 0
+	sparseX := f.LowerBlockSolve(bl, mark, &tag, acc)
+	denseX := f.DenseLowerSolveInto(nil, bl, dws)
+	for c := 0; c < n; c++ {
+		got := make([]float64, h)
+		for p := denseX.Colptr[c]; p < denseX.Colptr[c+1]; p++ {
+			got[denseX.Rowidx[p]] = denseX.Values[p]
+		}
+		want := make([]float64, h)
+		for p := sparseX.Colptr[c]; p < sparseX.Colptr[c+1]; p++ {
+			want[sparseX.Rowidx[p]] = sparseX.Values[p]
+		}
+		for i := 0; i < h; i++ {
+			if math.Abs(got[i]-want[i]) > 1e-10*(1+math.Abs(want[i])) {
+				t.Fatalf("lower col %d row %d: dense %v sparse %v", c, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestDenseBuiltRefactorBitwiseNoOp: refreshing a dense-built factorization
+// with the same values must be a bitwise no-op — the dense kernels' update
+// order matches refactorColumn's left-looking sweep exactly. This is the
+// invariant that keeps Refactor/RefactorPartial bitwise-stable downstream
+// of dense-path factorizations.
+func TestDenseBuiltRefactorBitwiseNoOp(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	n := 40
+	a := denseishCSC(rng, n, 0.45, true)
+	f := &Factors{}
+	dws := dense.NewWorkspace()
+	if err := FactorDenseInto(f, a, Options{}, dws); err != nil {
+		t.Fatal(err)
+	}
+	lvals := append([]float64(nil), f.L.Values...)
+	uvals := append([]float64(nil), f.U.Values...)
+	if err := f.Refactor(a, NewWorkspace(n)); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range lvals {
+		if f.L.Values[i] != v {
+			t.Fatalf("L value %d changed: %v -> %v", i, v, f.L.Values[i])
+		}
+	}
+	for i, v := range uvals {
+		if f.U.Values[i] != v {
+			t.Fatalf("U value %d changed: %v -> %v", i, v, f.U.Values[i])
+		}
+	}
+}
+
+// TestFactorDenseIntoRecyclesStorage: repeated dense factorizations on the
+// same dimension must stop allocating once the workspace and factor
+// storage have grown.
+func TestFactorDenseIntoRecyclesStorage(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	n := 28
+	steps := make([]*sparse.CSC, 3)
+	for i := range steps {
+		steps[i] = denseishCSC(rng, n, 0.5, true)
+	}
+	f := &Factors{}
+	dws := dense.NewWorkspace()
+	for _, s := range steps {
+		if err := FactorDenseInto(f, s, Options{}, dws); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(20, func() {
+		i++
+		if err := FactorDenseInto(f, steps[i%len(steps)], Options{}, dws); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state FactorDenseInto allocates: %v allocs/op", allocs)
+	}
+}

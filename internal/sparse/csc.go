@@ -66,6 +66,33 @@ func (a *CSC) ResetShape(m, n int) {
 	a.Values = a.Values[:0]
 }
 
+// FillDense fills dst with the structural fully dense m×n block whose
+// values are the column-major data (leading dimension m, length m·n):
+// every column stores rows 0..m-1, exact zeros included. In the recycled
+// steady state — dst is already m×n holding m·n entries, which for the
+// sorted unique column patterns all emitters maintain forces exactly the
+// full pattern — only the values are copied; otherwise the pattern is
+// rebuilt into dst's storage. dst may be nil. This is the single emission
+// point of the dense kernel layer, so the fully-dense-pattern invariant
+// lives in one place.
+func FillDense(dst *CSC, m, n int, data []float64) *CSC {
+	if dst == nil {
+		dst = NewCSC(m, n, m*n)
+	} else if dst.M == m && dst.N == n && len(dst.Rowidx) == m*n && len(dst.Values) == m*n {
+		copy(dst.Values, data)
+		return dst
+	}
+	dst.ResetShape(m, n)
+	for c := 0; c < n; c++ {
+		for i := 0; i < m; i++ {
+			dst.Rowidx = append(dst.Rowidx, i)
+		}
+		dst.Colptr[c+1] = (c + 1) * m
+	}
+	dst.Values = append(dst.Values, data...)
+	return dst
+}
+
 // Compact clips the entry slices to their exact length, releasing any extra
 // capacity retained from growth hints (a copy is required — Go cannot
 // shrink an allocation in place).
