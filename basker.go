@@ -33,6 +33,7 @@ import (
 	"repro/internal/gp"
 	"repro/internal/order/matching"
 	"repro/internal/sparse"
+	"repro/internal/trace"
 	"repro/internal/trisolve"
 )
 
@@ -91,7 +92,30 @@ type Options struct {
 	// fine-ND kernels switch to the dense panel layer. 0 selects the
 	// default; values above 1 never trigger.
 	DenseKernelThreshold float64
+	// Trace, when non-nil, records per-kernel scheduler events from every
+	// phase (analyze, factor, refactor, partial refactor, parallel solve)
+	// into the given recorder: per-sweep profiles come back through
+	// Factorization.Profile, the raw timeline through
+	// Factorization.WriteTrace. A nil Trace keeps every hot path on its
+	// untraced, allocation-free fast path.
+	Trace *Tracer
 }
+
+// Tracer is the scheduler event recorder of the observability layer: a
+// fixed-capacity lock-free ring any number of workers record into. One
+// Tracer may be shared by several solvers/pools; see NewTracer.
+type Tracer = trace.Recorder
+
+// Profile is a per-sweep scheduler summary: wall/work/wait seconds, the
+// sync-overhead fraction (the paper's 2.3%-vs-11% metric), effective
+// parallelism, per-worker utilization and the top straggler blocks.
+type Profile = trace.Summary
+
+// NewTracer returns a Tracer whose event ring holds at least capacity
+// events (<= 0 selects a 65536-event default). Pass it through
+// Options.Trace, then read profiles with Factorization.Profile or export
+// the timeline with Factorization.WriteTrace.
+func NewTracer(capacity int) *Tracer { return trace.NewRecorder(capacity) }
 
 func (o Options) internal() core.Options {
 	c := core.DefaultOptions()
@@ -110,6 +134,7 @@ func (o Options) internal() core.Options {
 	}
 	c.NoDenseKernels = o.NoDenseKernels
 	c.DenseKernelThreshold = o.DenseKernelThreshold
+	c.Trace = o.Trace
 	return c
 }
 
@@ -231,6 +256,45 @@ func (f *Factorization) RefactorAuto(a *Matrix) error {
 	return wrapErr(f.num.RefactorAuto(a))
 }
 
+// Phase identifies a pipeline stage in scheduler profiles.
+type Phase = trace.Phase
+
+// The traced pipeline stages.
+const (
+	PhaseAnalyze  = trace.PhaseAnalyze
+	PhaseFactor   = trace.PhaseFactor
+	PhaseRefactor = trace.PhaseRefactor
+	PhasePartial  = trace.PhasePartial
+	PhaseSolve    = trace.PhaseSolve
+)
+
+// tracer returns the recorder this factorization was configured with
+// (nil when tracing is off).
+func (f *Factorization) tracer() *Tracer { return f.num.Sym.Opts.Trace }
+
+// Profile returns the most recent sweep profile of the given phase, or
+// false when tracing is off or no such sweep has run.
+func (f *Factorization) Profile(p Phase) (Profile, bool) {
+	return f.tracer().LastSummary(p)
+}
+
+// Profiles returns every retained per-sweep profile, oldest first (nil
+// when tracing is off).
+func (f *Factorization) Profiles() []Profile { return f.tracer().Summaries() }
+
+// WriteTrace exports the recorded scheduler timeline as Chrome
+// trace-event JSON, loadable in Perfetto (ui.perfetto.dev) or
+// chrome://tracing. It is a no-op writing an empty trace when tracing is
+// off. Call between sweeps — events recorded concurrently may be torn.
+func (f *Factorization) WriteTrace(w io.Writer) error {
+	tr := f.tracer()
+	if tr == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[]}`+"\n")
+		return err
+	}
+	return tr.WriteChromeTrace(w)
+}
+
 // NumBlocks reports the number of coarse BTF blocks of the factorization.
 func (f *Factorization) NumBlocks() int { return f.num.Sym.NumBlocks() }
 
@@ -277,6 +341,26 @@ type Stats struct {
 	BTFPercent float64
 	// NDBlocks counts coarse blocks factored by the parallel ND engine.
 	NDBlocks int
+	// DenseKernels counts the fine-ND kernels statically tagged for the
+	// dense panel layer at analysis time; DenseKernelHits counts the kernel
+	// executions actually routed through it during the last numeric sweep.
+	DenseKernels    int
+	DenseKernelHits int64
+	// PivotFallbacks counts per-block fresh-pivot fallbacks refresh sweeps
+	// have taken over this factorization's lifetime (reused pivot
+	// sequences defeated by value drift).
+	PivotFallbacks int64
+	// DirtyBlocks is how many coarse blocks the most recent incremental
+	// refresh (RefactorPartial/RefactorAuto) reworked; DirtyBlocksTotal
+	// accumulates across all incremental calls.
+	DirtyBlocks      int
+	DirtyBlocksTotal int64
+	// SyncWaits counts contended point-to-point waits of the last numeric
+	// sweep; SyncWaitSeconds is the wall-clock time those blocked waits
+	// (plus barrier waits) cost, summed over workers — the paper's
+	// sync-overhead measurement, available even without tracing.
+	SyncWaits       int64
+	SyncWaitSeconds float64
 }
 
 // Stats reports factorization statistics relative to the matrix a that was
@@ -284,11 +368,18 @@ type Stats struct {
 // so this is O(1).
 func (f *Factorization) Stats(a *Matrix) Stats {
 	return Stats{
-		NnzLU:       f.num.NnzLU(),
-		FillDensity: f.num.FillDensity(a),
-		BTFBlocks:   f.num.Sym.NumBlocks(),
-		BTFPercent:  f.num.Sym.BTFPercent,
-		NDBlocks:    f.num.Sym.NumNDBlocks(),
+		NnzLU:            f.num.NnzLU(),
+		FillDensity:      f.num.FillDensity(a),
+		BTFBlocks:        f.num.Sym.NumBlocks(),
+		BTFPercent:       f.num.Sym.BTFPercent,
+		NDBlocks:         f.num.Sym.NumNDBlocks(),
+		DenseKernels:     f.num.Sym.DenseKernels(),
+		DenseKernelHits:  f.num.DenseKernelHits(),
+		PivotFallbacks:   f.num.PivotFallbacks(),
+		DirtyBlocks:      f.num.LastDirtyBlocks(),
+		DirtyBlocksTotal: f.num.DirtyBlocksTotal(),
+		SyncWaits:        f.num.SyncWaits,
+		SyncWaitSeconds:  f.num.SyncWaitSeconds(),
 	}
 }
 

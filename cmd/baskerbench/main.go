@@ -31,6 +31,7 @@ import (
 	"repro/internal/pmkl"
 	"repro/internal/slumt"
 	"repro/internal/sparse"
+	"repro/internal/trace"
 )
 
 var (
@@ -49,10 +50,30 @@ var (
 		"output path for the incremental-refactorization trajectory JSON (incremental experiment); empty disables the file")
 	densendJSON = flag.String("densendjson", "BENCH_densend.json",
 		"output path for the dense-ND kernel trajectory JSON (densend experiment); empty disables the file")
+	traceOut = flag.String("trace", "",
+		"write the scheduler timeline of the traced experiments (refactor, factor) as Chrome trace-event JSON to this path (loadable in Perfetto), and print per-sweep scheduler summaries")
 )
+
+// tracer is the shared event recorder behind -trace; nil when the flag is
+// unset (the trajectory experiments then use private recorders for their
+// utilization/imbalance columns and no timeline is written).
+var tracer *trace.Recorder
+
+// trajectoryRecorder returns the recorder trajectory experiments attach to
+// their sweeps: the shared -trace recorder when set, else a private one
+// (the per-sweep summary columns are wanted either way).
+func trajectoryRecorder() *trace.Recorder {
+	if tracer != nil {
+		return tracer
+	}
+	return trace.NewRecorder(0)
+}
 
 func main() {
 	flag.Parse()
+	if *traceOut != "" {
+		tracer = trace.NewRecorder(0)
+	}
 	if *simulate {
 		fmt.Printf("timing mode: simulated p-core makespan from per-task measurements (host has %d CPU(s))\n", runtime.NumCPU())
 	} else if *maxCores > runtime.NumCPU() {
@@ -83,6 +104,22 @@ func main() {
 	run("factor", factorTrajectory)
 	run("incremental", incrementalTrajectory)
 	run("densend", densendTrajectory)
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trace:", err)
+			os.Exit(1)
+		}
+		if err := tracer.WriteChromeTrace(f); err != nil {
+			fmt.Fprintln(os.Stderr, "trace:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "trace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nChrome trace written to %s (open in ui.perfetto.dev)\n", *traceOut)
+	}
 }
 
 // sweep returns the power-of-two core counts 1..max.
@@ -652,6 +689,10 @@ func refactorTrajectory() {
 		FactorSec   float64 `json:"factor_s"`
 		RefactorSec float64 `json:"refactor_s"`
 		Ratio       float64 `json:"ratio"`
+		// Scheduler-trace columns of the steady-state Refactor sweep.
+		SyncFraction float64 `json:"sync_fraction"`
+		Utilization  float64 `json:"utilization"`
+		Imbalance    float64 `json:"imbalance"`
 	}
 	type report struct {
 		Scale        float64 `json:"scale"`
@@ -666,6 +707,8 @@ func refactorTrajectory() {
 		a := m.Gen()
 		opts := core.DefaultOptions()
 		opts.Threads = *maxCores
+		rec := trajectoryRecorder()
+		opts.Trace = rec
 		sym, err := core.Analyze(a, opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: analyze failed: %v\n", m.Name, err)
@@ -703,18 +746,27 @@ func refactorTrajectory() {
 		})
 		ratio := factorSec / refactorSec
 		ratios = append(ratios, ratio)
+		sum, _ := rec.LastSummary(trace.PhaseRefactor)
+		if *traceOut != "" {
+			fmt.Printf("  %s: %s\n", m.Name, sum)
+		}
 		rep.Matrices = append(rep.Matrices, point{
 			Name: m.Name, N: a.N, Nnz: a.Nnz(),
 			FactorSec: factorSec, RefactorSec: refactorSec, Ratio: ratio,
+			SyncFraction: sum.SyncFraction,
+			Utilization:  sum.MeanUtilization(),
+			Imbalance:    sum.Imbalance(),
 		})
 		rows = append(rows, []string{
 			m.Name,
 			fmt.Sprintf("%.1f", factorSec*1e6),
 			fmt.Sprintf("%.1f", refactorSec*1e6),
 			fmt.Sprintf("%.2fx", ratio),
+			fmt.Sprintf("%.1f%%", 100*sum.SyncFraction),
+			fmt.Sprintf("%.2fx", sum.Imbalance()),
 		})
 	}
-	fmt.Print(perf.Table([]string{"Matrix", "factor us", "refactor us", "factor/refactor"}, rows))
+	fmt.Print(perf.Table([]string{"Matrix", "factor us", "refactor us", "factor/refactor", "sync", "imbalance"}, rows))
 	rep.GeomeanRatio = perf.GeoMean(ratios)
 	fmt.Printf("  geo-mean factor/refactor ratio: %.2fx over %d matrices\n", rep.GeomeanRatio, len(ratios))
 	if *refactorJSON == "" {
@@ -755,6 +807,10 @@ func factorTrajectory() {
 		ParallelSec   float64 `json:"parallel_s"`
 		NoPruneSec    float64 `json:"noprune_s"`
 		FactorIntoSec float64 `json:"factorinto_s"`
+		// Scheduler-trace columns of the parallel fresh-Factor sweep.
+		SyncFraction float64 `json:"sync_fraction"`
+		Utilization  float64 `json:"utilization"`
+		Imbalance    float64 `json:"imbalance"`
 	}
 	type report struct {
 		Scale             float64 `json:"scale"`
@@ -772,6 +828,8 @@ func factorTrajectory() {
 		a := m.Gen()
 		opts := core.DefaultOptions()
 		opts.Threads = *maxCores
+		rec := trajectoryRecorder()
+		opts.Trace = rec
 		sym, err := core.Analyze(a, opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: analyze failed: %v\n", m.Name, err)
@@ -809,6 +867,14 @@ func factorTrajectory() {
 				panic(err)
 			}
 		})
+		if sum, ok := rec.LastSummary(trace.PhaseFactor); ok {
+			pt.SyncFraction = sum.SyncFraction
+			pt.Utilization = sum.MeanUtilization()
+			pt.Imbalance = sum.Imbalance()
+			if *traceOut != "" {
+				fmt.Printf("  %s: %s\n", m.Name, sum)
+			}
+		}
 		// Pruning ablation on the serial path, where the symbolic DFS cost
 		// is not drowned by goroutine scheduling noise.
 		npOpts := core.DefaultOptions()
@@ -840,10 +906,12 @@ func factorTrajectory() {
 			fmt.Sprintf("%.2fx", pt.NoPruneSec/pt.SerialSec),
 			fmt.Sprintf("%.1f", pt.ParallelSec*1e6),
 			fmt.Sprintf("%.1f", pt.FactorIntoSec*1e6),
+			fmt.Sprintf("%.1f%%", 100*pt.SyncFraction),
+			fmt.Sprintf("%.2fx", pt.Imbalance),
 		})
 	}
 	fmt.Print(perf.Table(
-		[]string{"Matrix", "KLU us", "serial us", "prune gain", "parallel us", "pooled us"}, rows))
+		[]string{"Matrix", "KLU us", "serial us", "prune gain", "parallel us", "pooled us", "sync", "imbalance"}, rows))
 	rep.GeomeanVsKLU = perf.GeoMean(vsKLU)
 	rep.GeomeanPruneGain = perf.GeoMean(pruneGain)
 	rep.GeomeanPooledGain = perf.GeoMean(pooledGain)

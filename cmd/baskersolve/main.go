@@ -18,12 +18,15 @@ import (
 	"repro/internal/pmkl"
 	"repro/internal/slumt"
 	"repro/internal/sparse"
+	"repro/internal/trace"
 )
 
 var (
 	matrixPath = flag.String("matrix", "", "MatrixMarket file to solve (required)")
 	solver     = flag.String("solver", "basker", "basker | klu | pmkl | slumt")
 	threads    = flag.Int("threads", 1, "worker goroutines for parallel solvers")
+	traceOut   = flag.String("trace", "",
+		"basker only: record the scheduler timeline, print per-sweep profiles, and write Chrome trace-event JSON to this path (loadable in Perfetto)")
 )
 
 func main() {
@@ -57,6 +60,11 @@ func main() {
 	case "basker":
 		opts := core.DefaultOptions()
 		opts.Threads = *threads
+		var rec *trace.Recorder
+		if *traceOut != "" {
+			rec = trace.NewRecorder(0)
+			opts.Trace = rec
+		}
 		num, err := core.FactorDirect(a, opts)
 		if err != nil {
 			fail(err)
@@ -65,6 +73,22 @@ func main() {
 		nnzLU = num.NnzLU()
 		fmt.Printf("basker: %d BTF blocks (%d via parallel ND), BTF%% = %.1f\n",
 			num.Sym.NumBlocks(), num.Sym.NumNDBlocks(), num.Sym.BTFPercent)
+		if rec != nil {
+			for _, sum := range rec.Summaries() {
+				fmt.Println(" ", sum)
+			}
+			tf, err := os.Create(*traceOut)
+			if err != nil {
+				fail(err)
+			}
+			if err := rec.WriteChromeTrace(tf); err != nil {
+				fail(err)
+			}
+			if err := tf.Close(); err != nil {
+				fail(err)
+			}
+			fmt.Printf("Chrome trace written to %s (open in ui.perfetto.dev)\n", *traceOut)
+		}
 	case "klu":
 		num, err := klu.FactorDirect(a, klu.DefaultOptions())
 		if err != nil {

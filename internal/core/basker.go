@@ -15,6 +15,7 @@ import (
 	"repro/internal/order/matching"
 	"repro/internal/order/nd"
 	"repro/internal/sparse"
+	"repro/internal/trace"
 )
 
 // Symbolic is Basker's reusable analysis: the coarse BTF structure, the
@@ -130,8 +131,21 @@ type Numeric struct {
 	// nnzLU caches |L+U|, computed once at the end of each (re)factorization
 	// so Stats and FillDensity never recount it.
 	nnzLU int
-	// SyncWaits aggregates contended point-to-point waits (ablation metric).
-	SyncWaits int64
+	// SyncWaits aggregates contended point-to-point waits (ablation metric);
+	// SyncWaitNs aggregates the wall-clock nanoseconds those blocked waits
+	// (and barrier waits) cost across the last numeric sweep — the
+	// sync-overhead side of the paper's 2.3%-vs-11% comparison, measured
+	// even when tracing is off because the fabrics time only their
+	// contended slow paths.
+	SyncWaits  int64
+	SyncWaitNs int64
+	// pivotFallbacks counts per-block fresh-pivot fallbacks taken by
+	// refresh sweeps (pivot drift defeating a reused sequence); lastDirty
+	// and dirtyTotal track the per-call and cumulative dirty coarse-block
+	// counts of the incremental (RefactorPartial/RefactorAuto) path.
+	pivotFallbacks atomic.Int64
+	lastDirty      int
+	dirtyTotal     int64
 
 	// btfBusy[t] is thread t's summed compute time over its fine-BTF
 	// blocks; ndSim accumulates the simulated makespans of the ND engines.
@@ -265,6 +279,38 @@ func (num *Numeric) SimulatedSeconds() float64 {
 	return total + max
 }
 
+// SyncWaitSeconds reports the wall-clock time the last numeric sweep's
+// workers spent blocked on the synchronization fabric (point-to-point
+// waits plus barrier waits), summed over workers.
+func (num *Numeric) SyncWaitSeconds() float64 {
+	return float64(num.SyncWaitNs) / 1e9
+}
+
+// PivotFallbacks reports how many per-block fresh-pivot fallbacks the
+// refresh sweeps (Refactor/RefactorPartial) have taken over this
+// Numeric's lifetime — reused pivot sequences defeated by value drift.
+func (num *Numeric) PivotFallbacks() int64 { return num.pivotFallbacks.Load() }
+
+// DenseKernelHits reports how many fine-ND kernel executions were routed
+// through the dense panel layer across the last numeric sweep, summed
+// over the ND blocks (the numeric-side counterpart of
+// Symbolic.DenseKernels' static tag count).
+func (num *Numeric) DenseKernelHits() int64 {
+	total := int64(0)
+	for _, ndn := range num.nd {
+		if ndn != nil {
+			total += ndn.denseHits.Load()
+		}
+	}
+	return total
+}
+
+// LastDirtyBlocks reports how many coarse blocks the most recent
+// incremental refresh (RefactorPartial/RefactorAuto) actually reworked;
+// DirtyBlocksTotal is the cumulative count across all incremental calls.
+func (num *Numeric) LastDirtyBlocks() int    { return num.lastDirty }
+func (num *Numeric) DirtyBlocksTotal() int64 { return num.dirtyTotal }
+
 // Analyze computes Basker's symbolic factorization: coarse BTF, block
 // classification, fine orderings and the thread partition.
 func Analyze(a *sparse.CSC, opts Options) (*Symbolic, error) {
@@ -273,6 +319,10 @@ func Analyze(a *sparse.CSC, opts Options) (*Symbolic, error) {
 	}
 	n := a.N
 	sym := &Symbolic{N: n, Opts: opts}
+	rec := opts.Trace
+	sweep := rec.BeginSweep(trace.PhaseAnalyze)
+	defer sweep.End()
+	btfStart := rec.Now()
 
 	// ---- Coarse structure (paper §III-A).
 	if opts.UseBTF {
@@ -289,6 +339,10 @@ func Analyze(a *sparse.CSC, opts Options) (*Symbolic, error) {
 		sym.ColPerm = sparse.IdentityPerm(n)
 		sym.BlockPtr = []int{0, n}
 		sym.BTFPercent = 0
+	}
+	if rec != nil {
+		rec.Record(trace.Event{Start: btfStart, End: rec.Now(),
+			Worker: trace.DriverWorker, Block: -1, Kind: trace.KindAnalyzeBTF, Phase: trace.PhaseAnalyze})
 	}
 	nblocks := sym.NumBlocks()
 	sym.kind = make([]blockKind, nblocks)
@@ -333,7 +387,19 @@ func Analyze(a *sparse.CSC, opts Options) (*Symbolic, error) {
 			sym.kind[blk] = blockSmall
 		}
 	}
-	analyzeBlock := func(blk int) {
+	analyzeBlock := func(blk, t int) {
+		var t0 int64
+		if rec != nil {
+			t0 = rec.Now()
+			kind := trace.KindAnalyzeAMD
+			if sym.kind[blk] == blockND {
+				kind = trace.KindAnalyzeND
+			}
+			defer func() {
+				rec.Record(trace.Event{Start: t0, End: rec.Now(),
+					Worker: int32(t), Block: int32(blk), Kind: kind, Phase: trace.PhaseAnalyze})
+			}()
+		}
 		r0, r1 := sym.BlockPtr[blk], sym.BlockPtr[blk+1]
 		bs := r1 - r0
 		if sym.kind[blk] == blockND {
@@ -414,6 +480,8 @@ func Analyze(a *sparse.CSC, opts Options) (*Symbolic, error) {
 // fine-ND 2D grids on their ndSym). Map construction is independent per
 // block and runs across the thread pool.
 func (sym *Symbolic) buildFactorPlan(a *sparse.CSC) {
+	rec := sym.Opts.Trace
+	planStart := rec.Now()
 	nblocks := sym.NumBlocks()
 	perm, permMap := a.PermuteWithMap(sym.RowPerm, sym.ColPerm)
 	pl := &factorPlan{
@@ -424,7 +492,7 @@ func (sym *Symbolic) buildFactorPlan(a *sparse.CSC) {
 		smallPat: make([]*sparse.CSC, nblocks),
 		smallSrc: make([][]int, nblocks),
 	}
-	parallelBlocks(nblocks, sym.Opts.threads(), func(blk int) {
+	parallelBlocks(nblocks, sym.Opts.threads(), func(blk, _ int) {
 		r0, r1 := sym.BlockPtr[blk], sym.BlockPtr[blk+1]
 		switch sym.kind[blk] {
 		case blockSmall:
@@ -447,6 +515,10 @@ func (sym *Symbolic) buildFactorPlan(a *sparse.CSC) {
 	// than retain ~nnz float64s per cached analysis.
 	perm.Values = nil
 	sym.plan = pl
+	if rec != nil {
+		rec.Record(trace.Event{Start: planStart, End: rec.Now(),
+			Worker: trace.DriverWorker, Block: -1, Kind: trace.KindAnalyzePlan, Phase: trace.PhaseAnalyze})
+	}
 }
 
 // btfWSPool and matchWSPool recycle the serial front end's workspaces
@@ -460,15 +532,16 @@ var (
 	matchWSPool = sync.Pool{New: func() any { return matching.NewWorkspace() }}
 )
 
-// parallelBlocks runs fn(blk) for every block, fanning independent blocks
-// out over up to nt worker goroutines (inline when nt <= 1).
-func parallelBlocks(nblocks, nt int, fn func(blk int)) {
+// parallelBlocks runs fn(blk, t) for every block, fanning independent
+// blocks out over up to nt worker goroutines (inline when nt <= 1); t is
+// the worker index executing the block, for trace attribution.
+func parallelBlocks(nblocks, nt int, fn func(blk, t int)) {
 	if nt > nblocks {
 		nt = nblocks
 	}
 	if nt <= 1 {
 		for blk := 0; blk < nblocks; blk++ {
-			fn(blk)
+			fn(blk, 0)
 		}
 		return
 	}
@@ -476,16 +549,16 @@ func parallelBlocks(nblocks, nt int, fn func(blk int)) {
 	var wg sync.WaitGroup
 	for t := 0; t < nt; t++ {
 		wg.Add(1)
-		go func() {
+		go func(t int) {
 			defer wg.Done()
 			for {
 				blk := int(next.Add(1)) - 1
 				if blk >= nblocks {
 					return
 				}
-				fn(blk)
+				fn(blk, t)
 			}
-		}()
+		}(t)
 	}
 	wg.Wait()
 }
@@ -588,6 +661,9 @@ func factorImpl(a *sparse.CSC, sym *Symbolic, num *Numeric, hooks *schedHooks) (
 	}
 	nblocks := sym.NumBlocks()
 	nt := sym.Opts.threads()
+	rec := sym.Opts.Trace
+	sweep := rec.BeginSweep(trace.PhaseFactor)
+	defer sweep.End()
 	fresh := num == nil
 	if fresh {
 		num = &Numeric{
@@ -609,7 +685,7 @@ func factorImpl(a *sparse.CSC, sym *Symbolic, num *Numeric, hooks *schedHooks) (
 		for t := range num.btfBusy {
 			num.btfBusy[t] = 0
 		}
-		num.SyncWaits, num.ndSim = 0, 0
+		num.SyncWaits, num.SyncWaitNs, num.ndSim = 0, 0, 0
 	}
 	num.factorFailed.Store(false)
 
@@ -622,6 +698,7 @@ func factorImpl(a *sparse.CSC, sym *Symbolic, num *Numeric, hooks *schedHooks) (
 	} else if !num.planned || sym.plan == nil || !sym.plan.matches(a) {
 		return nil, fmt.Errorf("core: FactorInto requires a numeric built on the analyzed sparsity pattern and a matrix matching it")
 	}
+	gatherStart := rec.Now()
 	if num.planned {
 		if num.Perm == nil {
 			num.Perm = sym.plan.perm.SharePattern()
@@ -629,6 +706,10 @@ func factorImpl(a *sparse.CSC, sym *Symbolic, num *Numeric, hooks *schedHooks) (
 		sparse.PermuteInto(num.Perm, a, sym.plan.permMap)
 	} else {
 		num.Perm = a.Permute(sym.RowPerm, sym.ColPerm)
+	}
+	if rec != nil {
+		rec.Record(trace.Event{Start: gatherStart, End: rec.Now(),
+			Worker: trace.DriverWorker, Block: -1, Kind: trace.KindGather, Phase: trace.PhaseFactor})
 	}
 
 	// ---- Unified numeric sweep: every fine-ND block gets its own
@@ -671,6 +752,7 @@ func factorImpl(a *sparse.CSC, sym *Symbolic, num *Numeric, hooks *schedHooks) (
 	for blk := 0; blk < nblocks; blk++ {
 		if sym.kind[blk] == blockND {
 			num.SyncWaits += num.nd[blk].SyncWaits
+			num.SyncWaitNs += num.nd[blk].SyncWaitNs
 			num.ndSim += num.nd[blk].simSeconds()
 		}
 	}
@@ -715,7 +797,13 @@ func (num *Numeric) factorBlock(blk, t int) {
 		}
 		t0 := time.Now()
 		err := gp.FactorInto(num.small[blk], sub, sym.estNnz[blk], sym.Opts.gpOptions(), ws)
-		num.btfBusy[t] += time.Since(t0).Seconds()
+		d := time.Since(t0)
+		num.btfBusy[t] += d.Seconds()
+		if rec := sym.Opts.Trace; rec != nil {
+			end := rec.Now()
+			rec.Record(trace.Event{Start: end - d.Nanoseconds(), End: end,
+				Worker: int32(t), Block: int32(blk), Kind: trace.KindSmallBlock, Phase: trace.PhaseFactor})
+		}
 		if err != nil {
 			num.factorErrs[blk] = fmt.Errorf("core: small block %d: %w", blk, err)
 			num.factorFailed.Store(true)
@@ -728,7 +816,7 @@ func (num *Numeric) factorBlock(blk, t int) {
 		if num.planned {
 			grid = sym.ndsym[blk].grid
 		}
-		ndn, err := factorND(num.Perm, r0, sym.ndsym[blk], sym.Opts, grid, num.nd[blk])
+		ndn, err := factorND(num.Perm, blk, r0, sym.ndsym[blk], sym.Opts, grid, num.nd[blk])
 		if err != nil {
 			num.factorErrs[blk] = fmt.Errorf("core: nd block %d: %w", blk, err)
 			num.factorFailed.Store(true)
@@ -814,8 +902,16 @@ func (num *Numeric) Refactor(a *sparse.CSC) error {
 	if err := pipe.checkPattern(a); err != nil {
 		return err
 	}
+	rec := sym.Opts.Trace
+	sweep := rec.BeginSweep(trace.PhaseRefactor)
+	defer sweep.End()
 	// Value gather: the caller's CSC lands directly in permuted storage.
+	gatherStart := rec.Now()
 	sparse.PermuteInto(num.Perm, a, pipe.permMap)
+	if rec != nil {
+		rec.Record(trace.Event{Start: gatherStart, End: rec.Now(),
+			Worker: trace.DriverWorker, Block: -1, Kind: trace.KindGather, Phase: trace.PhaseRefactor})
+	}
 	for i := range pipe.errs {
 		pipe.errs[i] = nil
 	}
@@ -823,6 +919,7 @@ func (num *Numeric) Refactor(a *sparse.CSC) error {
 		num.btfBusy[t] = 0
 	}
 	num.SyncWaits = 0
+	num.SyncWaitNs = 0
 	num.ndSim = 0
 	pipe.sig.Reset()
 	nt := sym.Opts.threads()
@@ -842,6 +939,7 @@ func (num *Numeric) Refactor(a *sparse.CSC) error {
 	for blk := 0; blk < sym.NumBlocks(); blk++ {
 		if sym.kind[blk] == blockND {
 			num.SyncWaits += num.nd[blk].SyncWaits
+			num.SyncWaitNs += num.nd[blk].SyncWaitNs
 			num.ndSim += num.nd[blk].simSeconds()
 		}
 	}
@@ -990,6 +1088,7 @@ func (num *Numeric) refactorBlock(blk, t int) {
 		err := num.small[blk].Refactor(sub, num.workerWS(t))
 		if err != nil && errors.Is(err, gp.ErrSingular) {
 			// Pivot drift: re-pivot this block alone.
+			num.pivotFallbacks.Add(1)
 			var f *gp.Factors
 			f, err = gp.Factor(sub, sym.estNnz[blk], sym.Opts.gpOptions(), num.workerWS(t))
 			if err == nil {
@@ -997,7 +1096,13 @@ func (num *Numeric) refactorBlock(blk, t int) {
 				pipe.changed.Store(true)
 			}
 		}
-		num.btfBusy[t] += time.Since(t0).Seconds()
+		d := time.Since(t0)
+		num.btfBusy[t] += d.Seconds()
+		if rec := sym.Opts.Trace; rec != nil {
+			end := rec.Now()
+			rec.Record(trace.Event{Start: end - d.Nanoseconds(), End: end,
+				Worker: int32(t), Block: int32(blk), Kind: trace.KindSmallBlock, Phase: trace.PhaseRefactor})
+		}
 		if err != nil {
 			pipe.errs[blk] = fmt.Errorf("core: refactor small block %d: %w", blk, err)
 		}
@@ -1011,12 +1116,13 @@ func (num *Numeric) refactorBlock(blk, t int) {
 			// Pivot drift inside the 2D hierarchy: rebuild this coarse
 			// block with a fresh parallel factorization (new pivots),
 			// published only once completely built.
+			num.pivotFallbacks.Add(1)
 			var grid *ndGrid
 			if num.planned {
 				grid = sym.ndsym[blk].grid
 			}
 			var fresh *ndNum
-			fresh, err = factorND(num.Perm, r0, sym.ndsym[blk], sym.Opts, grid, nil)
+			fresh, err = factorND(num.Perm, blk, r0, sym.ndsym[blk], sym.Opts, grid, nil)
 			if err == nil {
 				fresh.ensureRefactorState(num.Perm, r0)
 				num.nd[blk] = fresh

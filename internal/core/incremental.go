@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/gp"
 	"repro/internal/sparse"
+	"repro/internal/trace"
 )
 
 // incState is the change-tracking side of the incremental refactorization
@@ -458,6 +459,11 @@ func (num *Numeric) refactorPartialSweep() error {
 	pipe := num.pipe
 	inc := num.inc
 	nblocks := sym.NumBlocks()
+	rec := sym.Opts.Trace
+	sweep := rec.BeginSweep(trace.PhasePartial)
+	defer sweep.End()
+	num.lastDirty = inc.dirty
+	num.dirtyTotal += int64(inc.dirty)
 	for i := range pipe.errs {
 		pipe.errs[i] = nil
 	}
@@ -465,6 +471,7 @@ func (num *Numeric) refactorPartialSweep() error {
 		num.btfBusy[t] = 0
 	}
 	num.SyncWaits = 0
+	num.SyncWaitNs = 0
 	num.ndSim = 0
 	// The coarse completion fabric is not touched here: nothing in the
 	// partial path waits on it (the parallel join is a WaitGroup, since
@@ -497,6 +504,7 @@ func (num *Numeric) refactorPartialSweep() error {
 	for blk := 0; blk < nblocks; blk++ {
 		if inc.blkStamp[blk] == inc.epoch && sym.kind[blk] == blockND {
 			num.SyncWaits += num.nd[blk].SyncWaits
+			num.SyncWaitNs += num.nd[blk].SyncWaitNs
 			num.ndSim += num.nd[blk].simSeconds()
 		}
 	}
@@ -584,6 +592,7 @@ func (num *Numeric) refactorBlockPartial(blk, t int) {
 			// Pivot drift: re-pivot this block alone (sub's clean prefix
 			// still holds the resident values, so the fresh factorization
 			// sees the complete current block).
+			num.pivotFallbacks.Add(1)
 			var f *gp.Factors
 			f, err = gp.Factor(sub, sym.estNnz[blk], sym.Opts.gpOptions(), num.workerWS(t))
 			if err == nil {
@@ -591,7 +600,13 @@ func (num *Numeric) refactorBlockPartial(blk, t int) {
 				pipe.changed.Store(true)
 			}
 		}
-		num.btfBusy[t] += time.Since(t0).Seconds()
+		d := time.Since(t0)
+		num.btfBusy[t] += d.Seconds()
+		if rec := sym.Opts.Trace; rec != nil {
+			end := rec.Now()
+			rec.Record(trace.Event{Start: end - d.Nanoseconds(), End: end,
+				Worker: int32(t), Block: int32(blk), Kind: trace.KindSmallBlock, Phase: trace.PhasePartial})
+		}
 		if err != nil {
 			pipe.errs[blk] = fmt.Errorf("core: refactor small block %d: %w", blk, err)
 		}
@@ -605,12 +620,13 @@ func (num *Numeric) refactorBlockPartial(blk, t int) {
 			// block with a fresh parallel factorization (new pivots); the
 			// rebuild regathers its whole input hierarchy from permuted
 			// storage, published only once completely built.
+			num.pivotFallbacks.Add(1)
 			var grid *ndGrid
 			if num.planned {
 				grid = sym.ndsym[blk].grid
 			}
 			var fresh *ndNum
-			fresh, err = factorND(num.Perm, r0, sym.ndsym[blk], sym.Opts, grid, nil)
+			fresh, err = factorND(num.Perm, blk, r0, sym.ndsym[blk], sym.Opts, grid, nil)
 			if err == nil {
 				fresh.ensureRefactorState(num.Perm, r0)
 				num.nd[blk] = fresh

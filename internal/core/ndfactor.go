@@ -4,12 +4,14 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dense"
 	"repro/internal/gp"
 	"repro/internal/order/nd"
 	"repro/internal/sparse"
+	"repro/internal/trace"
 )
 
 // ndSym is the symbolic structure of one fine-ND block (the paper's D2):
@@ -195,8 +197,29 @@ type ndNum struct {
 	firstErr error
 
 	// SyncWaits counts point-to-point waits that actually blocked, for the
-	// synchronization ablation experiment.
-	SyncWaits int64
+	// synchronization ablation experiment. SyncWaitNs is the wall-clock
+	// nanoseconds those blocked waits (plus barrier waits in SyncBarrier
+	// mode) cost during the last sweep — measured on the contended slow
+	// path even when tracing is off.
+	SyncWaits  int64
+	SyncWaitNs int64
+	// lastWaitNs snapshots the combined flag+barrier wait-nanos counters,
+	// mirroring lastContended, so each sweep reports its own delta.
+	lastWaitNs int64
+
+	// blk is the coarse BTF block id this hierarchy factors (trace labels
+	// only); rec receives scheduler events when tracing is enabled; phase
+	// tags the events of the current sweep (fresh factor vs refresh).
+	blk   int
+	rec   *trace.Recorder
+	phase trace.Phase
+	// fwait[t] accumulates worker t's blocked wait nanos within the current
+	// sweep, so each recorded event can carry the wait since the previous
+	// one. Only maintained when rec is non-nil.
+	fwait []int64
+	// denseHits counts kernel executions routed through the dense panel
+	// layer — the numeric-side counterpart of Symbolic.DenseKernels.
+	denseHits atomic.Int64
 
 	// phaseDur[t][phase] is thread t's compute time in each step of the
 	// static schedule. All threads traverse the same phase sequence, so the
@@ -236,14 +259,15 @@ func (s *ndSym) blockRange(b int) (int, int) {
 // structure of the paper's dependency tree). Same-pattern numeric
 // refreshes with fixed pivots go through refactorInPlace instead.
 //
-// The block occupies [r0, r0+n) of the globally permuted matrix perm. grid
-// supplies the 2D input patterns and gather maps (nil builds them from perm
-// — the slow path for matrices whose pattern was never analyzed). reuse, if
-// non-nil, recycles a prior factorization's entire storage — input grids,
-// diagonal factors, off-diagonal blocks, workspaces and the flag fabric —
-// so repeated fresh factorizations stop allocating; on error its contents
-// are unspecified.
-func factorND(perm *sparse.CSC, r0 int, sym *ndSym, opts Options, grid *ndGrid, reuse *ndNum) (*ndNum, error) {
+// The block is coarse BTF block blk (trace labeling only) and occupies
+// [r0, r0+n) of the globally permuted matrix perm. grid supplies the 2D
+// input patterns and gather maps (nil builds them from perm — the slow path
+// for matrices whose pattern was never analyzed). reuse, if non-nil,
+// recycles a prior factorization's entire storage — input grids, diagonal
+// factors, off-diagonal blocks, workspaces and the flag fabric — so
+// repeated fresh factorizations stop allocating; on error its contents are
+// unspecified.
+func factorND(perm *sparse.CSC, blk, r0 int, sym *ndSym, opts Options, grid *ndGrid, reuse *ndNum) (*ndNum, error) {
 	if grid == nil {
 		grid = buildNDGrid(perm, r0, sym)
 	}
@@ -296,6 +320,10 @@ func factorND(perm *sparse.CSC, r0 int, sym *ndSym, opts Options, grid *ndGrid, 
 			num.phaseDur[t] = num.phaseDur[t][:0]
 		}
 	}
+	num.blk = blk
+	num.rec = opts.Trace
+	num.phase = trace.PhaseFactor
+	num.resetWaitAccounting()
 	// Gather the input hierarchy's values from the permuted matrix.
 	for i := range num.a {
 		for j, src := range num.aSrc[i] {
@@ -317,16 +345,44 @@ func factorND(perm *sparse.CSC, r0 int, sym *ndSym, opts Options, grid *ndGrid, 
 		}
 		wg.Wait()
 	}
-	// Snapshot the contended-wait counter before the error return, so a
+	// Snapshot the contended-wait counters before the error return, so a
 	// failed sweep's waits never leak into the next sweep's SyncWaits delta.
 	total := num.flags.Contended()
 	delta := total - num.lastContended
 	num.lastContended = total
+	waitDelta := num.snapshotWaitNs()
 	if num.firstErr != nil {
 		return nil, num.firstErr
 	}
 	num.SyncWaits = delta
+	num.SyncWaitNs = waitDelta
 	return num, nil
+}
+
+// resetWaitAccounting prepares the per-worker wait accumulators for a new
+// traced sweep (a no-op burden-wise when tracing is off: fwait stays nil).
+func (num *ndNum) resetWaitAccounting() {
+	if num.rec == nil {
+		return
+	}
+	if num.fwait == nil {
+		num.fwait = make([]int64, num.sym.p)
+	}
+	for t := range num.fwait {
+		num.fwait[t] = 0
+	}
+}
+
+// snapshotWaitNs returns the blocked-wait nanoseconds (fresh-sweep flag
+// fabric plus barrier) accumulated since the previous snapshot.
+func (num *ndNum) snapshotWaitNs() int64 {
+	cur := num.flags.WaitNanos()
+	if num.barr != nil {
+		cur += num.barr.waitNs()
+	}
+	delta := cur - num.lastWaitNs
+	num.lastWaitNs = cur
+	return delta
 }
 
 // workerScratch returns worker t's pooled workspace, mark array and dense
@@ -364,6 +420,7 @@ func (num *ndNum) useDense(i, j int) bool {
 // sparse Gilbert–Peierls reach solve otherwise.
 func (num *ndNum) upperKernel(k, j int, ahat *sparse.CSC, ws *gp.Workspace, t int) *sparse.CSC {
 	if num.useDense(k, j) && num.useDense(k, k) {
+		num.denseHits.Add(1)
 		return num.diag[k].DenseUpperSolveInto(num.upper[k][j], ahat, num.denseWS(t))
 	}
 	return num.solveUpper(k, ahat, ws, num.upper[k][j])
@@ -374,6 +431,7 @@ func (num *ndNum) upperKernel(k, j int, ahat *sparse.CSC, ws *gp.Workspace, t in
 // column sweep otherwise.
 func (num *ndNum) lowerKernel(i, j int, ahat *sparse.CSC, mark []int, tagp *int, acc []float64, t int) *sparse.CSC {
 	if num.useDense(i, j) && num.useDense(j, j) {
+		num.denseHits.Add(1)
 		return num.diag[j].DenseLowerSolveInto(num.lower[i][j], ahat, num.denseWS(t))
 	}
 	return num.diag[j].LowerBlockSolveInto(num.lower[i][j], ahat, mark, tagp, acc)
@@ -389,6 +447,7 @@ func (num *ndNum) reduceKernel(i, j int, lows, ups []*sparse.CSC, mark []int, ta
 		return num.a[i][j]
 	}
 	if num.useDense(i, j) {
+		num.denseHits.Add(1)
 		num.red[i][j] = reduceBlockDense(num.a[i][j], lows, ups, num.red[i][j], num.denseWS(t))
 	} else {
 		num.red[i][j] = reduceBlock(num.a[i][j], lows, ups, mark, tagp, acc, num.red[i][j])
@@ -444,15 +503,51 @@ func (num *ndNum) fail(err error) {
 
 // sync points: in barrier mode every thread meets at every step; in
 // point-to-point mode these are no-ops and only flag waits synchronize.
-func (num *ndNum) phaseBarrier() bool {
+// Worker index t charges the blocked time to the right trace lane.
+func (num *ndNum) phaseBarrier(t int) bool {
 	if num.barr == nil {
 		return !num.flags.Aborted()
 	}
-	return num.barr.await()
+	if num.rec == nil {
+		return num.barr.await()
+	}
+	t0 := time.Now()
+	ok := num.barr.await()
+	num.fwait[t] += time.Since(t0).Nanoseconds()
+	return ok
 }
 
-func (num *ndNum) wait(i, j int) bool {
-	return num.flags.wait(i, j)
+// waitOn waits for kernel (i, j) on the given flag fabric (the fresh
+// sweep's or the refactor sweep's), charging the blocked time to worker
+// t's trace lane when tracing is on.
+func (num *ndNum) waitOn(flags *epochBlockFlags, i, j, t int) bool {
+	if num.rec == nil {
+		return flags.wait(i, j)
+	}
+	ns, ok := flags.waitTimed(i, j)
+	num.fwait[t] += ns
+	return ok
+}
+
+// flushWait emits a zero-length event carrying worker t's trailing blocked
+// wait (waits not followed by any compute would otherwise be lost from the
+// sweep summary). Called via defer on traced workers only.
+func (num *ndNum) flushWait(t int, waitMark *int64) {
+	w := num.fwait[t] - *waitMark
+	if w <= 0 {
+		return
+	}
+	end := num.rec.Now()
+	num.rec.Record(trace.Event{
+		Start:  end,
+		End:    end,
+		Wait:   w,
+		Worker: trace.NDWorker(num.blk, t),
+		Block:  int32(num.blk),
+		Kind:   trace.KindNDKernel,
+		Phase:  num.phase,
+	})
+	*waitMark = num.fwait[t]
 }
 
 // worker runs the static schedule of thread t. Each schedule step is
@@ -465,11 +560,30 @@ func (num *ndNum) worker(t int) {
 	ws, mark, acc := num.workerScratch(t)
 	tag := num.ftag[t]
 	defer func() { num.ftag[t] = tag }()
+	rec := num.rec
+	var waitMark int64
+	if rec != nil {
+		defer num.flushWait(t, &waitMark)
+	}
 	var busy float64
 	compute := func(f func() error) bool {
 		t0 := time.Now()
 		err := f()
-		busy += time.Since(t0).Seconds()
+		d := time.Since(t0)
+		busy += d.Seconds()
+		if rec != nil {
+			end := rec.Now()
+			rec.Record(trace.Event{
+				Start:  end - d.Nanoseconds(),
+				End:    end,
+				Wait:   num.fwait[t] - waitMark,
+				Worker: trace.NDWorker(num.blk, t),
+				Block:  int32(num.blk),
+				Kind:   trace.KindNDKernel,
+				Phase:  num.phase,
+			})
+			waitMark = num.fwait[t]
+		}
 		if err != nil {
 			num.fail(err)
 			return false
@@ -494,7 +608,7 @@ func (num *ndNum) worker(t int) {
 		return nil
 	})
 	endPhase()
-	if !ok || !num.phaseBarrier() {
+	if !ok || !num.phaseBarrier(t) {
 		return
 	}
 
@@ -508,7 +622,7 @@ func (num *ndNum) worker(t int) {
 			return nil
 		})
 		endPhase()
-		if !ok || !num.phaseBarrier() {
+		if !ok || !num.phaseBarrier(t) {
 			return
 		}
 		// Step B: internal path nodes I owned by this thread.
@@ -531,7 +645,7 @@ func (num *ndNum) worker(t int) {
 				}
 			}
 			endPhase()
-			if !num.phaseBarrier() {
+			if !num.phaseBarrier(t) {
 				return
 			}
 		}
@@ -555,12 +669,12 @@ func (num *ndNum) worker(t int) {
 			}
 		}
 		endPhase()
-		if !num.phaseBarrier() {
+		if !num.phaseBarrier(t) {
 			return
 		}
 		// Step D: lower blocks L_ij for ancestors i of j, distributed
 		// round-robin over the threads of subtree(j).
-		if !num.wait(j, j) {
+		if !num.waitOn(num.flags, j, j, t) {
 			return
 		}
 		nsub := s.leafHi[j] - s.leafLo[j] + 1
@@ -584,7 +698,7 @@ func (num *ndNum) worker(t int) {
 			}
 		}
 		endPhase()
-		if !num.phaseBarrier() {
+		if !num.phaseBarrier(t) {
 			return
 		}
 	}
@@ -598,6 +712,7 @@ func (num *ndNum) factorDiag(b int, m *sparse.CSC, ws *gp.Workspace, t int) erro
 		num.diag[b] = &gp.Factors{}
 	}
 	if num.useDense(b, b) {
+		num.denseHits.Add(1)
 		if err := gp.FactorDenseInto(num.diag[b], m, num.opts.gpOptions(), num.denseWS(t)); err != nil {
 			return fmt.Errorf("core: nd diag block %d: %w", b, err)
 		}
@@ -622,7 +737,7 @@ func (num *ndNum) gatherReductionOn(flags *epochBlockFlags, k, j, t int) (lows, 
 	s := num.sym
 	lows, ups = num.flows[t][:0], num.fups[t][:0]
 	for kp := s.subLo[k]; kp < k; kp++ {
-		if !flags.wait(kp, j) || !flags.wait(k, kp) {
+		if !num.waitOn(flags, kp, j, t) || !num.waitOn(flags, k, kp, t) {
 			return lows, ups, false
 		}
 		if num.upper[kp][j] == nil || num.lower[k][kp] == nil {
@@ -641,7 +756,7 @@ func (num *ndNum) gatherRowReductionOn(flags *epochBlockFlags, i, j, t int) (low
 	s := num.sym
 	lows, ups = num.flows[t][:0], num.fups[t][:0]
 	for kp := s.subLo[j]; kp < j; kp++ {
-		if !flags.wait(kp, j) || !flags.wait(i, kp) {
+		if !num.waitOn(flags, kp, j, t) || !num.waitOn(flags, i, kp, t) {
 			return lows, ups, false
 		}
 		if num.upper[kp][j] == nil || num.lower[i][kp] == nil {

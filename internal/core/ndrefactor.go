@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/sparse"
+	"repro/internal/trace"
 )
 
 // ndRefactor is the reusable state of a fine-ND block's in-place
@@ -22,8 +23,10 @@ type ndRefactor struct {
 	flags *epochBlockFlags
 
 	// lastContended snapshots the flag fabric's cumulative contended-wait
-	// counter so each sweep can report its own SyncWaits delta.
+	// counter so each sweep can report its own SyncWaits delta; lastWaitNs
+	// does the same for the blocked-wait nanoseconds.
 	lastContended int64
+	lastWaitNs    int64
 }
 
 // ensureRefactorState builds the in-place refactor state for this ND block,
@@ -85,6 +88,13 @@ func (num *ndNum) refactorSweep(perm *sparse.CSC, r0 int, st *ndIncState) error 
 	for t := range num.phaseDur {
 		num.phaseDur[t] = num.phaseDur[t][:0]
 	}
+	num.rec = num.opts.Trace
+	if st == nil {
+		num.phase = trace.PhaseRefactor
+	} else {
+		num.phase = trace.PhasePartial
+	}
+	num.resetWaitAccounting()
 	if s.p == 1 {
 		num.refactorWorker(0, st)
 	} else {
@@ -101,6 +111,9 @@ func (num *ndNum) refactorSweep(perm *sparse.CSC, r0 int, st *ndIncState) error 
 	total := re.flags.Contended()
 	num.SyncWaits = total - re.lastContended
 	re.lastContended = total
+	waitTotal := re.flags.WaitNanos()
+	num.SyncWaitNs = waitTotal - re.lastWaitNs
+	re.lastWaitNs = waitTotal
 	return num.firstErr
 }
 
@@ -146,6 +159,29 @@ func (num *ndNum) refactorWorker(t int, st *ndIncState) {
 		}
 		return st.first[j]
 	}
+	rec := num.rec
+	var waitMark int64
+	if rec != nil {
+		defer num.flushWait(t, &waitMark)
+	}
+	// record emits one trace event for a just-timed kernel span, carrying
+	// the blocked wait accumulated since the previous event.
+	record := func(d time.Duration) {
+		if rec == nil {
+			return
+		}
+		end := rec.Now()
+		rec.Record(trace.Event{
+			Start:  end - d.Nanoseconds(),
+			End:    end,
+			Wait:   num.fwait[t] - waitMark,
+			Worker: trace.NDWorker(num.blk, t),
+			Block:  int32(num.blk),
+			Kind:   trace.KindNDKernel,
+			Phase:  num.phase,
+		})
+		waitMark = num.fwait[t]
+	}
 	var busy float64
 
 	// ---- treelevel -1: refresh the leaf diagonal and its lower blocks.
@@ -175,7 +211,9 @@ func (num *ndNum) refactorWorker(t int, st *ndIncState) {
 			}
 		}
 	}
-	busy += time.Since(t0).Seconds()
+	d := time.Since(t0)
+	busy += d.Seconds()
+	record(d)
 	num.phaseDur[t] = append(num.phaseDur[t], busy)
 	busy = 0
 	if err != nil {
@@ -198,7 +236,9 @@ func (num *ndNum) refactorWorker(t int, st *ndIncState) {
 			t0 = time.Now()
 			num.diag[leaf].RefactorUpperBlockFrom(num.upper[leaf][j], num.a[leaf][j], ws, k0)
 			re.flags.set(leaf, j)
-			busy += time.Since(t0).Seconds()
+			d = time.Since(t0)
+			busy += d.Seconds()
+			record(d)
 		}
 		num.phaseDur[t] = append(num.phaseDur[t], busy)
 		busy = 0
@@ -222,7 +262,9 @@ func (num *ndNum) refactorWorker(t int, st *ndIncState) {
 				}
 				num.diag[k].RefactorUpperBlock(num.upper[k][j], b, ws)
 				re.flags.set(k, j)
-				busy += time.Since(t0).Seconds()
+				d = time.Since(t0)
+				busy += d.Seconds()
+				record(d)
 			}
 			num.phaseDur[t] = append(num.phaseDur[t], busy)
 			busy = 0
@@ -247,7 +289,9 @@ func (num *ndNum) refactorWorker(t int, st *ndIncState) {
 			if err == nil {
 				re.flags.set(j, j)
 			}
-			busy += time.Since(t0).Seconds()
+			d = time.Since(t0)
+			busy += d.Seconds()
+			record(d)
 			if err != nil {
 				num.phaseDur[t] = append(num.phaseDur[t], busy)
 				num.failRefactor(fmt.Errorf("core: nd refactor diag block %d: %w", j, err))
@@ -261,7 +305,7 @@ func (num *ndNum) refactorWorker(t int, st *ndIncState) {
 		}
 		// Step D: lower blocks L_ij for ancestors i of j, round-robin over
 		// the threads of subtree(j).
-		if !re.flags.wait(j, j) {
+		if !num.waitOn(re.flags, j, j, t) {
 			return
 		}
 		nsub := s.leafHi[j] - s.leafLo[j] + 1
@@ -285,7 +329,9 @@ func (num *ndNum) refactorWorker(t int, st *ndIncState) {
 			}
 			num.diag[j].RefactorLowerBlock(num.lower[i][j], b, acc)
 			re.flags.set(i, j)
-			busy += time.Since(t0).Seconds()
+			d = time.Since(t0)
+			busy += d.Seconds()
+			record(d)
 		}
 		num.phaseDur[t] = append(num.phaseDur[t], busy)
 		busy = 0

@@ -22,7 +22,10 @@
 // structure, as the paper notes.
 package core
 
-import "repro/internal/gp"
+import (
+	"repro/internal/gp"
+	"repro/internal/trace"
+)
 
 // SyncMode selects the synchronization strategy of the parallel numeric
 // phase of the fine-ND engine.
@@ -75,6 +78,10 @@ type Options struct {
 	// entirely (ablation; every fine-ND kernel stays on the sparse
 	// Gilbert–Peierls path regardless of the density estimates).
 	NoDenseKernels bool
+	// Trace, when non-nil, receives per-kernel scheduler events from every
+	// sweep (analyze, factor, refactor, partial refactor, parallel solve).
+	// nil keeps every hot path on its untraced, allocation-free fast path.
+	Trace *trace.Recorder
 }
 
 // DefaultDenseKernelThreshold is the estimated-density line above which

@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one entry of the Chrome trace-event JSON format
+// (the "X" complete-event and "M" metadata flavors), loadable in
+// Perfetto / chrome://tracing.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int64          `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+	DisplayUnit string        `json:"displayTimeUnit"`
+}
+
+// chromeTid maps a worker lane to a non-negative Chrome thread id:
+// the driver lane (-1) becomes tid 0 and every real lane shifts up by
+// one, so Perfetto's per-thread tracks line up with the lane scheme.
+func chromeTid(worker int32) int64 { return int64(worker) + 1 }
+
+// WriteChromeTrace writes every buffered event as Chrome trace-event
+// JSON. Timestamps are microseconds since the recorder's base time;
+// each event carries its coarse block id and blocked-wait microseconds
+// as args. Returns nil (writing nothing but an empty trace) on a nil
+// recorder.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	events := r.Events()
+	sort.SliceStable(events, func(i, j int) bool { return events[i].Start < events[j].Start })
+	out := chromeTrace{DisplayUnit: "ms", TraceEvents: make([]chromeEvent, 0, len(events)+16)}
+	out.TraceEvents = append(out.TraceEvents, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: 1,
+		Args: map[string]any{"name": "basker"},
+	})
+	seen := map[int32]bool{}
+	for _, ev := range events {
+		if !seen[ev.Worker] {
+			seen[ev.Worker] = true
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: 1, Tid: chromeTid(ev.Worker),
+				Args: map[string]any{"name": LaneName(ev.Worker)},
+			})
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: ev.Kind.String(),
+			Cat:  ev.Phase.String(),
+			Ph:   "X",
+			Ts:   float64(ev.Start) / 1e3,
+			Dur:  float64(ev.End-ev.Start) / 1e3,
+			Pid:  1,
+			Tid:  chromeTid(ev.Worker),
+			Args: map[string]any{"block": ev.Block, "wait_us": float64(ev.Wait) / 1e3},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

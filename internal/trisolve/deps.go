@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/sparse"
+	"repro/internal/trace"
 )
 
 // buildDeps derives, once per Solver, the coarse-block dependency
@@ -142,6 +143,7 @@ func (s *Solver) solveBlockParallel(rhs []float64, ws *Workspace) {
 	}
 	nb := sym.NumBlocks()
 	sig := ws.signals(nb)
+	rec := sym.Opts.Trace
 	var wg sync.WaitGroup
 	for w := 0; w < s.workers; w++ {
 		wg.Add(1)
@@ -154,19 +156,36 @@ func (s *Solver) solveBlockParallel(rhs []float64, ws *Workspace) {
 			}
 			// Descending order per worker: every dependency points at a
 			// strictly later block, so the schedule is acyclic and
-			// deadlock-free.
+			// deadlock-free. When traced, each block's event spans the
+			// coupling pull plus the diagonal solve, carrying the blocked
+			// nanoseconds its dependency waits cost.
+			var waitNs int64
 			for blk := nb - 1 - w; blk >= 0; blk -= s.workers {
 				for _, j := range s.deps[blk] {
-					if !sig.Wait(j) {
-						return
+					if rec == nil {
+						if !sig.Wait(j) {
+							return
+						}
+					} else {
+						d, ok := sig.WaitTimed(j)
+						waitNs += d
+						if !ok {
+							return
+						}
 					}
 				}
+				t0 := rec.Now()
 				for _, f := range s.feeds[blk] {
 					if xc := y[f.col]; xc != 0 {
 						y[f.row] -= num.Perm.Values[f.p] * xc
 					}
 				}
 				num.SolveBlock(blk, y, wws.scratch)
+				if rec != nil {
+					rec.Record(trace.Event{Start: t0, End: rec.Now(), Wait: waitNs,
+						Worker: trace.SolveWorker(w), Block: int32(blk), Kind: trace.KindSolveBlock, Phase: trace.PhaseSolve})
+					waitNs = 0
+				}
 				sig.Set(blk)
 			}
 		}(w)
