@@ -30,6 +30,7 @@ import (
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/gp"
 	"repro/internal/order/matching"
 	"repro/internal/sparse"
@@ -99,6 +100,16 @@ type Options struct {
 	// Factorization.WriteTrace. A nil Trace keeps every hot path on its
 	// untraced, allocation-free fast path.
 	Trace *Tracer
+	// ValidateInputs screens every matrix entering Factor and the Refactor
+	// family for structural CSC invariants and non-finite (NaN/Inf) values
+	// before any numeric work, reporting ErrBadInput/ErrNotFinite instead of
+	// propagating garbage into the factors. The screen is O(nnz); cheap O(1)
+	// dimension checks are always on regardless of this flag.
+	ValidateInputs bool
+
+	// inject arms the numeric engine's deterministic fault-injection points
+	// (chaos tests only; set by in-package tests, nil in production).
+	inject *faultinject.Injector
 }
 
 // Tracer is the scheduler event recorder of the observability layer: a
@@ -135,11 +146,55 @@ func (o Options) internal() core.Options {
 	c.NoDenseKernels = o.NoDenseKernels
 	c.DenseKernelThreshold = o.DenseKernelThreshold
 	c.Trace = o.Trace
+	c.ValidateInputs = o.ValidateInputs
+	c.Inject = o.inject
 	return c
 }
 
 // ErrSingular reports a numerically or structurally singular matrix.
 var ErrSingular = errors.New("basker: matrix is singular")
+
+// Input-validation and health errors. All are matched with errors.Is; the
+// wrapped error carries the specifics.
+var (
+	// ErrBadInput reports a malformed input matrix: broken CSC invariants
+	// (column pointers, row ranges, ordering) or, with
+	// Options.ValidateInputs, non-finite values. Every validation error
+	// matches ErrBadInput.
+	ErrBadInput = errors.New("basker: malformed input matrix")
+	// ErrNotFinite reports NaN or Inf among the input values (it also
+	// matches ErrBadInput).
+	ErrNotFinite = errors.New("basker: input has non-finite values")
+	// ErrDimensionMismatch reports a shape disagreement: a non-square
+	// matrix, a right-hand side of the wrong length, or a refresh matrix
+	// whose dimensions differ from the factored one. These O(1) checks are
+	// always on.
+	ErrDimensionMismatch = errors.New("basker: dimension mismatch")
+	// ErrInternalPanic reports that a worker goroutine panicked during a
+	// numeric sweep. The panic was recovered and its siblings drained; the
+	// factorization is poisoned until a subsequent Factor/Refactor succeeds.
+	// The wrapped error carries the panic value and stack.
+	ErrInternalPanic = errors.New("basker: internal panic")
+	// ErrIllConditioned is the advisory Factorization.Check reports when the
+	// estimated reciprocal condition number says solutions may carry no
+	// correct digits. The factorization remains usable — pair solves with
+	// SolveRefined and inspect RefineResult.BackwardError.
+	ErrIllConditioned = errors.New("basker: matrix is ill-conditioned")
+)
+
+// validateInput is the gated O(nnz) screen of the API boundary.
+func validateInput(a *Matrix, on bool) error {
+	if !on {
+		return nil
+	}
+	if err := a.Check(); err != nil {
+		return errors.Join(ErrBadInput, err)
+	}
+	if err := a.CheckFinite(); err != nil {
+		return errors.Join(ErrBadInput, ErrNotFinite, err)
+	}
+	return nil
+}
 
 // Solver is a configured Basker instance.
 type Solver struct {
@@ -161,6 +216,12 @@ type Factorization struct {
 
 // Factor analyzes and numerically factors a.
 func (s *Solver) Factor(a *Matrix) (*Factorization, error) {
+	if a.M != a.N {
+		return nil, fmt.Errorf("%w: matrix is %d×%d, want square", ErrDimensionMismatch, a.M, a.N)
+	}
+	if err := validateInput(a, s.opts.ValidateInputs); err != nil {
+		return nil, err
+	}
 	num, err := core.FactorDirect(a, s.opts)
 	if err != nil {
 		return nil, wrapErr(err)
@@ -186,25 +247,40 @@ func newFactorization(num *core.Numeric) *Factorization {
 // path is allocation-free in steady state. On matrices whose BTF blocks
 // are both many and large, independent blocks are scheduled across the
 // solver's worker goroutines (that path allocates its per-call signal
-// fabric).
-func (f *Factorization) Solve(b []float64) { f.ts.Solve(b) }
+// fabric). A wrong-length b reports ErrDimensionMismatch; a non-nil error
+// leaves b unspecified but never harms the factorization (solves only read
+// it).
+func (f *Factorization) Solve(b []float64) error {
+	if n := f.num.Sym.N; len(b) != n {
+		return fmt.Errorf("%w: len(b) = %d, want %d", ErrDimensionMismatch, len(b), n)
+	}
+	return wrapErr(f.ts.Solve(b))
+}
 
 // SolveMany solves A·xᵢ = bᵢ in place for every right-hand side, sweeping
 // the BTF block back-substitution once per panel of right-hand sides
 // instead of once per vector and distributing panels across the solver's
-// worker goroutines. Each bᵢ must have length n; results are bit-for-bit
-// identical to calling Solve on each bᵢ.
-func (f *Factorization) SolveMany(bs [][]float64) { f.ts.SolveMany(bs) }
+// worker goroutines. Each bᵢ must have length n (checked up front, before
+// any vector is touched); results are bit-for-bit identical to calling
+// Solve on each bᵢ.
+func (f *Factorization) SolveMany(bs [][]float64) error {
+	n := f.num.Sym.N
+	for i, b := range bs {
+		if len(b) != n {
+			return fmt.Errorf("%w: len(bs[%d]) = %d, want %d", ErrDimensionMismatch, i, len(b), n)
+		}
+	}
+	return wrapErr(f.ts.SolveMany(bs))
+}
 
 // SolveMatrix solves A·X = B in place for a dense column-major
 // right-hand-side block: x holds nrhs vectors of length n back to back.
 func (f *Factorization) SolveMatrix(x []float64, nrhs int) error {
 	n := f.num.Sym.N
 	if nrhs < 0 || len(x) != n*nrhs {
-		return fmt.Errorf("basker: SolveMatrix: len(x) = %d, want n·nrhs = %d·%d", len(x), n, nrhs)
+		return fmt.Errorf("%w: SolveMatrix: len(x) = %d, want n·nrhs = %d·%d", ErrDimensionMismatch, len(x), n, nrhs)
 	}
-	f.ts.SolveMatrix(x, nrhs)
-	return nil
+	return wrapErr(f.ts.SolveMatrix(x, nrhs))
 }
 
 // Refactor recomputes the numeric factorization for a matrix with the same
@@ -221,7 +297,19 @@ func (f *Factorization) SolveMatrix(x []float64, nrhs int) error {
 // unspecified and it must not be solved with until a subsequent Refactor
 // succeeds or it is discarded for a fresh Factor.
 func (f *Factorization) Refactor(a *Matrix) error {
+	if err := f.refreshChecks(a); err != nil {
+		return err
+	}
 	return wrapErr(f.num.Refactor(a))
+}
+
+// refreshChecks is the shared API-boundary screen of the Refactor family:
+// an always-on O(1) dimension check plus the gated O(nnz) validation pass.
+func (f *Factorization) refreshChecks(a *Matrix) error {
+	if n := f.num.Sym.N; a.M != n || a.N != n {
+		return fmt.Errorf("%w: matrix is %d×%d, factorization is %d×%d", ErrDimensionMismatch, a.M, a.N, n, n)
+	}
+	return validateInput(a, f.num.Sym.Opts.ValidateInputs)
 }
 
 // RefactorPartial is Refactor for a matrix that differs from the values the
@@ -240,6 +328,9 @@ func (f *Factorization) Refactor(a *Matrix) error {
 // Exclusion and error contracts match Refactor. After a failed refresh the
 // next incremental call automatically runs a full recovery sweep.
 func (f *Factorization) RefactorPartial(a *Matrix, changedCols []int) error {
+	if err := f.refreshChecks(a); err != nil {
+		return err
+	}
 	return wrapErr(f.num.RefactorPartial(a, changedCols))
 }
 
@@ -253,7 +344,35 @@ func (f *Factorization) RefactorPartial(a *Matrix, changedCols []int) error {
 //
 // Exclusion and error contracts match Refactor.
 func (f *Factorization) RefactorAuto(a *Matrix) error {
+	if err := f.refreshChecks(a); err != nil {
+		return err
+	}
 	return wrapErr(f.num.RefactorAuto(a))
+}
+
+// RefactorRobust is the graceful-degradation refresh: it tries the
+// cheapest path first and falls back rung by rung until one succeeds —
+// the change-set-aware incremental sweep, the full pivot-reusing Refactor,
+// a fresh pivoting factorization at the configured tolerance, and finally
+// a fresh factorization under full partial pivoting (tolerance 1, trading
+// sparsity for maximum stability). Use it in long transient sequences
+// where occasional pathological steps must not terminate the run; the
+// returned error is the last rung's, and only after it does the
+// factorization stay poisoned.
+func (f *Factorization) RefactorRobust(a *Matrix) error {
+	if err := f.refreshChecks(a); err != nil {
+		return err
+	}
+	if err := f.num.RefactorAuto(a); err == nil {
+		return nil
+	}
+	if err := f.num.Refactor(a); err == nil {
+		return nil
+	}
+	if err := f.num.FactorInto(a); err == nil {
+		return nil
+	}
+	return wrapErr(f.num.FactorIntoTol(a, 1.0))
 }
 
 // Phase identifies a pipeline stage in scheduler profiles.
@@ -318,15 +437,98 @@ func (f *Factorization) AffectedSolutionBlocks(changedCols []int) []bool {
 	return f.ts.SolutionClosure(changedCols)
 }
 
-// SolveRefined solves A·x = b with iterative refinement: after the direct
-// solve, up to iters refinement steps (x += A⁻¹(b − A·x)) sharpen the
-// answer — useful when the KLU-style pivot tolerance traded stability for
-// sparsity. a must be the matrix that was factored (or refactored). b is
-// overwritten with x; the returned value is the final residual ∞-norm
-// relative to ‖b‖∞. Like Solve, it is reentrant and draws all scratch from
-// the workspace pool.
-func (f *Factorization) SolveRefined(a *Matrix, b []float64, iters int) float64 {
-	return f.ts.SolveRefined(a, b, iters)
+// RefineResult reports what an iterative-refinement solve achieved:
+// correction steps taken, the final Oettli–Prager componentwise backward
+// error, the ∞-norm residual, and whether refinement converged to working
+// precision or stagnated (a stagnating refinement is the reliable symptom
+// of a factorization too inaccurate to help — check Health).
+type RefineResult = trisolve.RefineResult
+
+// RefineTol is the componentwise backward-error target refinement drives
+// toward: a small multiple of the double-precision unit roundoff.
+const RefineTol = trisolve.RefineTol
+
+// SolveRefined solves A·x = b with convergent iterative refinement: after
+// the direct solve, correction steps x += A⁻¹(b − A·x) run until the
+// componentwise backward error reaches RefineTol, a step stops making
+// progress, or maxIters corrections have been applied — useful when the
+// KLU-style pivot tolerance traded stability for sparsity. a must be the
+// matrix that was factored (or refactored). b is overwritten with x. Like
+// Solve, it is reentrant and draws all scratch from the workspace pool.
+func (f *Factorization) SolveRefined(a *Matrix, b []float64, maxIters int) (RefineResult, error) {
+	n := f.num.Sym.N
+	if a.M != n || a.N != n {
+		return RefineResult{}, fmt.Errorf("%w: matrix is %d×%d, factorization is %d×%d", ErrDimensionMismatch, a.M, a.N, n, n)
+	}
+	if len(b) != n {
+		return RefineResult{}, fmt.Errorf("%w: len(b) = %d, want %d", ErrDimensionMismatch, len(b), n)
+	}
+	res, err := f.ts.SolveRefined(a, b, maxIters)
+	return res, wrapErr(err)
+}
+
+// Health reports the numerical condition of a factorization: how much the
+// computed factors can be trusted, independent of any particular right-hand
+// side. Obtain one with Factorization.Health.
+type Health struct {
+	// Rcond is a Hager/Higham estimate of the reciprocal 1-norm condition
+	// number 1/(‖A‖₁·‖A⁻¹‖₁) ∈ [0, 1]; values near zero flag an
+	// ill-conditioned system whose solutions may carry few correct digits.
+	Rcond float64
+	// RecipPivotGrowth is max|A|/max|U| clamped to [0, 1] — the classic
+	// cheap stability diagnostic; tiny values mean element growth ate the
+	// factorization's accuracy and a tighter pivot tolerance is warranted.
+	RecipPivotGrowth float64
+	// Finite is false when any stored factor value is NaN or Inf.
+	Finite bool
+	// Poisoned mirrors Stats.Poisoned: the last refresh failed and the
+	// numeric values are unspecified until a successful Factor/Refactor.
+	Poisoned bool
+	// InternalPanics mirrors Stats.InternalPanics.
+	InternalPanics int64
+}
+
+// Health computes the factorization's numerical health report. The Rcond
+// estimate costs a handful of solve sweeps (it is skipped, reported as 0,
+// when the factorization is poisoned or non-finite); everything else is a
+// cheap scan of the stored factors.
+func (f *Factorization) Health() Health {
+	h := Health{
+		Poisoned:       f.num.Poisoned(),
+		InternalPanics: f.num.Panics(),
+	}
+	if h.Poisoned {
+		return h
+	}
+	h.Finite = f.num.Finite()
+	h.RecipPivotGrowth = f.num.RecipPivotGrowth()
+	if h.Finite {
+		h.Rcond = f.num.EstimateRcond()
+	}
+	return h
+}
+
+// RcondAdvisory is the reciprocal-condition threshold below which
+// Factorization.Check reports ErrIllConditioned: roughly the point where a
+// double-precision solve can lose all significant digits.
+const RcondAdvisory = 1e-14
+
+// Check runs the health report and converts it to a verdict: nil when the
+// factorization looks trustworthy, ErrInternalPanic when it is poisoned,
+// ErrNotFinite when factor values overflowed, and the advisory
+// ErrIllConditioned when the condition estimate or pivot growth suggests
+// solutions need iterative refinement (SolveRefined) to be trusted.
+func (f *Factorization) Check() error {
+	h := f.Health()
+	switch {
+	case h.Poisoned:
+		return fmt.Errorf("%w: factorization is poisoned; refresh with Factor or RefactorRobust", ErrInternalPanic)
+	case !h.Finite:
+		return fmt.Errorf("%w: factor values are NaN or Inf", ErrNotFinite)
+	case h.Rcond < RcondAdvisory:
+		return fmt.Errorf("%w: rcond estimate %.3g, reciprocal pivot growth %.3g", ErrIllConditioned, h.Rcond, h.RecipPivotGrowth)
+	}
+	return nil
 }
 
 // Stats summarizes a factorization (the paper's Table I statistics).
@@ -361,6 +563,12 @@ type Stats struct {
 	// sync-overhead measurement, available even without tracing.
 	SyncWaits       int64
 	SyncWaitSeconds float64
+	// Poisoned reports that the last refresh failed, leaving the numeric
+	// values unspecified: solves must wait for a successful Factor/Refactor.
+	Poisoned bool
+	// InternalPanics counts worker panics the sweeps of this factorization
+	// have recovered over its lifetime (zero in healthy operation).
+	InternalPanics int64
 }
 
 // Stats reports factorization statistics relative to the matrix a that was
@@ -380,12 +588,17 @@ func (f *Factorization) Stats(a *Matrix) Stats {
 		DirtyBlocksTotal: f.num.DirtyBlocksTotal(),
 		SyncWaits:        f.num.SyncWaits,
 		SyncWaitSeconds:  f.num.SyncWaitSeconds(),
+		Poisoned:         f.num.Poisoned(),
+		InternalPanics:   f.num.Panics(),
 	}
 }
 
 func wrapErr(err error) error {
 	if err == nil {
 		return nil
+	}
+	if errors.Is(err, core.ErrInternalPanic) {
+		return errors.Join(ErrInternalPanic, err)
 	}
 	if errors.Is(err, gp.ErrSingular) || errors.Is(err, matching.ErrStructurallySingular) {
 		return errors.Join(ErrSingular, err)

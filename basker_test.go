@@ -140,18 +140,31 @@ func TestSolveRefined(t *testing.T) {
 	}
 	b := make([]float64, a.N)
 	a.MulVec(b, x)
-	res := f.SolveRefined(a, b, 3)
-	if res > 1e-12 {
-		t.Fatalf("refined residual %g too large", res)
+	res, err := f.SolveRefined(a, b, 3)
+	if err != nil {
+		t.Fatalf("SolveRefined: %v", err)
+	}
+	if res.Residual > 1e-12 {
+		t.Fatalf("refined residual %g too large", res.Residual)
+	}
+	if !res.Converged {
+		t.Errorf("refinement did not converge: %+v", res)
 	}
 	for i := range x {
 		if math.Abs(b[i]-x[i]) > 1e-8*(1+math.Abs(x[i])) {
 			t.Fatalf("refined x[%d] = %v, want %v", i, b[i], x[i])
 		}
 	}
-	// Zero iterations must still return a residual.
+	// Zero iterations must still report the direct solve's backward error.
 	a.MulVec(b, x)
-	if res := f.SolveRefined(a, b, 0); res < 0 {
-		t.Fatal("negative residual")
+	res, err = f.SolveRefined(a, b, 0)
+	if err != nil {
+		t.Fatalf("SolveRefined(0 iters): %v", err)
+	}
+	if res.Residual < 0 || res.BackwardError < 0 {
+		t.Fatalf("negative residual/backward error: %+v", res)
+	}
+	if res.Iterations != 0 {
+		t.Fatalf("maxIters=0 took %d corrections", res.Iterations)
 	}
 }

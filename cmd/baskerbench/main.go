@@ -69,6 +69,16 @@ func trajectoryRecorder() *trace.Recorder {
 	return trace.NewRecorder(0)
 }
 
+// fatalf reports a benchmark-harness failure — a singular test matrix, a
+// refresh the solver rejected, an unwritable output file — with its context
+// and exits non-zero, instead of dumping a goroutine stack the way the old
+// panic calls did. Harness failures are user-facing conditions, not
+// programmer bugs.
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "baskerbench: "+format+"\n", args...)
+	os.Exit(1)
+}
+
 func main() {
 	flag.Parse()
 	if *traceOut != "" {
@@ -143,7 +153,7 @@ func timeKLU(a *sparse.CSC) float64 {
 		for r := 0; r < 3; r++ {
 			num, err := klu.Factor(a, sym)
 			if err != nil {
-				panic(err)
+				fatalf("klu factor: %v", err)
 			}
 			if num.KernelSeconds < best {
 				best = num.KernelSeconds
@@ -153,7 +163,7 @@ func timeKLU(a *sparse.CSC) float64 {
 	}
 	return perf.Time(*minTime, func() {
 		if _, err := klu.Factor(a, sym); err != nil {
-			panic(err)
+			fatalf("klu factor: %v", err)
 		}
 	})
 }
@@ -177,7 +187,7 @@ func timeBaskerOpts(a *sparse.CSC, threads int, mod func(*core.Options)) float64
 		for r := 0; r < 3; r++ {
 			num, err := core.Factor(a, sym)
 			if err != nil {
-				panic(err)
+				fatalf("factor: %v", err)
 			}
 			if s := num.SimulatedSeconds(); s < best {
 				best = s
@@ -187,7 +197,7 @@ func timeBaskerOpts(a *sparse.CSC, threads int, mod func(*core.Options)) float64
 	}
 	return perf.Time(*minTime, func() {
 		if _, err := core.Factor(a, sym); err != nil {
-			panic(err)
+			fatalf("factor: %v", err)
 		}
 	})
 }
@@ -204,7 +214,7 @@ func timePMKL(a *sparse.CSC, threads int) float64 {
 		for r := 0; r < 3; r++ {
 			num, err := pmkl.Factor(a, sym)
 			if err != nil {
-				panic(err)
+				fatalf("pmkl factor: %v", err)
 			}
 			if s := num.SimulatedSeconds(threads); s < best {
 				best = s
@@ -214,7 +224,7 @@ func timePMKL(a *sparse.CSC, threads int) float64 {
 	}
 	return perf.Time(*minTime, func() {
 		if _, err := pmkl.Factor(a, sym); err != nil {
-			panic(err)
+			fatalf("pmkl factor: %v", err)
 		}
 	})
 }
@@ -576,7 +586,7 @@ func wallBasker(a *sparse.CSC, threads int, mode core.SyncMode) (float64, int64)
 	sec := perf.Time(*minTime, func() {
 		num, err := core.Factor(a, sym)
 		if err != nil {
-			panic(err)
+			fatalf("factor (sync sweep): %v", err)
 		}
 		waits = num.SyncWaits
 	})
@@ -665,7 +675,7 @@ func ablation() {
 		} else {
 			sec = perf.Time(*minTime, func() {
 				if _, err := core.Factor(a, sym); err != nil {
-					panic(err)
+					fatalf("factor (config sweep): %v", err)
 				}
 			})
 		}
@@ -734,13 +744,13 @@ func refactorTrajectory() {
 		}
 		factorSec := perf.Time(*minTime, func() {
 			if _, err := core.Factor(a, sym); err != nil {
-				panic(err)
+				fatalf("factor: %v", err)
 			}
 		})
 		i := 0
 		refactorSec := perf.Time(*minTime, func() {
 			if err := num.Refactor(steps[i%len(steps)]); err != nil {
-				panic(err)
+				fatalf("refactor: %v", err)
 			}
 			i++
 		})
@@ -848,7 +858,7 @@ func factorTrajectory() {
 		}
 		pt.KLUSec = wall(func() {
 			if _, err := klu.Factor(a, kluSym); err != nil {
-				panic(err)
+				fatalf("klu factor: %v", err)
 			}
 		})
 		serialOpts := core.DefaultOptions()
@@ -859,12 +869,12 @@ func factorTrajectory() {
 		}
 		pt.SerialSec = wall(func() {
 			if _, err := core.Factor(a, serialSym); err != nil {
-				panic(err)
+				fatalf("serial factor: %v", err)
 			}
 		})
 		pt.ParallelSec = wall(func() {
 			if _, err := core.Factor(a, sym); err != nil {
-				panic(err)
+				fatalf("parallel factor: %v", err)
 			}
 		})
 		if sum, ok := rec.LastSummary(trace.PhaseFactor); ok {
@@ -886,12 +896,12 @@ func factorTrajectory() {
 		}
 		pt.NoPruneSec = wall(func() {
 			if _, err := core.Factor(a, npSym); err != nil {
-				panic(err)
+				fatalf("noprune factor: %v", err)
 			}
 		})
 		pt.FactorIntoSec = wall(func() {
 			if err := num.FactorInto(a); err != nil {
-				panic(err)
+				fatalf("pooled factor: %v", err)
 			}
 		})
 		rep.Matrices = append(rep.Matrices, pt)
@@ -1017,7 +1027,7 @@ func incrementalTrajectory() {
 				i := 0
 				sec := perf.Time(*minTime, func() {
 					if err := refresh(steps[i%len(steps)]); err != nil {
-						panic(err)
+						fatalf("incremental refresh: %v", err)
 					}
 					i++
 				})
@@ -1157,22 +1167,22 @@ func densendTrajectory() {
 		}
 		pt.FactorDense = wall(func() {
 			if _, err := core.Factor(a, symD); err != nil {
-				panic(err)
+				fatalf("factor (dense kernels): %v", err)
 			}
 		})
 		pt.FactorNoDense = wall(func() {
 			if _, err := core.Factor(a, symS); err != nil {
-				panic(err)
+				fatalf("factor (no dense kernels): %v", err)
 			}
 		})
 		pt.PooledDense = wall(func() {
 			if err := numD.FactorInto(a); err != nil {
-				panic(err)
+				fatalf("pooled factor (dense kernels): %v", err)
 			}
 		})
 		pt.PooledNoDense = wall(func() {
 			if err := numS.FactorInto(a); err != nil {
-				panic(err)
+				fatalf("pooled factor (no dense kernels): %v", err)
 			}
 		})
 		rep.Matrices = append(rep.Matrices, pt)
@@ -1244,11 +1254,11 @@ func solvePhase() {
 	}
 	serial, err := basker.New(basker.Options{Threads: 1}).Factor(a)
 	if err != nil {
-		panic(err)
+		fatalf("serial factor: %v", err)
 	}
 	threaded, err := basker.New(basker.Options{Threads: *maxCores}).Factor(a)
 	if err != nil {
-		panic(err)
+		fatalf("threaded factor: %v", err)
 	}
 	fill()
 	serial.SolveMany(batch)
@@ -1288,7 +1298,7 @@ func solvePhase() {
 	everySec := perf.Time(*minTime, func() {
 		f, err := solver.Factor(steps[i%len(steps)])
 		if err != nil {
-			panic(err)
+			fatalf("factor (transient step): %v", err)
 		}
 		for j := range rhs {
 			rhs[j] = 1
@@ -1298,7 +1308,7 @@ func solvePhase() {
 	})
 	pool := basker.NewPool(basker.PoolOptions{Options: opts})
 	if err := pool.Solve(steps[0], rhs); err != nil {
-		panic(err)
+		fatalf("pool solve: %v", err)
 	}
 	i = 0
 	poolSec := perf.Time(*minTime, func() {
@@ -1306,7 +1316,7 @@ func solvePhase() {
 			rhs[j] = 1
 		}
 		if err := pool.Solve(steps[i%len(steps)], rhs); err != nil {
-			panic(err)
+			fatalf("pool solve: %v", err)
 		}
 		i++
 	})

@@ -1,0 +1,136 @@
+package basker
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/matgen"
+)
+
+// refRcond computes the reference reciprocal condition 1/(‖A‖₁·‖A⁻¹‖₁)
+// exactly (to solve accuracy): ‖A⁻¹‖₁ is the max over unit vectors e_j of
+// ‖A⁻¹e_j‖₁, affordable at these sizes.
+func refRcond(t *testing.T, f *Factorization, a *Matrix) float64 {
+	t.Helper()
+	normA := 0.0
+	for j := 0; j < a.N; j++ {
+		s := 0.0
+		for p := a.Colptr[j]; p < a.Colptr[j+1]; p++ {
+			s += math.Abs(a.Values[p])
+		}
+		normA = math.Max(normA, s)
+	}
+	normInv := 0.0
+	e := make([]float64, a.N)
+	for j := 0; j < a.N; j++ {
+		for i := range e {
+			e[i] = 0
+		}
+		e[j] = 1
+		if err := f.Solve(e); err != nil {
+			t.Fatal(err)
+		}
+		s := 0.0
+		for _, v := range e {
+			s += math.Abs(v)
+		}
+		normInv = math.Max(normInv, s)
+	}
+	return 1 / (normA * normInv)
+}
+
+// TestHealthRcondAccuracy pins the Hager/Higham estimate against the exact
+// reciprocal condition on a suite of small matgen matrices: within 10×,
+// never optimistic by more than the slack (a norm-estimate lower bound makes
+// the rcond estimate an upper bound on the true value).
+func TestHealthRcondAccuracy(t *testing.T) {
+	cases := []matgen.CircuitParams{
+		{N: 60, BTFPct: 40, Blocks: 4, Core: matgen.CoreLadder, ExtraDensity: 0.4, Seed: 2},
+		{N: 90, BTFPct: 60, Blocks: 6, Core: matgen.CoreLadder, ExtraDensity: 0.3, Seed: 3},
+		{N: 120, BTFPct: 30, Blocks: 8, Core: matgen.CoreLadder, ExtraDensity: 0.5, Seed: 4},
+		{N: 150, BTFPct: 50, Blocks: 10, Core: matgen.CoreLadder, ExtraDensity: 0.3, Seed: 5},
+	}
+	for _, p := range cases {
+		a := matgen.Circuit(p)
+		f, err := New(Options{Threads: 2}).Factor(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := f.Health()
+		if h.Rcond <= 0 || h.Rcond > 1 {
+			t.Fatalf("N=%d: rcond estimate %g outside (0, 1]", p.N, h.Rcond)
+		}
+		ref := refRcond(t, f, a)
+		if ratio := h.Rcond / ref; ratio > 10 || ratio < 0.1 {
+			t.Errorf("N=%d: rcond estimate %g vs reference %g (ratio %.2f), want within 10×",
+				p.N, h.Rcond, ref, ratio)
+		}
+		if h.RecipPivotGrowth <= 0 || h.RecipPivotGrowth > 1 {
+			t.Errorf("N=%d: reciprocal pivot growth %g outside (0, 1]", p.N, h.RecipPivotGrowth)
+		}
+		if !h.Finite {
+			t.Errorf("N=%d: healthy factorization reported non-finite", p.N)
+		}
+		if h.Poisoned || h.InternalPanics != 0 {
+			t.Errorf("N=%d: healthy factorization reported poisoned/panics: %+v", p.N, h)
+		}
+		if err := f.Check(); err != nil {
+			t.Errorf("N=%d: Check on healthy factorization: %v", p.N, err)
+		}
+	}
+}
+
+// TestHealthIllConditionedAdvisory drives Check's ErrIllConditioned
+// advisory with a diagonal matrix whose condition number is ~1e15.
+func TestHealthIllConditionedAdvisory(t *testing.T) {
+	const n = 8
+	tr := NewTriplets(n, n)
+	for i := 0; i < n; i++ {
+		v := 1.0
+		if i == n-1 {
+			v = 1e-15
+		}
+		tr.Add(i, i, v)
+	}
+	f, err := New(Options{}).Factor(tr.Matrix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := f.Health()
+	if h.Rcond > 1e-13 {
+		t.Fatalf("rcond estimate %g for a ~1e15-conditioned matrix", h.Rcond)
+	}
+	if err := f.Check(); !errors.Is(err, ErrIllConditioned) {
+		t.Fatalf("Check reported %v, want ErrIllConditioned", err)
+	}
+}
+
+// TestHealthRefinementOnIllConditioned closes the loop the advisory points
+// at: SolveRefined reports a componentwise backward error at working
+// precision even when the condition number is large.
+func TestHealthRefinementOnIllConditioned(t *testing.T) {
+	a := matgen.Circuit(matgen.CircuitParams{N: 200, BTFPct: 40, Blocks: 10, Core: matgen.CoreLadder, ExtraDensity: 0.4, Seed: 9})
+	// A loose pivot tolerance trades stability for sparsity — the scenario
+	// refinement exists for.
+	f, err := New(Options{Threads: 2, PivotTol: 1e-4}).Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, a.N)
+	for i := range x {
+		x[i] = 1 + float64(i%7)
+	}
+	b := make([]float64, a.N)
+	a.MulVec(b, x)
+	res, err := f.SolveRefined(a, b, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("refinement did not converge: %+v", res)
+	}
+	if res.BackwardError > RefineTol {
+		t.Fatalf("backward error %g above RefineTol %g", res.BackwardError, RefineTol)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/etree"
+	"repro/internal/faultinject"
 	"repro/internal/gp"
 	"repro/internal/order/amd"
 	"repro/internal/order/btf"
@@ -187,6 +188,19 @@ type Numeric struct {
 	// hooks instruments the factor/refactor schedulers for tests (nil in
 	// production).
 	hooks *schedHooks
+
+	// panicMu/panicErr/panics are the panic-isolation state: every worker
+	// goroutine of every parallel sweep recovers panics, records the first
+	// one here, and force-releases the completion slots it owns so sibling
+	// workers drain. The driver surfaces the record as ErrInternalPanic and
+	// poisons the numeric.
+	panicMu  sync.Mutex
+	panicErr error
+	panics   atomic.Int64
+	// pivotTolOverride, when positive, replaces Opts.PivotTol for this
+	// numeric's sweeps — the graceful-degradation chain tightens pivoting
+	// per Numeric without mutating the shared Symbolic's Options.
+	pivotTolOverride float64
 }
 
 // refactorPipeline holds everything a steady-state Refactor needs so the
@@ -655,10 +669,24 @@ func (num *Numeric) FactorInto(a *sparse.CSC) error {
 	return err
 }
 
-func factorImpl(a *sparse.CSC, sym *Symbolic, num *Numeric, hooks *schedHooks) (*Numeric, error) {
+func factorImpl(a *sparse.CSC, sym *Symbolic, num *Numeric, hooks *schedHooks) (out *Numeric, err error) {
 	if a.N != sym.N || a.M != sym.N {
 		return nil, fmt.Errorf("core: dimension mismatch with symbolic analysis")
 	}
+	// Serial-path panic isolation: parallel workers recover below, but the
+	// single-threaded sweep and the gather run on the caller's goroutine.
+	defer func() {
+		if r := recover(); r != nil {
+			if num != nil {
+				num.notePanic(r)
+				num.incPoisoned = true
+				err = num.takePanicErr()
+			} else {
+				err = panicError(r)
+			}
+			out = nil
+		}
+	}()
 	nblocks := sym.NumBlocks()
 	nt := sym.Opts.threads()
 	rec := sym.Opts.Trace
@@ -721,11 +749,17 @@ func factorImpl(a *sparse.CSC, sym *Symbolic, num *Numeric, hooks *schedHooks) (
 			num.factorBlock(blk, 0)
 		}
 	} else {
+		inject := sym.Opts.Inject
 		for blk := 0; blk < nblocks; blk++ {
 			if sym.kind[blk] != blockND {
 				continue
 			}
 			go func(blk int) {
+				// A panicking launcher owns exactly its block's slot; Set is
+				// an idempotent epoch store, so force-releasing it lets the
+				// point-to-point join quiesce instead of deadlocking.
+				defer num.recoverRelease(num.factorSig, []int{blk})
+				inject.WorkerPanic(faultinject.SweepFactor, blk)
 				num.factorBlock(blk, 0)
 			}(blk)
 		}
@@ -734,6 +768,8 @@ func factorImpl(a *sparse.CSC, sym *Symbolic, num *Numeric, hooks *schedHooks) (
 				continue
 			}
 			go func(t int) {
+				defer num.recoverRelease(num.factorSig, sym.partition[t])
+				inject.WorkerPanic(faultinject.SweepFactor, nblocks+t)
 				for _, blk := range sym.partition[t] {
 					num.factorBlock(blk, t)
 				}
@@ -742,6 +778,10 @@ func factorImpl(a *sparse.CSC, sym *Symbolic, num *Numeric, hooks *schedHooks) (
 		for blk := 0; blk < nblocks; blk++ {
 			num.factorSig.Wait(blk)
 		}
+	}
+	if perr := num.takePanicErr(); perr != nil {
+		num.incPoisoned = true
+		return nil, perr
 	}
 	for _, err := range num.factorErrs {
 		if err != nil {
@@ -777,6 +817,7 @@ func (num *Numeric) factorBlock(blk, t int) {
 		return
 	}
 	r0, r1 := sym.BlockPtr[blk], sym.BlockPtr[blk+1]
+	inject := sym.Opts.Inject
 	switch sym.kind[blk] {
 	case blockSmall:
 		num.hookStart(blk, false)
@@ -791,12 +832,20 @@ func (num *Numeric) factorBlock(blk, t int) {
 		} else {
 			sub = num.Perm.ExtractBlock(r0, r1, r0, r1)
 		}
+		if inject.KernelNaN(faultinject.SweepFactor, blk) && sub.Nnz() > 0 {
+			sub.Values[0] = nan()
+		}
 		ws := num.workerWS(t)
 		if num.small[blk] == nil {
 			num.small[blk] = &gp.Factors{}
 		}
 		t0 := time.Now()
-		err := gp.FactorInto(num.small[blk], sub, sym.estNnz[blk], sym.Opts.gpOptions(), ws)
+		var err error
+		if inject.PivotFail(faultinject.SweepFactor, blk) {
+			err = gp.ErrSingular
+		} else {
+			err = gp.FactorInto(num.small[blk], sub, sym.estNnz[blk], num.gpOpts(), ws)
+		}
 		d := time.Since(t0)
 		num.btfBusy[t] += d.Seconds()
 		if rec := sym.Opts.Trace; rec != nil {
@@ -809,6 +858,7 @@ func (num *Numeric) factorBlock(blk, t int) {
 			num.factorFailed.Store(true)
 		}
 		num.hookDone(blk, false)
+		inject.StallPoint(faultinject.SweepFactor, blk)
 		num.factorSig.Set(blk)
 	case blockND:
 		num.hookStart(blk, true)
@@ -816,7 +866,16 @@ func (num *Numeric) factorBlock(blk, t int) {
 		if num.planned {
 			grid = sym.ndsym[blk].grid
 		}
-		ndn, err := factorND(num.Perm, blk, r0, sym.ndsym[blk], sym.Opts, grid, num.nd[blk])
+		if inject.KernelNaN(faultinject.SweepFactor, blk) {
+			poisonColumnRange(num.Perm, r0, r1)
+		}
+		var ndn *ndNum
+		var err error
+		if inject.PivotFail(faultinject.SweepFactor, blk) {
+			err = gp.ErrSingular
+		} else {
+			ndn, err = factorND(num.Perm, blk, r0, sym.ndsym[blk], num.sweepOpts(), grid, num.nd[blk])
+		}
 		if err != nil {
 			num.factorErrs[blk] = fmt.Errorf("core: nd block %d: %w", blk, err)
 			num.factorFailed.Store(true)
@@ -824,6 +883,7 @@ func (num *Numeric) factorBlock(blk, t int) {
 			num.nd[blk] = ndn
 		}
 		num.hookDone(blk, true)
+		inject.StallPoint(faultinject.SweepFactor, blk)
 		num.factorSig.Set(blk)
 	}
 }
@@ -886,11 +946,20 @@ func FactorDirect(a *sparse.CSC, opts Options) (*Numeric, error) {
 // factorization must not be used for solves until a subsequent Refactor or
 // a fresh Factor succeeds; its structure remains intact, so retrying is
 // permitted.
-func (num *Numeric) Refactor(a *sparse.CSC) error {
+func (num *Numeric) Refactor(a *sparse.CSC) (err error) {
 	sym := num.Sym
 	if a.N != sym.N || a.M != sym.N {
 		return fmt.Errorf("core: dimension mismatch with symbolic analysis")
 	}
+	// Serial-path panic isolation (parallel workers recover in
+	// refactorParallel); a recovered panic poisons the numeric.
+	defer func() {
+		if r := recover(); r != nil {
+			num.notePanic(r)
+			num.incPoisoned = true
+			err = num.takePanicErr()
+		}
+	}()
 	if num.pipe == nil {
 		pipe, err := num.buildPipeline(a)
 		if err != nil {
@@ -929,6 +998,10 @@ func (num *Numeric) Refactor(a *sparse.CSC) error {
 		}
 	} else {
 		num.refactorParallel(nt)
+	}
+	if perr := num.takePanicErr(); perr != nil {
+		num.incPoisoned = true
+		return perr
 	}
 	for _, err := range pipe.errs {
 		if err != nil {
@@ -1047,11 +1120,17 @@ func (num *Numeric) refactorParallel(nt int) {
 	for _, blk := range pipe.unowned {
 		num.refactorBlock(blk, 0)
 	}
-	for blk := 0; blk < sym.NumBlocks(); blk++ {
+	inject := sym.Opts.Inject
+	nblocks := sym.NumBlocks()
+	for blk := 0; blk < nblocks; blk++ {
 		if sym.kind[blk] != blockND {
 			continue
 		}
 		go func(blk int) {
+			// Force-release the owned slot on panic (Set is idempotent), so
+			// the driver's point-to-point join quiesces every sibling.
+			defer num.recoverRelease(pipe.sig, []int{blk})
+			inject.WorkerPanic(faultinject.SweepRefactor, blk)
 			num.refactorBlock(blk, 0)
 		}(blk)
 	}
@@ -1060,12 +1139,14 @@ func (num *Numeric) refactorParallel(nt int) {
 			continue
 		}
 		go func(t int) {
+			defer num.recoverRelease(pipe.sig, sym.partition[t])
+			inject.WorkerPanic(faultinject.SweepRefactor, nblocks+t)
 			for _, blk := range sym.partition[t] {
 				num.refactorBlock(blk, t)
 			}
 		}(t)
 	}
-	for blk := 0; blk < sym.NumBlocks(); blk++ {
+	for blk := 0; blk < nblocks; blk++ {
 		pipe.sig.Wait(blk)
 	}
 }
@@ -1079,21 +1160,36 @@ func (num *Numeric) refactorParallel(nt int) {
 func (num *Numeric) refactorBlock(blk, t int) {
 	sym := num.Sym
 	pipe := num.pipe
+	inject := sym.Opts.Inject
 	switch sym.kind[blk] {
 	case blockSmall:
 		num.hookStart(blk, false)
 		sub := pipe.smallSub[blk]
 		sparse.ExtractBlockInto(sub, num.Perm, pipe.smallSrc[blk])
+		if inject.KernelNaN(faultinject.SweepRefactor, blk) && sub.Nnz() > 0 {
+			sub.Values[0] = nan()
+		}
 		t0 := time.Now()
-		err := num.small[blk].Refactor(sub, num.workerWS(t))
+		var err error
+		if inject.PivotFail(faultinject.SweepRefactor, blk) {
+			err = gp.ErrSingular
+		} else {
+			err = num.small[blk].Refactor(sub, num.workerWS(t))
+		}
 		if err != nil && errors.Is(err, gp.ErrSingular) {
-			// Pivot drift: re-pivot this block alone.
+			// Pivot drift: re-pivot this block alone. A second armed
+			// PivotFail also takes down the fallback, exercising the
+			// poisoned-numeric path.
 			num.pivotFallbacks.Add(1)
-			var f *gp.Factors
-			f, err = gp.Factor(sub, sym.estNnz[blk], sym.Opts.gpOptions(), num.workerWS(t))
-			if err == nil {
-				num.small[blk] = f
-				pipe.changed.Store(true)
+			if inject.PivotFail(faultinject.SweepRefactor, blk) {
+				err = gp.ErrSingular
+			} else {
+				var f *gp.Factors
+				f, err = gp.Factor(sub, sym.estNnz[blk], num.gpOpts(), num.workerWS(t))
+				if err == nil {
+					num.small[blk] = f
+					pipe.changed.Store(true)
+				}
 			}
 		}
 		d := time.Since(t0)
@@ -1107,33 +1203,47 @@ func (num *Numeric) refactorBlock(blk, t int) {
 			pipe.errs[blk] = fmt.Errorf("core: refactor small block %d: %w", blk, err)
 		}
 		num.hookDone(blk, false)
+		inject.StallPoint(faultinject.SweepRefactor, blk)
 		pipe.sig.Set(blk)
 	case blockND:
 		num.hookStart(blk, true)
 		r0 := sym.BlockPtr[blk]
-		err := num.nd[blk].refactorInPlace(num.Perm, r0)
+		if inject.KernelNaN(faultinject.SweepRefactor, blk) {
+			poisonColumnRange(num.Perm, r0, sym.BlockPtr[blk+1])
+		}
+		var err error
+		if inject.PivotFail(faultinject.SweepRefactor, blk) {
+			err = gp.ErrSingular
+		} else {
+			err = num.nd[blk].refactorInPlace(num.Perm, r0)
+		}
 		if err != nil && errors.Is(err, gp.ErrSingular) {
 			// Pivot drift inside the 2D hierarchy: rebuild this coarse
 			// block with a fresh parallel factorization (new pivots),
 			// published only once completely built.
 			num.pivotFallbacks.Add(1)
-			var grid *ndGrid
-			if num.planned {
-				grid = sym.ndsym[blk].grid
-			}
-			var fresh *ndNum
-			fresh, err = factorND(num.Perm, blk, r0, sym.ndsym[blk], sym.Opts, grid, nil)
-			if err == nil {
-				fresh.ensureRefactorState(num.Perm, r0)
-				num.nd[blk] = fresh
-				num.remapBlockDst(blk)
-				pipe.changed.Store(true)
+			if inject.PivotFail(faultinject.SweepRefactor, blk) {
+				err = gp.ErrSingular
+			} else {
+				var grid *ndGrid
+				if num.planned {
+					grid = sym.ndsym[blk].grid
+				}
+				var fresh *ndNum
+				fresh, err = factorND(num.Perm, blk, r0, sym.ndsym[blk], num.sweepOpts(), grid, nil)
+				if err == nil {
+					fresh.ensureRefactorState(num.Perm, r0)
+					num.nd[blk] = fresh
+					num.remapBlockDst(blk)
+					pipe.changed.Store(true)
+				}
 			}
 		}
 		if err != nil {
 			pipe.errs[blk] = fmt.Errorf("core: refactor nd block %d: %w", blk, err)
 		}
 		num.hookDone(blk, true)
+		inject.StallPoint(faultinject.SweepRefactor, blk)
 		pipe.sig.Set(blk)
 	}
 }

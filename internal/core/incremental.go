@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/gp"
 	"repro/internal/sparse"
 	"repro/internal/trace"
@@ -170,11 +171,21 @@ func (num *Numeric) ensureIncremental(a *sparse.CSC) error {
 // and on error the values are unspecified until a subsequent refresh
 // succeeds (a failed sweep is remembered, so the next incremental call
 // transparently runs a full refresh to re-establish a consistent state).
-func (num *Numeric) RefactorPartial(a *sparse.CSC, changed []int) error {
+func (num *Numeric) RefactorPartial(a *sparse.CSC, changed []int) (err error) {
 	sym := num.Sym
 	if a.N != sym.N || a.M != sym.N {
 		return fmt.Errorf("core: dimension mismatch with symbolic analysis")
 	}
+	// Serial-path panic isolation: a panic during marking or the serial
+	// sweep poisons the numeric, so the next incremental call runs a full
+	// recovery refresh.
+	defer func() {
+		if r := recover(); r != nil {
+			num.notePanic(r)
+			num.incPoisoned = true
+			err = num.takePanicErr()
+		}
+	}()
 	if err := num.ensureIncremental(a); err != nil {
 		return err
 	}
@@ -233,11 +244,18 @@ func (num *Numeric) RefactorPartial(a *sparse.CSC, changed []int) error {
 // diff pass replaces the flat gather).
 //
 // Exclusion and error contracts are Refactor's.
-func (num *Numeric) RefactorAuto(a *sparse.CSC) error {
+func (num *Numeric) RefactorAuto(a *sparse.CSC) (err error) {
 	sym := num.Sym
 	if a.N != sym.N || a.M != sym.N {
 		return fmt.Errorf("core: dimension mismatch with symbolic analysis")
 	}
+	defer func() {
+		if r := recover(); r != nil {
+			num.notePanic(r)
+			num.incPoisoned = true
+			err = num.takePanicErr()
+		}
+	}()
 	if err := num.ensureIncremental(a); err != nil {
 		return err
 	}
@@ -495,6 +513,10 @@ func (num *Numeric) refactorPartialSweep() error {
 			num.refactorParallelPartial(nt)
 		}
 	}
+	if perr := num.takePanicErr(); perr != nil {
+		num.incPoisoned = true
+		return perr
+	}
 	for _, err := range pipe.errs {
 		if err != nil {
 			num.incPoisoned = true
@@ -534,14 +556,24 @@ func (num *Numeric) refactorParallelPartial(nt int) {
 			num.refactorBlockPartial(blk, 0)
 		}
 	}
+	inject := sym.Opts.Inject
+	nblocks := sym.NumBlocks()
 	var wg sync.WaitGroup
-	for blk := 0; blk < sym.NumBlocks(); blk++ {
+	for blk := 0; blk < nblocks; blk++ {
 		if sym.kind[blk] != blockND || !dirty(blk) {
 			continue
 		}
 		wg.Add(1)
 		go func(blk int) {
+			// The join is the WaitGroup, so panic recovery only needs to
+			// record the error; no completion slots to release.
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					num.notePanic(r)
+				}
+			}()
+			inject.WorkerPanic(faultinject.SweepPartial, blk)
 			num.refactorBlockPartial(blk, 0)
 		}(blk)
 	}
@@ -559,6 +591,12 @@ func (num *Numeric) refactorParallelPartial(nt int) {
 		wg.Add(1)
 		go func(t int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					num.notePanic(r)
+				}
+			}()
+			inject.WorkerPanic(faultinject.SweepPartial, nblocks+t)
 			for _, blk := range sym.partition[t] {
 				if dirty(blk) {
 					num.refactorBlockPartial(blk, t)
@@ -578,6 +616,7 @@ func (num *Numeric) refactorBlockPartial(blk, t int) {
 	sym := num.Sym
 	pipe := num.pipe
 	inc := num.inc
+	inject := sym.Opts.Inject
 	switch sym.kind[blk] {
 	case blockSmall:
 		num.hookStart(blk, false)
@@ -585,19 +624,32 @@ func (num *Numeric) refactorBlockPartial(blk, t int) {
 		// the reverse scatter map, so the block input is already current.
 		sub := pipe.smallSub[blk]
 		r0, r1 := sym.BlockPtr[blk], sym.BlockPtr[blk+1]
+		if inject.KernelNaN(faultinject.SweepPartial, blk) && sub.Nnz() > 0 {
+			sub.Values[0] = nan()
+		}
 		t0 := time.Now()
-		err := num.small[blk].RefactorSelective(sub, num.workerWS(t),
-			inc.colStamp[r0:r1], inc.epoch, inc.rerun[r0:r1])
+		var err error
+		if inject.PivotFail(faultinject.SweepPartial, blk) {
+			err = gp.ErrSingular
+		} else {
+			err = num.small[blk].RefactorSelective(sub, num.workerWS(t),
+				inc.colStamp[r0:r1], inc.epoch, inc.rerun[r0:r1])
+		}
 		if err != nil && errors.Is(err, gp.ErrSingular) {
 			// Pivot drift: re-pivot this block alone (sub's clean prefix
 			// still holds the resident values, so the fresh factorization
-			// sees the complete current block).
+			// sees the complete current block). A second armed PivotFail
+			// also takes down the fallback (poisoned-numeric path).
 			num.pivotFallbacks.Add(1)
-			var f *gp.Factors
-			f, err = gp.Factor(sub, sym.estNnz[blk], sym.Opts.gpOptions(), num.workerWS(t))
-			if err == nil {
-				num.small[blk] = f
-				pipe.changed.Store(true)
+			if inject.PivotFail(faultinject.SweepPartial, blk) {
+				err = gp.ErrSingular
+			} else {
+				var f *gp.Factors
+				f, err = gp.Factor(sub, sym.estNnz[blk], num.gpOpts(), num.workerWS(t))
+				if err == nil {
+					num.small[blk] = f
+					pipe.changed.Store(true)
+				}
 			}
 		}
 		d := time.Since(t0)
@@ -614,24 +666,36 @@ func (num *Numeric) refactorBlockPartial(blk, t int) {
 	case blockND:
 		num.hookStart(blk, true)
 		r0 := sym.BlockPtr[blk]
-		err := num.nd[blk].refactorSweep(num.Perm, r0, inc.nd[blk])
+		if inject.KernelNaN(faultinject.SweepPartial, blk) {
+			poisonColumnRange(num.Perm, r0, sym.BlockPtr[blk+1])
+		}
+		var err error
+		if inject.PivotFail(faultinject.SweepPartial, blk) {
+			err = gp.ErrSingular
+		} else {
+			err = num.nd[blk].refactorSweep(num.Perm, r0, inc.nd[blk])
+		}
 		if err != nil && errors.Is(err, gp.ErrSingular) {
 			// Pivot drift inside the 2D hierarchy: rebuild this coarse
 			// block with a fresh parallel factorization (new pivots); the
 			// rebuild regathers its whole input hierarchy from permuted
 			// storage, published only once completely built.
 			num.pivotFallbacks.Add(1)
-			var grid *ndGrid
-			if num.planned {
-				grid = sym.ndsym[blk].grid
-			}
-			var fresh *ndNum
-			fresh, err = factorND(num.Perm, blk, r0, sym.ndsym[blk], sym.Opts, grid, nil)
-			if err == nil {
-				fresh.ensureRefactorState(num.Perm, r0)
-				num.nd[blk] = fresh
-				num.remapBlockDst(blk)
-				pipe.changed.Store(true)
+			if inject.PivotFail(faultinject.SweepPartial, blk) {
+				err = gp.ErrSingular
+			} else {
+				var grid *ndGrid
+				if num.planned {
+					grid = sym.ndsym[blk].grid
+				}
+				var fresh *ndNum
+				fresh, err = factorND(num.Perm, blk, r0, sym.ndsym[blk], num.sweepOpts(), grid, nil)
+				if err == nil {
+					fresh.ensureRefactorState(num.Perm, r0)
+					num.nd[blk] = fresh
+					num.remapBlockDst(blk)
+					pipe.changed.Store(true)
+				}
 			}
 		}
 		if err != nil {

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/dense"
+	"repro/internal/faultinject"
 	"repro/internal/gp"
 	"repro/internal/order/nd"
 	"repro/internal/sparse"
@@ -321,6 +322,9 @@ func factorND(perm *sparse.CSC, blk, r0 int, sym *ndSym, opts Options, grid *ndG
 		}
 	}
 	num.blk = blk
+	// Refresh the resident options on reuse too: a recovery factorization
+	// may carry a tightened pivot tolerance or an armed fault injector.
+	num.opts = opts
 	num.rec = opts.Trace
 	num.phase = trace.PhaseFactor
 	num.resetWaitAccounting()
@@ -339,7 +343,16 @@ func factorND(perm *sparse.CSC, blk, r0 int, sym *ndSym, opts Options, grid *ndG
 		for t := 0; t < sym.p; t++ {
 			wg.Add(1)
 			go func(t int) {
+				// Panic isolation: record the panic as the sweep error and
+				// fail the flag fabric (and barrier) so cooperating siblings
+				// abort their waits instead of deadlocking. The WaitGroup is
+				// the join, so no completion slots need force-releasing.
 				defer wg.Done()
+				defer func() {
+					if r := recover(); r != nil {
+						num.fail(panicError(r))
+					}
+				}()
 				num.worker(t)
 			}(t)
 		}
@@ -555,6 +568,8 @@ func (num *ndNum) flushWait(t int, waitMark *int64) {
 // model. All scratch comes from the pooled per-worker workspaces, so a
 // recycled factorization allocates nothing here.
 func (num *ndNum) worker(t int) {
+	num.opts.Inject.WorkerPanic(faultinject.SweepND, t)
+	num.opts.Inject.StallPoint(faultinject.SweepND, num.blk)
 	s := num.sym
 	leaf := s.tree.Leaves[t]
 	ws, mark, acc := num.workerScratch(t)
@@ -1058,6 +1073,121 @@ func (num *ndNum) ndSolve(y []float64, scratch []float64) {
 		}
 		num.diag[k].USolve(y[c0:c1])
 	}
+}
+
+// ndSolveT applies the transposed 2D block substitution to y in place — the
+// A⁻ᵀ application the condition estimator needs. With the block hierarchy
+// factored as B = L̂Û (L̂ₖₖ = Pₖᵀ Lₖ, the per-block pivots applied by
+// ndSolve's forward phase), Bᵀ x = y splits into an ascending Ûᵀ sweep
+// (transpose-lower) and a descending L̂ᵀ sweep (transpose-upper). Couplings
+// mirror ndSolve's exactly, as dot products instead of scattered updates.
+// scratch needs maxBlockDim(sym) elements (nil allocates locally).
+func (num *ndNum) ndSolveT(y []float64, scratch []float64) {
+	s := num.sym
+	nb := s.nb
+	if len(scratch) < maxBlockDim(s) {
+		scratch = make([]float64, maxBlockDim(s))
+	}
+	// Forward: Ûᵀ is block lower triangular, ascending block columns. After
+	// w_k = U_k⁻ᵀ y_k, push this block's transposed upper couplings into the
+	// ancestors it feeds.
+	for k := 0; k < nb; k++ {
+		c0, c1 := s.blockRange(k)
+		if c0 == c1 {
+			continue
+		}
+		num.diag[k].USolveT(y[c0:c1])
+		for _, j := range s.ancestors[k] {
+			ub := num.upper[k][j]
+			if ub == nil {
+				continue
+			}
+			j0, _ := s.blockRange(j)
+			for c := 0; c < ub.N; c++ {
+				sum := 0.0
+				for p := ub.Colptr[c]; p < ub.Colptr[c+1]; p++ {
+					sum += ub.Values[p] * y[c0+ub.Rowidx[p]]
+				}
+				y[j0+c] -= sum
+			}
+		}
+	}
+	// Backward: L̂ᵀ is block upper triangular, descending block columns.
+	// Pull the transposed lower couplings from the already-solved ancestors,
+	// then solve L̂ₖₖᵀ = Lₖᵀ Pₖ: unit-upper transpose solve, then scatter
+	// through the block pivot.
+	for k := nb - 1; k >= 0; k-- {
+		c0, c1 := s.blockRange(k)
+		if c0 == c1 {
+			continue
+		}
+		for _, i := range s.ancestors[k] {
+			lb := num.lower[i][k]
+			if lb == nil {
+				continue
+			}
+			r0, _ := s.blockRange(i)
+			for c := 0; c < lb.N; c++ {
+				sum := 0.0
+				for p := lb.Colptr[c]; p < lb.Colptr[c+1]; p++ {
+					sum += lb.Values[p] * y[r0+lb.Rowidx[p]]
+				}
+				y[c0+c] -= sum
+			}
+		}
+		f := num.diag[k]
+		z := scratch[:c1-c0]
+		copy(z, y[c0:c1])
+		f.LSolveT(z)
+		for i := range z {
+			y[c0+f.P[i]] = z[i]
+		}
+	}
+}
+
+// maxAbsU reports the largest absolute value on the U side of the 2D
+// hierarchy: every diagonal factor's U plus every upper coupling block.
+func (num *ndNum) maxAbsU() float64 {
+	m := 0.0
+	for _, f := range num.diag {
+		if f != nil {
+			if v := f.MaxAbsU(); v > m {
+				m = v
+			}
+		}
+	}
+	for i := range num.upper {
+		for _, ub := range num.upper[i] {
+			if ub == nil {
+				continue
+			}
+			if v := ub.MaxAbs(); v > m {
+				m = v
+			}
+		}
+	}
+	return m
+}
+
+// finite reports whether every factored value of the 2D hierarchy (diagonal
+// L/U factors plus both coupling triangles) is finite.
+func (num *ndNum) finite() bool {
+	for _, f := range num.diag {
+		if f != nil && !finiteFactors(f) {
+			return false
+		}
+	}
+	for i := range num.lower {
+		for j := range num.lower[i] {
+			if b := num.lower[i][j]; b != nil && !finiteVals(b.Values[:b.Nnz()]) {
+				return false
+			}
+			if b := num.upper[i][j]; b != nil && !finiteVals(b.Values[:b.Nnz()]) {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // nnzLU sums the factored entries of the 2D structure.

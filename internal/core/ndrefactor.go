@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/sparse"
 	"repro/internal/trace"
 )
@@ -102,7 +103,15 @@ func (num *ndNum) refactorSweep(perm *sparse.CSC, r0 int, st *ndIncState) error 
 		for t := 0; t < s.p; t++ {
 			wg.Add(1)
 			go func(t int) {
+				// Panic isolation: record the panic and fail the refactor
+				// flag fabric so cooperating siblings abort their waits; the
+				// WaitGroup is the join, so nothing else needs releasing.
 				defer wg.Done()
+				defer func() {
+					if r := recover(); r != nil {
+						num.failRefactor(panicError(r))
+					}
+				}()
 				num.refactorWorker(t, st)
 			}(t)
 		}
@@ -148,6 +157,7 @@ func (num *ndNum) failRefactor(err error) {
 // dirty column provided the leaf factor itself did not change this sweep
 // (each upper column reads the whole leaf L).
 func (num *ndNum) refactorWorker(t int, st *ndIncState) {
+	num.opts.Inject.WorkerPanic(faultinject.SweepND, t)
 	s := num.sym
 	re := num.re
 	leaf := s.tree.Leaves[t]

@@ -23,6 +23,7 @@
 package core
 
 import (
+	"repro/internal/faultinject"
 	"repro/internal/gp"
 	"repro/internal/trace"
 )
@@ -82,6 +83,15 @@ type Options struct {
 	// sweep (analyze, factor, refactor, partial refactor, parallel solve).
 	// nil keeps every hot path on its untraced, allocation-free fast path.
 	Trace *trace.Recorder
+	// ValidateInputs enables the full API-boundary input screen (structural
+	// CSC invariants plus NaN/Inf finiteness) on Factor/Refactor entry
+	// points. O(1) dimension checks are always on; this gate covers the
+	// O(nnz) passes.
+	ValidateInputs bool
+	// Inject, when non-nil, arms the deterministic fault-injection points
+	// inside every numeric sweep (chaos testing only). nil — the production
+	// state — keeps every hook on its single-pointer-test fast path.
+	Inject *faultinject.Injector
 }
 
 // DefaultDenseKernelThreshold is the estimated-density line above which

@@ -1,0 +1,125 @@
+package faultinject
+
+import (
+	"testing"
+	"time"
+)
+
+// TestNilInjectorZeroCost pins the disabled state's contract: every hook is
+// nil-safe and allocation-free, so production paths can consult a nil
+// injector unconditionally.
+func TestNilInjectorZeroCost(t *testing.T) {
+	var in *Injector
+	if avg := testing.AllocsPerRun(100, func() {
+		if in.PivotFail(SweepFactor, 3) {
+			t.Error("nil injector fired PivotFail")
+		}
+		if in.KernelNaN(SweepND, 0) {
+			t.Error("nil injector fired KernelNaN")
+		}
+		in.WorkerPanic(SweepSolve, 1)
+		in.StallPoint(SweepRefactor, 2)
+		in.Disarm(PointPivotFail)
+		in.DisarmAll()
+		if in.Fired(PointStall) != 0 {
+			t.Error("nil injector reports fires")
+		}
+	}); avg > 0 {
+		t.Errorf("nil-injector hooks allocate %.1f objects/run, want 0", avg)
+	}
+}
+
+func TestRuleMatching(t *testing.T) {
+	in := New()
+
+	// Wildcard: fires for every sweep and block.
+	in.Arm(PointPivotFail, Any())
+	if !in.PivotFail(SweepFactor, 0) || !in.PivotFail(SweepPartial, 17) {
+		t.Fatal("wildcard rule did not fire")
+	}
+
+	// Sweep targeting: SweepSet gates the zero Sweep value correctly.
+	in.Arm(PointPivotFail, Rule{Sweep: SweepRefactor, SweepSet: true, Block: -1, Worker: -1})
+	if in.PivotFail(SweepFactor, 0) {
+		t.Error("sweep-targeted rule fired for wrong sweep")
+	}
+	if !in.PivotFail(SweepRefactor, 0) {
+		t.Error("sweep-targeted rule did not fire for its sweep")
+	}
+
+	// Block targeting, with block 0 as a real id (not a wildcard).
+	in.Arm(PointKernelNaN, Rule{Block: 0, Worker: -1})
+	if in.KernelNaN(SweepFactor, 5) {
+		t.Error("block-0 rule fired for block 5")
+	}
+	if !in.KernelNaN(SweepFactor, 0) {
+		t.Error("block-0 rule did not fire for block 0")
+	}
+
+	// Worker targeting on panic points.
+	in.Arm(PointWorkerPanic, Rule{Block: -1, Worker: 2})
+	in.WorkerPanic(SweepSolve, 1) // must not panic
+	func() {
+		defer func() {
+			if r := recover(); r != ErrInjectedPanic {
+				t.Errorf("worker-2 panic carried %v, want ErrInjectedPanic", r)
+			}
+		}()
+		in.WorkerPanic(SweepSolve, 2)
+		t.Error("worker-2 rule did not panic")
+	}()
+
+	// Disarm stops matching without touching other points.
+	in.Disarm(PointPivotFail)
+	if in.PivotFail(SweepRefactor, 0) {
+		t.Error("disarmed point fired")
+	}
+	if !in.KernelNaN(SweepFactor, 0) {
+		t.Error("Disarm of one point disturbed another")
+	}
+	in.DisarmAll()
+	if in.KernelNaN(SweepFactor, 0) {
+		t.Error("DisarmAll left a rule armed")
+	}
+}
+
+func TestTimesCapIsExact(t *testing.T) {
+	in := New()
+	in.Arm(PointPivotFail, AnyTimes(3))
+	fired := 0
+	for i := 0; i < 10; i++ {
+		if in.PivotFail(SweepND, i) {
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("Times=3 rule fired %d times", fired)
+	}
+	if got := in.Fired(PointPivotFail); got != 3 {
+		t.Fatalf("Fired reports %d, want 3", got)
+	}
+	// Re-arming resets the per-rule cap but not the cumulative counter.
+	in.Arm(PointPivotFail, AnyTimes(1))
+	if !in.PivotFail(SweepND, 0) {
+		t.Fatal("re-armed rule did not fire")
+	}
+	if got := in.Fired(PointPivotFail); got != 4 {
+		t.Fatalf("cumulative Fired reports %d, want 4", got)
+	}
+}
+
+func TestStallRuleSleeps(t *testing.T) {
+	in := New()
+	in.Arm(PointStall, Rule{Block: -1, Worker: -1, Times: 1, Stall: 20 * time.Millisecond})
+	t0 := time.Now()
+	in.StallPoint(SweepSolve, 0)
+	if d := time.Since(t0); d < 15*time.Millisecond {
+		t.Fatalf("stall slept %v, want ≥20ms", d)
+	}
+	// Times cap exhausted: no further sleep.
+	t0 = time.Now()
+	in.StallPoint(SweepSolve, 0)
+	if d := time.Since(t0); d > 10*time.Millisecond {
+		t.Fatalf("exhausted stall rule still slept %v", d)
+	}
+}

@@ -13,6 +13,8 @@
 //     new position k, so (PA)(k,:) = A(p[k],:).
 package sparse
 
+import "errors"
+
 // CSC is a sparse matrix in compressed sparse column format.
 type CSC struct {
 	M, N   int   // number of rows, columns
@@ -516,6 +518,31 @@ func (a *CSC) MaxAbs() float64 {
 		}
 	}
 	return m
+}
+
+// ErrNotFinite reports a NaN or Inf among the stored values.
+var ErrNotFinite = errors.New("sparse: matrix has non-finite values")
+
+// CheckFinite screens the stored values for NaN/Inf. One linear pass over
+// Values; allocation-free.
+func (a *CSC) CheckFinite() error {
+	for _, v := range a.Values[:a.Nnz()] {
+		// v != v catches NaN; the subtraction catches ±Inf without math.IsInf.
+		if v != v || v-v != 0 {
+			return ErrNotFinite
+		}
+	}
+	return nil
+}
+
+// Validate runs the full API-boundary screen: structural invariants
+// (Check) plus value finiteness (CheckFinite). It is the entry-point check
+// behind Options.ValidateInputs.
+func (a *CSC) Validate() error {
+	if err := a.Check(); err != nil {
+		return err
+	}
+	return a.CheckFinite()
 }
 
 // Check validates structural invariants: monotone Colptr, in-range row

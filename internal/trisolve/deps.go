@@ -4,6 +4,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/faultinject"
 	"repro/internal/sparse"
 	"repro/internal/trace"
 )
@@ -132,7 +133,7 @@ func (s *Solver) SolutionClosure(changedCols []int) []bool {
 // are written only by i's owner, and y values of a feeding block are read
 // only after its completion signal, so the sweep is race-free; the feed
 // ordering makes it bit-for-bit identical to the serial sweep.
-func (s *Solver) solveBlockParallel(rhs []float64, ws *Workspace) {
+func (s *Solver) solveBlockParallel(rhs []float64, ws *Workspace) error {
 	s.buildDeps()
 	num := s.num
 	sym := num.Sym
@@ -144,11 +145,28 @@ func (s *Solver) solveBlockParallel(rhs []float64, ws *Workspace) {
 	nb := sym.NumBlocks()
 	sig := ws.signals(nb)
 	rec := sym.Opts.Trace
+	inject := sym.Opts.Inject
 	var wg sync.WaitGroup
+	var errMu sync.Mutex
+	var firstErr error
 	for w := 0; w < s.workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			// Panic isolation: record the first panic and fail the fabric,
+			// so siblings blocked in dependency waits abort (Wait returns
+			// false) instead of deadlocking on the dead worker's slots.
+			defer func() {
+				if r := recover(); r != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = panicErr(r)
+					}
+					errMu.Unlock()
+					sig.Fail()
+				}
+			}()
+			inject.WorkerPanic(faultinject.SweepSolve, w)
 			wws := ws
 			if w != 0 {
 				wws = s.pool.get()
@@ -186,12 +204,19 @@ func (s *Solver) solveBlockParallel(rhs []float64, ws *Workspace) {
 						Worker: trace.SolveWorker(w), Block: int32(blk), Kind: trace.KindSolveBlock, Phase: trace.PhaseSolve})
 					waitNs = 0
 				}
+				inject.StallPoint(faultinject.SweepSolve, blk)
 				sig.Set(blk)
 			}
 		}(w)
 	}
 	wg.Wait()
+	if firstErr != nil {
+		// rhs is left as-is (partially solved values never leave y); the
+		// factorization itself is untouched — solves only read it.
+		return firstErr
+	}
 	for k := 0; k < n; k++ {
 		rhs[sym.ColPerm[k]] = y[k]
 	}
+	return nil
 }

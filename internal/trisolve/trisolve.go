@@ -27,10 +27,14 @@
 package trisolve
 
 import (
+	"fmt"
+	"math"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/sparse"
 )
 
@@ -111,16 +115,34 @@ func New(num *core.Numeric, opt Options) *Solver {
 	}
 }
 
+// panicErr converts a recovered solve-phase panic into the numeric
+// engine's internal-panic error, carrying the panic value and stack.
+func panicErr(r any) error {
+	if e, ok := r.(error); ok {
+		// Keep error-typed panic values in the chain so callers can match
+		// them with errors.Is through the ErrInternalPanic wrapper.
+		return fmt.Errorf("%w: %w\n%s", core.ErrInternalPanic, e, debug.Stack())
+	}
+	return fmt.Errorf("%w: %v\n%s", core.ErrInternalPanic, r, debug.Stack())
+}
+
 // Solve solves A·x = b in place. Reentrant and allocation-free in steady
-// state on the serial path.
-func (s *Solver) Solve(b []float64) {
+// state on the serial path. On a non-nil error (a recovered panic in a
+// sweep) b is unspecified; the factorization itself is unharmed, solves
+// are read-only against it.
+func (s *Solver) Solve(b []float64) (err error) {
 	ws := s.pool.get()
 	defer s.pool.put(ws)
+	defer func() {
+		if r := recover(); r != nil {
+			err = panicErr(r)
+		}
+	}()
 	if s.blockPar {
-		s.solveBlockParallel(b, ws)
-		return
+		return s.solveBlockParallel(b, ws)
 	}
 	s.num.SolveInto(b, ws.y, ws.scratch)
+	return nil
 }
 
 // SolveMany solves A·xᵢ = bᵢ in place for every right-hand side. The batch
@@ -129,11 +151,16 @@ func (s *Solver) Solve(b []float64) {
 // before moving on), and panels are distributed over the worker
 // goroutines. Per right-hand side the operation sequence is identical to
 // Solve.
-func (s *Solver) SolveMany(bs [][]float64) {
+func (s *Solver) SolveMany(bs [][]float64) (err error) {
 	k := len(bs)
 	if k == 0 {
-		return
+		return nil
 	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = panicErr(r)
+		}
+	}()
 	// Panel width: fill maxPanel columns when serial, but never leave a
 	// worker idle — with few right-hand sides and many workers, narrower
 	// panels spread the batch across the goroutines.
@@ -152,23 +179,38 @@ func (s *Solver) SolveMany(bs [][]float64) {
 		for lo := 0; lo < k; lo += width {
 			s.solvePanel(bs[lo:min(lo+width, k)])
 		}
-		return
+		return nil
 	}
-	s.solveManyParallel(bs, width, nchunks, nw)
+	return s.solveManyParallel(bs, width, nchunks, nw)
 }
 
 // solveManyParallel distributes panel chunks over nw worker goroutines
 // through a shared atomic cursor. Kept out of SolveMany so the serial path
 // stays allocation-free (the worker closures would otherwise force their
-// captures onto the heap on every call).
-func (s *Solver) solveManyParallel(bs [][]float64, width, nchunks, nw int) {
+// captures onto the heap on every call). A panicking worker records the
+// first error and stops; the cursor lets the surviving workers drain the
+// remaining panels, so the WaitGroup join always quiesces.
+func (s *Solver) solveManyParallel(bs [][]float64, width, nchunks, nw int) error {
 	k := len(bs)
+	inject := s.num.Sym.Opts.Inject
 	var next atomic.Int64
 	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
 	for w := 0; w < nw; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = panicErr(r)
+					}
+					mu.Unlock()
+				}
+			}()
+			inject.WorkerPanic(faultinject.SweepSolve, w)
 			for {
 				c := int(next.Add(1)) - 1
 				if c >= nchunks {
@@ -177,20 +219,21 @@ func (s *Solver) solveManyParallel(bs [][]float64, width, nchunks, nw int) {
 				lo := c * width
 				s.solvePanel(bs[lo:min(lo+width, k)])
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
+	return firstErr
 }
 
 // SolveMatrix solves the column-major n×nrhs system A·X = B in place:
 // x holds nrhs right-hand sides of length n back to back.
-func (s *Solver) SolveMatrix(x []float64, nrhs int) {
+func (s *Solver) SolveMatrix(x []float64, nrhs int) error {
 	n := s.num.Sym.N
 	cols := make([][]float64, nrhs)
 	for c := range cols {
 		cols[c] = x[c*n : (c+1)*n]
 	}
-	s.SolveMany(cols)
+	return s.SolveMany(cols)
 }
 
 // solvePanel runs the blocked BTF back-substitution over one panel of
@@ -222,52 +265,124 @@ func (s *Solver) solvePanel(cols [][]float64) {
 	}
 }
 
-// SolveRefined solves A·x = b with iterative refinement against the matrix
-// a that was factored (or refactored): after the direct solve, up to iters
-// steps of x += A⁻¹(b − A·x). b is overwritten with x; the returned value
-// is the final residual ∞-norm relative to ‖b‖∞. All scratch comes from
-// the workspace pool.
-func (s *Solver) SolveRefined(a *sparse.CSC, b []float64, iters int) float64 {
+// RefineResult reports what an iterative-refinement solve achieved.
+type RefineResult struct {
+	// Iterations is the number of correction steps applied (the direct
+	// solve is step zero and is not counted).
+	Iterations int
+	// BackwardError is the final Oettli–Prager componentwise relative
+	// backward error ω = maxᵢ |b−Ax|ᵢ / (|A||x|+|b|)ᵢ: the size of the
+	// smallest componentwise perturbation of A and b for which x is an
+	// exact solution. At or below RefineTol, x is as good as the working
+	// precision allows.
+	BackwardError float64
+	// Residual is the final ∞-norm residual ‖b−Ax‖∞ / ‖b‖∞ (the normwise
+	// diagnostic the previous refinement API reported).
+	Residual float64
+	// Converged reports that BackwardError reached RefineTol.
+	Converged bool
+	// Stagnated reports that refinement stopped early because a step failed
+	// to at least halve the backward error — the classic symptom of a
+	// factorization too inaccurate for refinement to help (severe
+	// ill-conditioning), at which point further solves only burn time.
+	Stagnated bool
+}
+
+// RefineTol is the componentwise backward-error target of SolveRefined:
+// a small multiple of the double-precision unit roundoff, the level LAPACK
+// refinement drives ω to.
+const RefineTol = 4 * 2.220446049250313e-16
+
+// SolveRefined solves A·x = b with convergent iterative refinement against
+// the matrix a that was factored (or refactored): after the direct solve,
+// correction steps x += A⁻¹(b − A·x) run until the Oettli–Prager
+// componentwise backward error reaches RefineTol, a step fails to make
+// progress (stagnation), or maxIters corrections have been applied. b is
+// overwritten with x. All scratch comes from the workspace pool; the
+// backward-error pass shares the residual's single sweep over a.
+func (s *Solver) SolveRefined(a *sparse.CSC, b []float64, maxIters int) (res RefineResult, err error) {
 	ws := s.pool.get()
 	defer s.pool.put(ws)
+	defer func() {
+		if r := recover(); r != nil {
+			err = panicErr(r)
+		}
+	}()
 	n := a.N
-	r, rhs := ws.refine(n)
+	r, rhs, den := ws.refine(n)
 	copy(rhs, b)
 	s.num.SolveInto(b, ws.y, ws.scratch)
 	scale := 0.0
 	for _, v := range rhs {
-		if v < 0 {
-			v = -v
-		}
-		if v > scale {
+		if v := math.Abs(v); v > scale {
 			scale = v
 		}
 	}
 	if scale == 0 {
 		scale = 1
 	}
-	res := 0.0
-	for it := 0; it <= iters; it++ {
-		a.MulVec(r, b)
-		res = 0
-		for i := range r {
-			r[i] = rhs[i] - r[i]
-			d := r[i]
-			if d < 0 {
-				d = -d
-			}
-			if d > res {
-				res = d
-			}
+	prev := math.Inf(1)
+	for it := 0; ; it++ {
+		omega, resid := backwardError(a, b, rhs, r, den)
+		res.Iterations = it
+		res.BackwardError = omega
+		res.Residual = resid / scale
+		if omega <= RefineTol {
+			res.Converged = true
+			return res, nil
 		}
-		res /= scale
-		if it == iters || res == 0 {
-			break
+		if it >= maxIters {
+			return res, nil
 		}
+		if omega > 0.5*prev {
+			// The last correction did not at least halve ω: stagnation.
+			res.Stagnated = true
+			return res, nil
+		}
+		prev = omega
 		s.num.SolveInto(r, ws.y, ws.scratch)
 		for i := range b {
 			b[i] += r[i]
 		}
 	}
-	return res
+}
+
+// backwardError computes, in one pass over a's columns, the residual
+// r = rhs − A·x and the Oettli–Prager denominator den = |A|·|x| + |rhs|,
+// returning the componentwise backward error ω = maxᵢ |r|ᵢ/denᵢ (rows with
+// a zero denominator and a nonzero residual yield +Inf) and the plain
+// residual ∞-norm.
+func backwardError(a *sparse.CSC, x, rhs, r, den []float64) (omega, resid float64) {
+	for i := range r {
+		r[i] = rhs[i]
+		den[i] = math.Abs(rhs[i])
+	}
+	for j := 0; j < a.N; j++ {
+		xj := x[j]
+		if xj == 0 {
+			continue
+		}
+		axj := math.Abs(xj)
+		for p := a.Colptr[j]; p < a.Colptr[j+1]; p++ {
+			i := a.Rowidx[p]
+			v := a.Values[p]
+			r[i] -= v * xj
+			den[i] += math.Abs(v) * axj
+		}
+	}
+	for i := range r {
+		ri := math.Abs(r[i])
+		if ri > resid {
+			resid = ri
+		}
+		switch {
+		case den[i] > 0:
+			if w := ri / den[i]; w > omega {
+				omega = w
+			}
+		case ri != 0:
+			omega = math.Inf(1)
+		}
+	}
+	return omega, resid
 }

@@ -179,9 +179,18 @@ func TestSolveRefinedPooled(t *testing.T) {
 	x := randRHS(a.N, 21)
 	b := make([]float64, a.N)
 	a.MulVec(b, x)
-	res := s.SolveRefined(a, b, 3)
-	if res > 1e-12 {
-		t.Fatalf("refined residual %g too large", res)
+	res, err := s.SolveRefined(a, b, 3)
+	if err != nil {
+		t.Fatalf("SolveRefined: %v", err)
+	}
+	if res.Residual > 1e-12 {
+		t.Fatalf("refined residual %g too large", res.Residual)
+	}
+	if !res.Converged {
+		t.Errorf("refinement did not converge: %+v", res)
+	}
+	if res.BackwardError > RefineTol {
+		t.Errorf("backward error %g above RefineTol", res.BackwardError)
 	}
 	checkSolution(t, b, x)
 }

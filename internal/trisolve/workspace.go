@@ -17,6 +17,7 @@ type Workspace struct {
 	scratch []float64 // diagonal-block pivot scratch, length SolveScratchLen
 	r       []float64 // refinement residual, length n (lazily sized)
 	rhs     []float64 // refinement saved RHS, length n (lazily sized)
+	den     []float64 // Oettli–Prager denominator |A||x|+|b|, length n (lazily sized)
 
 	panel []float64            // column-major multi-RHS panel, grown on demand
 	views [][]float64          // per-column views into panel, maxPanel wide
@@ -48,14 +49,16 @@ func newWorkspace(sym *core.Symbolic) *Workspace {
 	}
 }
 
-// refine returns the residual and saved-RHS buffers, sizing them on first
-// use so plain solves never pay for refinement scratch.
-func (w *Workspace) refine(n int) (r, rhs []float64) {
+// refine returns the residual, saved-RHS and backward-error denominator
+// buffers, sizing them on first use so plain solves never pay for
+// refinement scratch.
+func (w *Workspace) refine(n int) (r, rhs, den []float64) {
 	if len(w.r) < n {
 		w.r = make([]float64, n)
 		w.rhs = make([]float64, n)
+		w.den = make([]float64, n)
 	}
-	return w.r[:n], w.rhs[:n]
+	return w.r[:n], w.rhs[:n], w.den[:n]
 }
 
 // panelBuf returns a column-major n×k buffer, growing the retained slice

@@ -55,6 +55,9 @@ type Pool struct {
 	// evictions counts idle factorizations dropped by the capacity cap or
 	// the idle-age limit.
 	evictions uint64
+	// poisonEvictions counts released factorizations dropped because a
+	// failed or panicked refresh left their numerics poisoned.
+	poisonEvictions uint64
 }
 
 type poolEntry struct {
@@ -189,9 +192,13 @@ func (p *Pool) Acquire(a *Matrix) (*Lease, error) {
 		if err := entry.f.RefactorAuto(a); err != nil {
 			// A same-pattern matrix whose values defeat the cached pivot
 			// sequence: fall back to a fresh factorization with new pivots,
-			// recycling the entry's storage.
+			// recycling the entry's storage; if even that pivots into trouble,
+			// retry once with full partial pivoting before giving up on the
+			// recycled storage.
 			if err := entry.f.num.FactorInto(a); err != nil {
-				return p.factorMiss(a, key) // storage discarded
+				if err := entry.f.num.FactorIntoTol(a, 1.0); err != nil {
+					return p.factorMiss(a, key) // storage discarded
+				}
 			}
 			p.mu.Lock()
 			p.factorReuses++
@@ -316,6 +323,15 @@ func (p *Pool) factorMiss(a *Matrix, key uint64) (*Lease, error) {
 // must not be used after Release.
 func (l *Lease) Release() {
 	p := l.pool
+	if l.entry.f.num.Poisoned() {
+		// A failed refresh left the numerics unspecified; never hand such an
+		// entry to the next Acquire — drop it so the pattern's next lease
+		// rebuilds from scratch.
+		p.mu.Lock()
+		p.poisonEvictions++
+		p.mu.Unlock()
+		return
+	}
 	p.mu.Lock()
 	p.evictExpiredLocked()
 	if len(p.idle[l.entry.key]) < p.maxIdle {
@@ -334,9 +350,9 @@ func (p *Pool) Solve(a *Matrix, b []float64) error {
 	if err != nil {
 		return err
 	}
-	lease.Solve(b)
+	err = lease.Solve(b)
 	lease.Release()
-	return nil
+	return err
 }
 
 // SolveMany is Pool.Solve for a batch of right-hand sides.
@@ -345,9 +361,9 @@ func (p *Pool) SolveMany(a *Matrix, bs [][]float64) error {
 	if err != nil {
 		return err
 	}
-	lease.SolveMany(bs)
+	err = lease.SolveMany(bs)
 	lease.Release()
-	return nil
+	return err
 }
 
 // PoolStats reports cache effectiveness counters.
@@ -365,6 +381,9 @@ type PoolStats struct {
 	// Evictions counts idle factorizations dropped by the capacity cap or
 	// the idle-age limit.
 	Evictions uint64
+	// PoisonEvictions counts released factorizations discarded because a
+	// failed or panicked refresh poisoned their numerics.
+	PoisonEvictions uint64
 	// Idle counts factorizations currently cached.
 	Idle int
 	// CachedSymbolics counts sparsity patterns holding a cached symbolic
@@ -386,6 +405,7 @@ func (p *Pool) Stats() PoolStats {
 		Misses:          p.misses,
 		FactorReuses:    p.factorReuses,
 		Evictions:       p.evictions,
+		PoisonEvictions: p.poisonEvictions,
 		Idle:            idle,
 		CachedSymbolics: p.symCount,
 	}
