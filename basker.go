@@ -93,6 +93,15 @@ type Options struct {
 	// fine-ND kernels switch to the dense panel layer. 0 selects the
 	// default; values above 1 never trigger.
 	DenseKernelThreshold float64
+	// SupernodeRelax overrides the relaxed-amalgamation bound of the
+	// elimination-tree supernode detection inside fine-ND leaf diagonals
+	// (the largest merged column run that is not a pure etree chain;
+	// SuperLU's relaxation parameter). 0 selects the default.
+	SupernodeRelax int
+	// NoSupernodes disables elimination-tree supernode detection: every
+	// moderate-density leaf diagonal factors column at a time (exists for
+	// the ablation study).
+	NoSupernodes bool
 	// Trace, when non-nil, records per-kernel scheduler events from every
 	// phase (analyze, factor, refactor, partial refactor, parallel solve)
 	// into the given recorder: per-sweep profiles come back through
@@ -145,6 +154,8 @@ func (o Options) internal() core.Options {
 	}
 	c.NoDenseKernels = o.NoDenseKernels
 	c.DenseKernelThreshold = o.DenseKernelThreshold
+	c.SupernodeRelax = o.SupernodeRelax
+	c.NoSupernodes = o.NoSupernodes
 	c.Trace = o.Trace
 	c.ValidateInputs = o.ValidateInputs
 	c.Inject = o.inject
@@ -548,6 +559,12 @@ type Stats struct {
 	// executions actually routed through it during the last numeric sweep.
 	DenseKernels    int
 	DenseKernelHits int64
+	// Supernodes counts the wide (two or more column) supernodes the
+	// analysis detected in fine-ND leaf diagonals; SupernodeHits counts the
+	// leaf-diagonal factorizations or refreshes the last numeric sweep
+	// actually ran through the supernodal panel path.
+	Supernodes    int
+	SupernodeHits int64
 	// PivotFallbacks counts per-block fresh-pivot fallbacks refresh sweeps
 	// have taken over this factorization's lifetime (reused pivot
 	// sequences defeated by value drift).
@@ -583,6 +600,8 @@ func (f *Factorization) Stats(a *Matrix) Stats {
 		NDBlocks:         f.num.Sym.NumNDBlocks(),
 		DenseKernels:     f.num.Sym.DenseKernels(),
 		DenseKernelHits:  f.num.DenseKernelHits(),
+		Supernodes:       f.num.Sym.Supernodes(),
+		SupernodeHits:    f.num.SupernodeHits(),
 		PivotFallbacks:   f.num.PivotFallbacks(),
 		DirtyBlocks:      f.num.LastDirtyBlocks(),
 		DirtyBlocksTotal: f.num.DirtyBlocksTotal(),

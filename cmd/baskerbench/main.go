@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	baskerbench -experiment=table1|table2|fig5|fig6a|fig6b|fig7a|fig7b|fig7c|fig8|xyce|sync|geomean|ablation|solve|refactor|factor|incremental|all
+//	baskerbench -experiment=table1|table2|fig5|fig6a|fig6b|fig7a|fig7b|fig7c|fig8|xyce|sync|geomean|ablation|solve|refactor|factor|incremental|densend|denserefresh|all
 //	            [-scale=1.0] [-maxcores=16] [-seqlen=200] [-mintime=50ms] [-refactorjson=BENCH_refactor.json]
 //	            [-factorjson=BENCH_factor.json] [-incrementaljson=BENCH_incremental.json]
 //
@@ -50,6 +50,8 @@ var (
 		"output path for the incremental-refactorization trajectory JSON (incremental experiment); empty disables the file")
 	densendJSON = flag.String("densendjson", "BENCH_densend.json",
 		"output path for the dense-ND kernel trajectory JSON (densend experiment); empty disables the file")
+	denserefreshJSON = flag.String("denserefreshjson", "BENCH_denserefresh.json",
+		"output path for the dense/supernodal refresh trajectory JSON (denserefresh experiment); empty disables the file")
 	traceOut = flag.String("trace", "",
 		"write the scheduler timeline of the traced experiments (refactor, factor) as Chrome trace-event JSON to this path (loadable in Perfetto), and print per-sweep scheduler summaries")
 )
@@ -114,6 +116,7 @@ func main() {
 	run("factor", factorTrajectory)
 	run("incremental", incrementalTrajectory)
 	run("densend", densendTrajectory)
+	run("denserefresh", denserefreshTrajectory)
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {
@@ -1221,6 +1224,194 @@ func densendTrajectory() {
 		return
 	}
 	fmt.Printf("  trajectory written to %s\n", *densendJSON)
+}
+
+// ---- denserefresh: dense panel refresh sweeps + etree supernodes ----
+
+// denserefreshTrajectory measures the refresh side of the dense kernel
+// layer on the fill-heavy subset the tentpole targets: the same-pattern
+// Refactor and the change-set-restricted RefactorPartial through the
+// dense-fed refresh kernels (dense refactor, in-place TRSM refresh, dense
+// rank-k reduce) and the supernodal panels, against the entry-at-a-time
+// NoDenseKernels refresh and the NoSupernodes ablation. The trajectory
+// lands in BENCH_denserefresh.json; acceptance is a >=1.25x geomean on the
+// fill-heavy Refactor column.
+func denserefreshTrajectory() {
+	fmt.Println("Dense/supernodal refresh sweeps: Refactor + RefactorPartial, dense vs ablations")
+	fmt.Println("(wall-clock on this host, fill-heavy subset: G2_Circuit, twotone, onetone1)")
+	wall := func(f func()) float64 { return perf.Time(*minTime, f) }
+	fillHeavy := map[string]bool{"G2_Circuit": true, "twotone": true, "onetone1": true}
+	type point struct {
+		Name            string  `json:"name"`
+		N               int     `json:"n"`
+		Nnz             int     `json:"nnz"`
+		DenseKernels    int     `json:"dense_kernels"`
+		Supernodes      int     `json:"supernodes"`
+		RefreshDense    float64 `json:"refactor_dense_s"`
+		RefreshNoDense  float64 `json:"refactor_nodense_s"`
+		RefreshNoSnode  float64 `json:"refactor_nosnode_s"`
+		PartialDense    float64 `json:"partial_dense_s"`
+		PartialNoDense  float64 `json:"partial_nodense_s"`
+		RefreshSpeedup  float64 `json:"refactor_speedup"`
+		PartialSpeedup  float64 `json:"partial_speedup"`
+		SnodeContribPct float64 `json:"snode_contrib_pct"`
+	}
+	type report struct {
+		Scale          float64 `json:"scale"`
+		Threads        int     `json:"threads"`
+		Matrices       []point `json:"matrices"`
+		GeomeanRefresh float64 `json:"geomean_refactor_speedup"`
+		GeomeanPartial float64 `json:"geomean_partial_speedup"`
+		AcceptanceNote string  `json:"acceptance_note"`
+	}
+	rep := report{
+		Scale: *scale, Threads: *maxCores,
+		AcceptanceNote: "geomean_refactor_speedup >= 1.25 on the fill-heavy subset",
+	}
+	var rows [][]string
+	var refSp, parSp []float64
+	type trialCase struct {
+		name      string
+		gen       func() *sparse.CSC
+		inGeomean bool
+		threads   int
+	}
+	var cases []trialCase
+	for _, m := range matgen.TableISuite(*scale) {
+		if fillHeavy[m.Name] {
+			m := m
+			cases = append(cases, trialCase{m.Name, m.Gen, true, *maxCores})
+		}
+	}
+	// One moderate-density 3D-stencil row outside the acceptance geomean,
+	// measured serially: one large leaf diagonal is the regime where etree
+	// supernodes (not area-threshold dense tags) supply the blocked panels,
+	// so the supernode contribution column is measured on its home turf too.
+	cases = append(cases, trialCase{"stencil3d", func() *sparse.CSC {
+		n := int(3000 * *scale)
+		if n < 200 {
+			n = 200
+		}
+		return matgen.Circuit(matgen.CircuitParams{
+			N: n, BTFPct: 0, Blocks: 1 + n/50,
+			Core: matgen.CoreGrid3D, ExtraDensity: 0.2, Seed: 5,
+		})
+	}, false, 1})
+	for _, m := range cases {
+		base := m.gen()
+		// Refresh trajectories: a short ring of same-pattern transient steps
+		// for the full sweep, and change-set-localized steps for the partial
+		// sweep (the contract requires cols to cover every changed column).
+		steps := make([]*sparse.CSC, 4)
+		for i := range steps {
+			steps[i] = matgen.TransientStep(base, i+1, 31)
+		}
+		cols := matgen.ChangeSet(base.N, 0.05, 17, true)
+		psteps := make([]*sparse.CSC, 4)
+		for i := range psteps {
+			psteps[i] = matgen.PerturbColumns(base, cols, i+1, 31)
+		}
+		variant := func(mut func(*core.Options)) (*core.Symbolic, *core.Numeric, error) {
+			opts := core.DefaultOptions()
+			opts.Threads = m.threads
+			if mut != nil {
+				mut(&opts)
+			}
+			sym, err := core.Analyze(base, opts)
+			if err != nil {
+				return nil, nil, err
+			}
+			num, err := core.Factor(base, sym)
+			if err != nil {
+				return nil, nil, err
+			}
+			return sym, num, num.Refactor(base)
+		}
+		refreshLoop := func(num *core.Numeric, ring []*sparse.CSC) float64 {
+			i := 0
+			return wall(func() {
+				i++
+				if err := num.Refactor(ring[i%len(ring)]); err != nil {
+					fatalf("%s: refactor: %v", m.name, err)
+				}
+			})
+		}
+		symD, numD, err := variant(nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: dense variant: %v\n", m.name, err)
+			continue
+		}
+		_, numS, err := variant(func(o *core.Options) { o.NoDenseKernels = true; o.NoSupernodes = true })
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: sparse ablation: %v\n", m.name, err)
+			continue
+		}
+		_, numNoSn, err := variant(func(o *core.Options) { o.NoSupernodes = true })
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: nosupernode ablation: %v\n", m.name, err)
+			continue
+		}
+		pt := point{
+			Name: m.name, N: base.N, Nnz: base.Nnz(),
+			DenseKernels: symD.DenseKernels(),
+			Supernodes:   symD.Supernodes(),
+		}
+		pt.RefreshDense = refreshLoop(numD, steps)
+		pt.RefreshNoDense = refreshLoop(numS, steps)
+		pt.RefreshNoSnode = refreshLoop(numNoSn, steps)
+		i := 0
+		partialLoop := func(num *core.Numeric) float64 {
+			return wall(func() {
+				i++
+				if err := num.RefactorPartial(psteps[i%len(psteps)], cols); err != nil {
+					fatalf("%s: refactor-partial: %v", m.name, err)
+				}
+			})
+		}
+		pt.PartialDense = partialLoop(numD)
+		pt.PartialNoDense = partialLoop(numS)
+		pt.RefreshSpeedup = pt.RefreshNoDense / pt.RefreshDense
+		pt.PartialSpeedup = pt.PartialNoDense / pt.PartialDense
+		// Supernode contribution: how much of the refresh win vanishes when
+		// only the supernodal panels are ablated (dense tags kept).
+		if pt.RefreshNoSnode > 0 {
+			pt.SnodeContribPct = 100 * (pt.RefreshNoSnode - pt.RefreshDense) / pt.RefreshNoSnode
+		}
+		rep.Matrices = append(rep.Matrices, pt)
+		if m.inGeomean {
+			refSp = append(refSp, pt.RefreshSpeedup)
+			parSp = append(parSp, pt.PartialSpeedup)
+		}
+		rows = append(rows, []string{
+			m.name,
+			fmt.Sprintf("%d", pt.DenseKernels),
+			fmt.Sprintf("%d", pt.Supernodes),
+			fmt.Sprintf("%.1f", pt.RefreshDense*1e6),
+			fmt.Sprintf("%.1f", pt.RefreshNoDense*1e6),
+			fmt.Sprintf("%.2fx", pt.RefreshSpeedup),
+			fmt.Sprintf("%.2fx", pt.PartialSpeedup),
+			fmt.Sprintf("%.1f%%", pt.SnodeContribPct),
+		})
+	}
+	fmt.Print(perf.Table(
+		[]string{"Matrix", "dense kernels", "supernodes", "refresh us", "entrywise us", "refresh speedup", "partial speedup", "snode share"}, rows))
+	rep.GeomeanRefresh = perf.GeoMean(refSp)
+	rep.GeomeanPartial = perf.GeoMean(parSp)
+	fmt.Printf("  geomean refresh speedup %.2fx (acceptance ≥1.25x), partial %.2fx\n",
+		rep.GeomeanRefresh, rep.GeomeanPartial)
+	if *denserefreshJSON == "" {
+		return
+	}
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "denserefresh json:", err)
+		return
+	}
+	if err := os.WriteFile(*denserefreshJSON, append(blob, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "denserefresh json:", err)
+		return
+	}
+	fmt.Printf("  trajectory written to %s\n", *denserefreshJSON)
 }
 
 // ---- solve phase: the concurrent solve subsystem (internal/trisolve) ----

@@ -319,6 +319,20 @@ func (num *Numeric) DenseKernelHits() int64 {
 	return total
 }
 
+// SupernodeHits reports how many fine-ND leaf-diagonal factorizations or
+// refreshes went through the supernodal panel path across the last
+// numeric sweep, summed over the ND blocks (the numeric-side counterpart
+// of Symbolic.Supernodes' static count).
+func (num *Numeric) SupernodeHits() int64 {
+	total := int64(0)
+	for _, ndn := range num.nd {
+		if ndn != nil {
+			total += ndn.snHits.Load()
+		}
+	}
+	return total
+}
+
 // LastDirtyBlocks reports how many coarse blocks the most recent
 // incremental refresh (RefactorPartial/RefactorAuto) actually reworked;
 // DirtyBlocksTotal is the cumulative count across all incremental calls.
@@ -633,7 +647,12 @@ func analyzeND(sym *Symbolic, b *sparse.CSC, blk, r0, r1 int, rowPerm, colPerm [
 	ns := newNDSym(tree)
 	// Algorithm 3: parallel symbolic estimation over the final 2D layout,
 	// so the numeric phase can pre-size factor storage.
-	ns.est = estimateND(d.Permute(rowL, colL), ns)
+	dp := d.Permute(rowL, colL)
+	ns.est = estimateND(dp, ns)
+	// Supernode detection before the dense tags: moderate-density leaf
+	// diagonals get elimination-tree panels, and computeDenseTags tags
+	// couplings onto supernodal leaves the same way it does dense ones.
+	ns.computeSupernodes(dp, opts)
 	// Density-adaptive kernel classification: fill-heavy separator kernels
 	// are tagged here, once per analysis, for the dense panel layer.
 	ns.computeDenseTags(opts)

@@ -13,9 +13,11 @@ import (
 // generated matrix and threshold — including the edge values 0 (default),
 // a tiny epsilon (everything eligible goes dense), 1 (only estimate-
 // saturating kernels) and 2 (nothing, the sparse path through the
-// threshold alone) — the dense-path factorization must not panic, must
-// solve to residuals on par with the NoDenseKernels oracle, and must agree
-// with it again after a same-pattern Refactor and a change-set-restricted
+// threshold alone) — and across the supernodal dimension (the NoSupernodes
+// ablation and relaxation bounds 4/8/16): the blocked-path factorization
+// must not panic, must solve to residuals on par with the plain-sparse
+// oracle (NoDenseKernels + NoSupernodes), and must agree with it again
+// after a same-pattern Refactor and a change-set-restricted
 // RefactorPartial.
 //
 // Run the smoke locally with:
@@ -24,13 +26,17 @@ import (
 func FuzzFactorSolve(f *testing.F) {
 	// Seed corpus: every core kind, every threshold class, serial and
 	// parallel, with and without small BTF blocks.
-	f.Add(int64(1), uint8(0), uint8(0), uint16(200), uint8(0), uint8(1))
-	f.Add(int64(2), uint8(1), uint8(1), uint16(300), uint8(30), uint8(2))
-	f.Add(int64(3), uint8(2), uint8(0), uint16(400), uint8(0), uint8(4))
-	f.Add(int64(4), uint8(2), uint8(2), uint16(350), uint8(50), uint8(3))
-	f.Add(int64(5), uint8(2), uint8(3), uint16(256), uint8(10), uint8(2))
-	f.Add(int64(6), uint8(0), uint8(1), uint16(64), uint8(100), uint8(1))
-	f.Fuzz(func(t *testing.T, seed int64, coreSel, thrSel uint8, nSel uint16, btfPct, threads uint8) {
+	f.Add(int64(1), uint8(0), uint8(0), uint16(200), uint8(0), uint8(1), uint8(1))
+	f.Add(int64(2), uint8(1), uint8(1), uint16(300), uint8(30), uint8(2), uint8(0))
+	f.Add(int64(3), uint8(2), uint8(0), uint16(400), uint8(0), uint8(4), uint8(2))
+	f.Add(int64(4), uint8(2), uint8(2), uint16(350), uint8(50), uint8(3), uint8(3))
+	f.Add(int64(5), uint8(2), uint8(3), uint16(256), uint8(10), uint8(2), uint8(1))
+	f.Add(int64(6), uint8(0), uint8(1), uint16(64), uint8(100), uint8(1), uint8(0))
+	// Supernode-focused seeds: 3D stencil with moderate extra density and a
+	// zero dense threshold, across the relaxation bounds.
+	f.Add(int64(7), uint8(2), uint8(0), uint16(440), uint8(0), uint8(4), uint8(2))
+	f.Add(int64(8), uint8(2), uint8(0), uint16(380), uint8(20), uint8(1), uint8(3))
+	f.Fuzz(func(t *testing.T, seed int64, coreSel, thrSel uint8, nSel uint16, btfPct, threads, snSel uint8) {
 		n := 64 + int(nSel)%448
 		thr := []float64{0, 1e-9, 1, 2}[int(thrSel)%4]
 		a := matgen.Circuit(matgen.CircuitParams{
@@ -44,6 +50,11 @@ func FuzzFactorSolve(f *testing.F) {
 		opts := DefaultOptions()
 		opts.Threads = 1 + int(threads)%4
 		opts.DenseKernelThreshold = thr
+		if snSel%4 == 0 {
+			opts.NoSupernodes = true
+		} else {
+			opts.SupernodeRelax = []int{4, 8, 16}[int(snSel)%4-1]
+		}
 		sym, err := Analyze(a, opts)
 		if err != nil {
 			t.Skip() // degenerate structure; nothing to compare
@@ -51,6 +62,7 @@ func FuzzFactorSolve(f *testing.F) {
 		num, derr := Factor(a, sym)
 		oOpts := opts
 		oOpts.NoDenseKernels = true
+		oOpts.NoSupernodes = true
 		oracle, serr := FactorDirect(a, oOpts)
 		if (derr == nil) != (serr == nil) {
 			t.Fatalf("dense/sparse disagree on factorability: dense %v, sparse %v", derr, serr)

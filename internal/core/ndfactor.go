@@ -38,6 +38,13 @@ type ndSym struct {
 	// time. nil when nothing is tagged (including NoDenseKernels and the
 	// est-free unit-test path).
 	dense []bool
+	// snodes[b], when non-nil, is the supernode partition (xsup boundaries)
+	// of leaf diagonal b, detected from its column elimination tree at
+	// Analyze time: the block factors through gp.FactorSupernodalInto and
+	// refreshes through gp.RefactorSupernodal. Only leaf diagonals that the
+	// dense-tag gate did not claim are candidates. nil when nothing merged
+	// (including Options.NoSupernodes and the est-free unit-test path).
+	snodes [][]int
 	// grid caches the 2D input-block patterns and their entry maps into the
 	// globally permuted matrix, built once at Analyze time so every numeric
 	// factorization gathers block values instead of re-extracting them.
@@ -221,6 +228,9 @@ type ndNum struct {
 	// denseHits counts kernel executions routed through the dense panel
 	// layer — the numeric-side counterpart of Symbolic.DenseKernels.
 	denseHits atomic.Int64
+	// snHits counts kernel executions routed through the supernodal blocked
+	// panels — the numeric-side counterpart of Symbolic.Supernodes.
+	snHits atomic.Int64
 
 	// phaseDur[t][phase] is thread t's compute time in each step of the
 	// static schedule. All threads traverse the same phase sequence, so the
@@ -736,6 +746,13 @@ func (num *ndNum) factorDiag(b int, m *sparse.CSC, ws *gp.Workspace, t int) erro
 	hint := 0
 	if num.sym.est != nil {
 		hint = num.sym.est.diagNnz[b]
+	}
+	if sn := num.sym.snodesOf(b); sn != nil {
+		num.snHits.Add(1)
+		if err := gp.FactorSupernodalInto(num.diag[b], m, sn, hint, num.opts.gpOptions(), ws, num.denseWS(t)); err != nil {
+			return fmt.Errorf("core: nd diag block %d: %w", b, err)
+		}
+		return nil
 	}
 	if err := gp.FactorInto(num.diag[b], m, hint, num.opts.gpOptions(), ws); err != nil {
 		return fmt.Errorf("core: nd diag block %d: %w", b, err)

@@ -175,8 +175,9 @@ func (num *ndNum) refactorWorker(t int, st *ndIncState) {
 		defer num.flushWait(t, &waitMark)
 	}
 	// record emits one trace event for a just-timed kernel span, carrying
-	// the blocked wait accumulated since the previous event.
-	record := func(d time.Duration) {
+	// the blocked wait accumulated since the previous event and the kernel
+	// kind the span ran on (dense refresh, supernodal panel, or sparse).
+	record := func(d time.Duration, kind trace.Kind) {
 		if rec == nil {
 			return
 		}
@@ -187,7 +188,7 @@ func (num *ndNum) refactorWorker(t int, st *ndIncState) {
 			Wait:   num.fwait[t] - waitMark,
 			Worker: trace.NDWorker(num.blk, t),
 			Block:  int32(num.blk),
-			Kind:   trace.KindNDKernel,
+			Kind:   kind,
 			Phase:  num.phase,
 		})
 		waitMark = num.fwait[t]
@@ -195,19 +196,47 @@ func (num *ndNum) refactorWorker(t int, st *ndIncState) {
 	var busy float64
 
 	// ---- treelevel -1: refresh the leaf diagonal and its lower blocks.
+	// Kernel dispatch must mirror the fresh path exactly (dense-tagged →
+	// dense refresh, supernodal → panel refresh, else sparse): both sides
+	// of the choice depend only on Analyze-time state, so partial and full
+	// sweeps route every kernel identically and stay bitwise-comparable.
 	t0 := time.Now()
 	var err error
+	kind := trace.KindNDKernel
 	if live(leaf, leaf) {
-		if st == nil {
-			err = num.diag[leaf].Refactor(num.a[leaf][leaf], ws)
-		} else {
-			// Selective per-column refresh: only the closure of the leaf's
-			// dirty columns under the factor's own column dependencies
-			// reruns (a leaf diagonal consumes no reduction, so the input
-			// stamps tell the whole story).
-			b0, b1 := s.blockRange(leaf)
-			err = num.diag[leaf].RefactorSelective(num.a[leaf][leaf], ws,
-				st.colStamp[b0:b1], st.epoch, st.rerun[b0:b1])
+		switch {
+		case num.useDense(leaf, leaf):
+			kind = trace.KindDenseRefresh
+			num.denseHits.Add(1)
+			if st == nil {
+				err = num.diag[leaf].RefactorDense(num.a[leaf][leaf], num.denseWS(t))
+			} else {
+				b0, b1 := s.blockRange(leaf)
+				err = num.diag[leaf].RefactorDenseSelective(num.a[leaf][leaf], num.denseWS(t),
+					st.colStamp[b0:b1], st.epoch, st.rerun[b0:b1])
+			}
+		case num.diag[leaf].Snodes != nil:
+			kind = trace.KindSnodeKernel
+			num.snHits.Add(1)
+			if st == nil {
+				err = num.diag[leaf].RefactorSupernodal(num.a[leaf][leaf], ws, num.denseWS(t))
+			} else {
+				b0, b1 := s.blockRange(leaf)
+				err = num.diag[leaf].RefactorSupernodalSelective(num.a[leaf][leaf], ws, num.denseWS(t),
+					st.colStamp[b0:b1], st.epoch, st.rerun[b0:b1])
+			}
+		default:
+			if st == nil {
+				err = num.diag[leaf].Refactor(num.a[leaf][leaf], ws)
+			} else {
+				// Selective per-column refresh: only the closure of the leaf's
+				// dirty columns under the factor's own column dependencies
+				// reruns (a leaf diagonal consumes no reduction, so the input
+				// stamps tell the whole story).
+				b0, b1 := s.blockRange(leaf)
+				err = num.diag[leaf].RefactorSelective(num.a[leaf][leaf], ws,
+					st.colStamp[b0:b1], st.epoch, st.rerun[b0:b1])
+			}
 		}
 		if err == nil {
 			re.flags.set(leaf, leaf)
@@ -216,14 +245,19 @@ func (num *ndNum) refactorWorker(t int, st *ndIncState) {
 	if err == nil {
 		for _, i := range s.ancestors[leaf] {
 			if live(i, leaf) {
-				num.diag[leaf].RefactorLowerBlockFrom(num.lower[i][leaf], num.a[i][leaf], acc, firstOf(leaf))
+				if num.useDense(i, leaf) && num.useDense(leaf, leaf) {
+					num.denseHits.Add(1)
+					num.diag[leaf].DenseLowerRefactorFrom(num.lower[i][leaf], num.a[i][leaf], firstOf(leaf))
+				} else {
+					num.diag[leaf].RefactorLowerBlockFrom(num.lower[i][leaf], num.a[i][leaf], acc, firstOf(leaf))
+				}
 				re.flags.set(i, leaf)
 			}
 		}
 	}
 	d := time.Since(t0)
 	busy += d.Seconds()
-	record(d)
+	record(d, kind)
 	num.phaseDur[t] = append(num.phaseDur[t], busy)
 	busy = 0
 	if err != nil {
@@ -244,11 +278,18 @@ func (num *ndNum) refactorWorker(t int, st *ndIncState) {
 				k0 = st.first[j]
 			}
 			t0 = time.Now()
-			num.diag[leaf].RefactorUpperBlockFrom(num.upper[leaf][j], num.a[leaf][j], ws, k0)
+			kind = trace.KindNDKernel
+			if num.useDense(leaf, j) && num.useDense(leaf, leaf) {
+				kind = trace.KindDenseRefresh
+				num.denseHits.Add(1)
+				num.diag[leaf].DenseUpperRefactorFrom(num.upper[leaf][j], num.a[leaf][j], k0)
+			} else {
+				num.diag[leaf].RefactorUpperBlockFrom(num.upper[leaf][j], num.a[leaf][j], ws, k0)
+			}
 			re.flags.set(leaf, j)
 			d = time.Since(t0)
 			busy += d.Seconds()
-			record(d)
+			record(d, kind)
 		}
 		num.phaseDur[t] = append(num.phaseDur[t], busy)
 		busy = 0
@@ -265,16 +306,33 @@ func (num *ndNum) refactorWorker(t int, st *ndIncState) {
 					return
 				}
 				t0 = time.Now()
+				kind = trace.KindNDKernel
+				if num.useDense(k, j) {
+					kind = trace.KindDenseRefresh
+				}
 				b := num.a[k][j]
 				if len(lows) > 0 {
-					reduceBlockInto(num.red[k][j], num.a[k][j], lows, ups, acc)
+					if num.useDense(k, j) {
+						// num.red[k][j] is fully dense (built by the fresh
+						// sweep's reduceBlockDense), so FillDense recycles it
+						// in place: same accumulation, zero allocation.
+						num.denseHits.Add(1)
+						reduceBlockDense(num.a[k][j], lows, ups, num.red[k][j], num.denseWS(t))
+					} else {
+						reduceBlockInto(num.red[k][j], num.a[k][j], lows, ups, acc)
+					}
 					b = num.red[k][j]
 				}
-				num.diag[k].RefactorUpperBlock(num.upper[k][j], b, ws)
+				if num.useDense(k, j) && num.useDense(k, k) {
+					num.denseHits.Add(1)
+					num.diag[k].DenseUpperRefactorFrom(num.upper[k][j], b, 0)
+				} else {
+					num.diag[k].RefactorUpperBlock(num.upper[k][j], b, ws)
+				}
 				re.flags.set(k, j)
 				d = time.Since(t0)
 				busy += d.Seconds()
-				record(d)
+				record(d, kind)
 			}
 			num.phaseDur[t] = append(num.phaseDur[t], busy)
 			busy = 0
@@ -290,18 +348,38 @@ func (num *ndNum) refactorWorker(t int, st *ndIncState) {
 				return
 			}
 			t0 = time.Now()
+			kind = trace.KindNDKernel
 			b := num.a[j][j]
 			if len(lows) > 0 {
-				reduceBlockInto(num.red[j][j], num.a[j][j], lows, ups, acc)
+				if num.useDense(j, j) {
+					num.denseHits.Add(1)
+					reduceBlockDense(num.a[j][j], lows, ups, num.red[j][j], num.denseWS(t))
+				} else {
+					reduceBlockInto(num.red[j][j], num.a[j][j], lows, ups, acc)
+				}
 				b = num.red[j][j]
 			}
-			err = num.diag[j].Refactor(b, ws)
+			switch {
+			case num.useDense(j, j):
+				// The reduce above committed its panel into red before the
+				// dense refactor takes its own, so the one-live-panel rule
+				// of the pooled workspace holds.
+				kind = trace.KindDenseRefresh
+				num.denseHits.Add(1)
+				err = num.diag[j].RefactorDense(b, num.denseWS(t))
+			case num.diag[j].Snodes != nil:
+				kind = trace.KindSnodeKernel
+				num.snHits.Add(1)
+				err = num.diag[j].RefactorSupernodal(b, ws, num.denseWS(t))
+			default:
+				err = num.diag[j].Refactor(b, ws)
+			}
 			if err == nil {
 				re.flags.set(j, j)
 			}
 			d = time.Since(t0)
 			busy += d.Seconds()
-			record(d)
+			record(d, kind)
 			if err != nil {
 				num.phaseDur[t] = append(num.phaseDur[t], busy)
 				num.failRefactor(fmt.Errorf("core: nd refactor diag block %d: %w", j, err))
@@ -332,16 +410,30 @@ func (num *ndNum) refactorWorker(t int, st *ndIncState) {
 				return
 			}
 			t0 = time.Now()
+			kind = trace.KindNDKernel
+			if num.useDense(i, j) {
+				kind = trace.KindDenseRefresh
+			}
 			b := num.a[i][j]
 			if len(lows) > 0 {
-				reduceBlockInto(num.red[i][j], num.a[i][j], lows, ups, acc)
+				if num.useDense(i, j) {
+					num.denseHits.Add(1)
+					reduceBlockDense(num.a[i][j], lows, ups, num.red[i][j], num.denseWS(t))
+				} else {
+					reduceBlockInto(num.red[i][j], num.a[i][j], lows, ups, acc)
+				}
 				b = num.red[i][j]
 			}
-			num.diag[j].RefactorLowerBlock(num.lower[i][j], b, acc)
+			if num.useDense(i, j) && num.useDense(j, j) {
+				num.denseHits.Add(1)
+				num.diag[j].DenseLowerRefactorFrom(num.lower[i][j], b, 0)
+			} else {
+				num.diag[j].RefactorLowerBlock(num.lower[i][j], b, acc)
+			}
 			re.flags.set(i, j)
 			d = time.Since(t0)
 			busy += d.Seconds()
-			record(d)
+			record(d, kind)
 		}
 		num.phaseDur[t] = append(num.phaseDur[t], busy)
 		busy = 0

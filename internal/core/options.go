@@ -79,6 +79,14 @@ type Options struct {
 	// entirely (ablation; every fine-ND kernel stays on the sparse
 	// Gilbert–Peierls path regardless of the density estimates).
 	NoDenseKernels bool
+	// SupernodeRelax is the relaxed-amalgamation bound for supernode
+	// detection in fine-ND leaf diagonals: the largest column run merged
+	// into one panel when the run is not a pure elimination-tree chain
+	// (SuperLU's relaxation parameter). 0 selects DefaultSupernodeRelax.
+	SupernodeRelax int
+	// NoSupernodes disables elimination-tree supernode detection entirely
+	// (ablation; moderate-density leaf diagonals factor column at a time).
+	NoSupernodes bool
 	// Trace, when non-nil, receives per-kernel scheduler events from every
 	// sweep (analyze, factor, refactor, partial refactor, parallel solve).
 	// nil keeps every hot path on its untraced, allocation-free fast path.
@@ -99,6 +107,10 @@ type Options struct {
 // recorded in README.md: the fill-heavy suite classes saturate their
 // speedup well below it while the low-fill classes stay untagged above it.
 const DefaultDenseKernelThreshold = 0.5
+
+// DefaultSupernodeRelax is the relaxed-amalgamation bound used when
+// Options.SupernodeRelax is 0 — SuperLU's traditional small-run setting.
+const DefaultSupernodeRelax = 8
 
 // DefaultOptions returns the paper-faithful defaults: BTF + MWCM on,
 // KLU-style pivot tolerance, point-to-point synchronization.
@@ -134,6 +146,14 @@ func (o Options) ndLeaves() int {
 		p *= 2
 	}
 	return p
+}
+
+// supernodeRelax resolves the relaxed-amalgamation bound.
+func (o Options) supernodeRelax() int {
+	if o.SupernodeRelax <= 0 {
+		return DefaultSupernodeRelax
+	}
+	return o.SupernodeRelax
 }
 
 // denseKernelThreshold resolves the dense-path density line.

@@ -191,8 +191,7 @@ func (s *ndSym) computeDenseTags(opts Options) {
 	// counts for leaves, the overlap fill bound for separators) track the
 	// realized factor density closely.
 	for j := 0; j < nb; j++ {
-		w := dim(j)
-		if w >= denseMinDim && density(s.est.diagNnz[j], w*(w+1)) >= thr {
+		if s.diagDenseEst(j, thr) {
 			tags[j*nb+j] = true
 			any = true
 		}
@@ -221,9 +220,15 @@ func (s *ndSym) computeDenseTags(opts Options) {
 			return tags[i*nb+i] && tags[j*nb+j] &&
 				(s.tree.Parent[i] == j || s.tree.Parent[j] == i)
 		}
+		// A supernodal solving diagonal counts too: its couplings are still
+		// worth the fully dense reduction emission (rank-k through the
+		// panel) even though the substitution itself stays sparse — the
+		// dense/sparse split of the solve is decided per kernel pair at
+		// numeric time, and this keeps the refresh-path dispatch of the
+		// reduction consistent with the fresh path.
 		for _, i := range s.ancestors[j] {
 			h := dim(i)
-			if h < denseMinDim || !tags[j*nb+j] {
+			if h < denseMinDim || !(tags[j*nb+j] || s.snodal(j)) {
 				continue
 			}
 			if density(s.est.lowerNnz[i][j], h*w) >= thr || adjacent(i) {
@@ -233,7 +238,7 @@ func (s *ndSym) computeDenseTags(opts Options) {
 		}
 		for kp := s.subLo[j]; kp < j; kp++ {
 			h := dim(kp)
-			if h < denseMinDim || !tags[kp*nb+kp] {
+			if h < denseMinDim || !(tags[kp*nb+kp] || s.snodal(kp)) {
 				continue
 			}
 			if density(s.est.upperNnz[kp][j], h*w) >= thr || adjacent(kp) {
@@ -245,6 +250,115 @@ func (s *ndSym) computeDenseTags(opts Options) {
 	if any {
 		s.dense = tags
 	}
+}
+
+// diagDenseEst is the diagonal dense-tag predicate, shared by
+// computeDenseTags and the supernode detection so the two classifications
+// never disagree about which diagonals the fully dense panel LU claims.
+func (s *ndSym) diagDenseEst(j int, thr float64) bool {
+	b0, b1 := s.blockRange(j)
+	w := b1 - b0
+	if w < denseMinDim {
+		return false
+	}
+	d := float64(s.est.diagNnz[j]) / float64(w*(w+1))
+	if d > 1 {
+		d = 1
+	}
+	return d >= thr
+}
+
+// snodeMinDim is the smallest leaf diagonal worth supernode detection:
+// below it the panels the merging could produce are too small to beat the
+// per-column sparse bookkeeping they replace.
+const snodeMinDim = 32
+
+// snodeMaxWidth caps supernode width (pure etree chains included) so panel
+// scratch stays bounded; SuperLU uses the same order of magnitude.
+const snodeMaxWidth = 64
+
+// computeSupernodes detects supernodes inside the leaf diagonals of one
+// fine-ND block from their column elimination trees (consecutive columns
+// with nested U patterns, relaxed amalgamation like SuperLU), so
+// moderate-density leaves that the area-threshold gate never tags still get
+// blocked panel kernels. Leaf diagonals only: a leaf factors its input
+// block directly (no reduction feeds it), so the Analyze-time pattern the
+// etree is built from is exactly the pattern the numeric phase eliminates.
+// dp is the fully permuted ND matrix. Must run before computeDenseTags,
+// which consults the result to tag couplings onto supernodal leaves.
+func (s *ndSym) computeSupernodes(dp *sparse.CSC, opts Options) {
+	if opts.NoSupernodes || s.est == nil {
+		return
+	}
+	thr := opts.denseKernelThreshold()
+	relax := opts.supernodeRelax()
+	var snodes [][]int
+	for t := 0; t < s.p; t++ {
+		leaf := s.tree.Leaves[t]
+		b0, b1 := s.blockRange(leaf)
+		if b1-b0 < snodeMinDim {
+			continue
+		}
+		if !opts.NoDenseKernels && s.diagDenseEst(leaf, thr) {
+			continue // the fully dense panel LU already covers it
+		}
+		diag := dp.ExtractBlock(b0, b1, b0, b1)
+		// Column etree drives the run structure (the LU bound under
+		// pivoting); symmetric-pattern column counts drive the padding
+		// bound that keeps runs to genuinely shared factor patterns.
+		counts := etree.ColCounts(diag, etree.Symmetric(diag))
+		xsup := etree.RelaxedSupernodes(etree.ColEtree(diag), counts, relax, snodeMaxWidth)
+		wide := false
+		for si := 0; si+1 < len(xsup); si++ {
+			if xsup[si+1]-xsup[si] >= 2 {
+				wide = true
+				break
+			}
+		}
+		if !wide {
+			continue
+		}
+		if snodes == nil {
+			snodes = make([][]int, s.nb)
+		}
+		snodes[leaf] = xsup
+	}
+	s.snodes = snodes
+}
+
+// snodal reports whether diagonal b carries a supernode partition.
+func (s *ndSym) snodal(b int) bool {
+	return s.snodes != nil && s.snodes[b] != nil
+}
+
+// snodesOf returns diagonal b's supernode partition (nil when the block
+// factors column at a time).
+func (s *ndSym) snodesOf(b int) []int {
+	if s.snodes == nil {
+		return nil
+	}
+	return s.snodes[b]
+}
+
+// Supernodes reports how many wide supernodes (two or more merged columns)
+// the analysis detected across every fine-ND block's leaf diagonals (0
+// under NoSupernodes, or when no elimination tree produced a mergeable
+// run).
+func (s *Symbolic) Supernodes() int {
+	total := 0
+	for _, ns := range s.ndsym {
+		if ns == nil || ns.snodes == nil {
+			continue
+		}
+		for _, xsup := range ns.snodes {
+			for si := 0; si+1 < len(xsup); si++ {
+				if xsup[si+1]-xsup[si] >= 2 {
+					total++
+				}
+			}
+		}
+	}
+	return total
 }
 
 // isDense reports whether kernel (i, j) was tagged for the dense layer.

@@ -75,6 +75,95 @@ func ColEtree(a *sparse.CSC) []int {
 	return parent
 }
 
+// RelaxedSupernodes partitions columns 0..n-1 into supernode candidates
+// from the (column) elimination tree, SuperLU-style: a fundamental
+// supernode is a maximal run of consecutive columns forming a chain in the
+// tree (parent[k] == k+1), whose factor columns then share one nested
+// U-pattern and can be eliminated as a blocked dense panel. Relaxed
+// amalgamation additionally absorbs small subtrees that terminate inside
+// the run — any run [a, b) where every column's parent stays inside
+// (k, b-1], a subtree rooted at the run's last column — trading a few
+// explicit structural zeros for wider panels, with
+// the subtree width capped at relax (SuperLU's relaxation parameter) and
+// chain length capped at maxWidth so panel scratch stays bounded.
+//
+// A chain in the tree does NOT imply nested factor patterns — a
+// tridiagonal matrix is one long chain whose factor columns hold two
+// nonzeros each, and padding such a run into a shared-pattern panel
+// inflates storage and flops quadratically in the width; worse, partial
+// pivoting scrambles the below-diagonal patterns the static tree cannot
+// see, so sparse chains that look nested in the estimate union into huge
+// padded panels at numeric time. When counts is non-nil (factor column
+// counts, ColCounts-style fill estimates), a column may therefore join a
+// wide run only from the trailing near-dense region of the factor —
+// counts[k] at least half the remaining dimension — which is where the
+// nested-pattern model is honest even under pivoting, and the run is
+// additionally only accepted while its padded panel (every column widened
+// to the model counts[b-1] + (b-1-k)) stays within 25% of the estimated
+// true fill. A nil counts skips both bounds and partitions on structure
+// alone.
+//
+// The returned xsup holds the supernode boundaries: supernode s spans
+// columns [xsup[s], xsup[s+1]), with xsup[0] = 0 and xsup[len-1] = n.
+func RelaxedSupernodes(parent, counts []int, relax, maxWidth int) []int {
+	n := len(parent)
+	if relax < 1 {
+		relax = 1
+	}
+	if maxWidth < relax {
+		maxWidth = relax
+	}
+	xsup := make([]int, 1, n/2+2)
+	for a := 0; a < n; {
+		// Take the widest valid run [a, b): every in-run column's parent
+		// stays inside (k, b-1], i.e. the run is a subtree rooted at column
+		// b-1. Validity is not monotone in b — sibling subtrees at the run's
+		// front are invalid prefixes of a valid wider run — so each candidate
+		// boundary is checked at its own root, not incrementally. A pure
+		// chain (parent[k] == k+1 throughout) extends up to maxWidth, a
+		// relaxed run (some subtree absorbed) only up to relax.
+		best := a + 1
+		chain := true
+		actual := 0
+		for b := a + 1; b <= n && b-a <= maxWidth; b++ {
+			if counts != nil {
+				if 2*counts[b-1] < n-(b-1) {
+					// Column b-1 sits outside the trailing near-dense
+					// region; no run containing it can panel profitably.
+					break
+				}
+				actual += counts[b-1] // running sum over [a, b)
+			}
+			if b > a+1 {
+				chain = chain && parent[b-2] == b-1
+			}
+			if !chain && b-a > relax {
+				break
+			}
+			ok := true
+			for k := a; k < b-1; k++ {
+				if parent[k] <= k || parent[k] > b-1 {
+					ok = false
+					break
+				}
+			}
+			if ok && counts != nil {
+				// Padded panel: w columns at the nested-pattern model
+				// rooted at b-1. Accept while padded <= 1.25 * actual.
+				w := b - a
+				padded := w*counts[b-1] + w*(w-1)/2
+				ok = 4*padded <= 5*actual
+			}
+			if ok {
+				best = b
+			}
+		}
+		xsup = append(xsup, best)
+		a = best
+	}
+	return xsup
+}
+
 // Postorder returns a postordering of the forest given by parent (children
 // visited before parents, trees in index order).
 func Postorder(parent []int) []int {

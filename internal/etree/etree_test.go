@@ -156,3 +156,139 @@ func TestFlopEstimate(t *testing.T) {
 		t.Fatalf("FlopEstimate = %v, want 13", f)
 	}
 }
+
+// TestRelaxedSupernodesChain: a pure-chain etree (tridiagonal pattern)
+// amalgamates into maxWidth-bounded runs regardless of the relax bound.
+func TestRelaxedSupernodesChain(t *testing.T) {
+	parent := Symmetric(tridiag(10)) // parent[j] = j+1
+	xsup := RelaxedSupernodes(parent, nil, 1, 4)
+	want := []int{0, 4, 8, 10}
+	if len(xsup) != len(want) {
+		t.Fatalf("xsup = %v, want %v", xsup, want)
+	}
+	for i, v := range want {
+		if xsup[i] != v {
+			t.Fatalf("xsup = %v, want %v", xsup, want)
+		}
+	}
+	// Unbounded width: one supernode.
+	xsup = RelaxedSupernodes(parent, nil, 1, 10)
+	if len(xsup) != 2 || xsup[1] != 10 {
+		t.Fatalf("xsup = %v, want [0 10]", xsup)
+	}
+}
+
+// TestRelaxedSupernodesForest: with every column a root (no etree edges),
+// relax=1 keeps singletons while a larger relax may still merge nothing —
+// parents outside (k, e] never amalgamate.
+func TestRelaxedSupernodesForest(t *testing.T) {
+	parent := []int{-1, -1, -1, -1}
+	for _, relax := range []int{1, 4} {
+		xsup := RelaxedSupernodes(parent, nil, relax, 8)
+		if len(xsup) != 5 {
+			t.Fatalf("relax=%d: xsup = %v, want singletons", relax, xsup)
+		}
+		for i, v := range xsup {
+			if v != i {
+				t.Fatalf("relax=%d: xsup = %v, want singletons", relax, xsup)
+			}
+		}
+	}
+}
+
+// TestRelaxedSupernodesRelaxMerges: small subtrees hanging off a chain merge
+// only when the relax bound allows the non-chain run.
+func TestRelaxedSupernodesRelaxMerges(t *testing.T) {
+	// Columns 0 and 1 are siblings under 2, then 2→3→4.
+	parent := []int{2, 2, 3, 4, -1}
+	strict := RelaxedSupernodes(parent, nil, 1, 8)
+	// relax=1: 0 cannot extend (parent[0]=2 breaks the chain at once and
+	// non-chain runs are capped at the relax bound), so 0 stays a
+	// singleton; 1→2→3→4 is a pure chain and merges.
+	want := []int{0, 1, 5}
+	if len(strict) != len(want) {
+		t.Fatalf("strict xsup = %v, want %v", strict, want)
+	}
+	for i, v := range want {
+		if strict[i] != v {
+			t.Fatalf("strict xsup = %v, want %v", strict, want)
+		}
+	}
+	relaxed := RelaxedSupernodes(parent, nil, 5, 8)
+	if len(relaxed) != 2 || relaxed[1] != 5 {
+		t.Fatalf("relaxed xsup = %v, want [0 5]", relaxed)
+	}
+}
+
+// TestRelaxedSupernodesPaddingBound: with fill counts supplied, a pure
+// chain with sparse columns (tridiagonal: two nonzeros per factor column)
+// must NOT amalgamate into wide panels — the padded panel would inflate
+// fill quadratically — while a dense trailing triangle (counts n-k, exactly
+// the nested model) still merges to full width.
+func TestRelaxedSupernodesPaddingBound(t *testing.T) {
+	a := tridiag(12)
+	parent := Symmetric(a)
+	counts := ColCounts(a, parent)
+	xsup := RelaxedSupernodes(parent, counts, 1, 8)
+	for s := 0; s+1 < len(xsup); s++ {
+		if w := xsup[s+1] - xsup[s]; w > 2 {
+			t.Fatalf("tridiagonal chain merged into width-%d panel: %v", w, xsup)
+		}
+	}
+	// Dense pattern: counts[k] = n-k, padded == actual, merges to maxWidth.
+	n := 12
+	dense := make([]int, n)
+	chain := make([]int, n)
+	for k := 0; k < n; k++ {
+		dense[k] = n - k
+		chain[k] = k + 1
+	}
+	chain[n-1] = -1
+	xsup = RelaxedSupernodes(chain, dense, 1, 8)
+	if len(xsup) != 3 || xsup[1] != 8 || xsup[2] != 12 {
+		t.Fatalf("dense chain xsup = %v, want [0 8 12]", xsup)
+	}
+}
+
+// TestRelaxedSupernodesPartitionInvariant: on random forests the result is
+// always a monotone partition of 0..n covering every column, every run
+// respects maxWidth, and every merged run keeps its parents inside (k, e]
+// (the correctness invariant padding relies on).
+func TestRelaxedSupernodesPartitionInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(60)
+		parent := make([]int, n)
+		for j := range parent {
+			if rng.Intn(3) == 0 {
+				parent[j] = -1
+			} else {
+				parent[j] = j + 1 + rng.Intn(n-j) // in (j, n]; n acts as a root
+			}
+			if parent[j] >= n {
+				parent[j] = -1
+			}
+		}
+		relax := 1 + rng.Intn(6)
+		maxw := relax + rng.Intn(10)
+		xsup := RelaxedSupernodes(parent, nil, relax, maxw)
+		if xsup[0] != 0 || xsup[len(xsup)-1] != n {
+			t.Fatalf("trial %d: partition %v does not cover 0..%d", trial, xsup, n)
+		}
+		for s := 0; s+1 < len(xsup); s++ {
+			a, e := xsup[s], xsup[s+1]
+			if e <= a || e-a > maxw {
+				t.Fatalf("trial %d: bad run [%d,%d) with maxWidth %d", trial, a, e, maxw)
+			}
+			if e-a == 1 {
+				continue
+			}
+			for k := a; k < e-1; k++ {
+				if parent[k] <= k || parent[k] > e-1 {
+					t.Fatalf("trial %d: run [%d,%d): parent[%d]=%d escapes the run",
+						trial, a, e, k, parent[k])
+				}
+			}
+		}
+	}
+}

@@ -59,6 +59,7 @@ func FactorDenseInto(f *Factors, a *sparse.CSC, opts Options, dws *dense.Workspa
 	f.P = sparse.GrowInts(f.P, n)
 	f.Pinv = sparse.GrowInts(f.Pinv, n)
 	f.Flops = 0
+	f.Snodes = nil
 	for k := 0; k < n; k++ {
 		f.P[k] = rows[k]
 		f.Pinv[rows[k]] = k

@@ -74,6 +74,13 @@ type Factors struct {
 	PruneEnd []int
 	// Flops counts multiply-add pairs performed during factorization.
 	Flops int64
+	// Snodes, when non-nil, is the supernode partition the factorization was
+	// built with: supernode s spans columns [Snodes[s], Snodes[s+1]).
+	// Set by FactorSupernodalInto, nil for column-at-a-time and dense-built
+	// factors; the refresh sweeps dispatch on it (a supernodal factor is
+	// refreshed by RefactorSupernodal, which relies on the padded panel
+	// layout).
+	Snodes []int
 }
 
 // NnzLU reports nnz(L)+nnz(U) counting both diagonals once each (the |L+U|
@@ -103,6 +110,10 @@ type Workspace struct {
 	// lpend[j] is the in-flight symmetric-pruning boundary of L(:,j) during
 	// a factorization (absolute end index into L.Rowidx; -1 = not pruned).
 	lpend []int
+	// sn holds the supernode staging scratch of FactorSupernodalInto,
+	// lazily built on first use (nil for workspaces that never factor
+	// supernodally).
+	sn *snScratch
 }
 
 // NewWorkspace returns a workspace for dimension n.
@@ -188,6 +199,28 @@ func FactorInto(f *Factors, a *sparse.CSC, estNnz int, opts Options, ws *Workspa
 	tol := opts.tol()
 
 	for k := 0; k < n; k++ {
+		if err := f.factorFreshColumn(a, k, tol, opts, ws, prune); err != nil {
+			return err
+		}
+	}
+
+	// Remap L's row indices from original ids to pivot order and sort both
+	// factors so downstream solves and refactorization can rely on order.
+	// The sort runs in place through the dense workspace accumulator (which
+	// is clean between columns) instead of CSC.SortColumns' double
+	// transpose, so it allocates nothing and skips already-sorted columns.
+	f.finishFactor(ws, prune)
+	f.Snodes = nil
+	return nil
+}
+
+// factorFreshColumn runs one column of the left-looking factorization: the
+// symbolic reach, the numeric forward solve, pivot selection, U/L emission
+// and the symmetric-pruning step — the per-column body shared by FactorInto
+// and the singleton supernodes of FactorSupernodalInto.
+func (f *Factors) factorFreshColumn(a *sparse.CSC, k int, tol float64, opts Options, ws *Workspace, prune bool) error {
+	n := f.N
+	{
 		// --- Symbolic: pattern of x = L \ A(:,k) by DFS from A(:,k),
 		// restricted to the pruned prefix of every L column.
 		top := reach(f.L, f.Pinv, a, k, ws)
@@ -293,12 +326,15 @@ func FactorInto(f *Factors, a *sparse.CSC, estNnz int, opts Options, ws *Workspa
 			f.pruneStep(k, pivRow, ws)
 		}
 	}
+	return nil
+}
 
-	// Remap L's row indices from original ids to pivot order and sort both
-	// factors so downstream solves and refactorization can rely on order.
-	// The sort runs in place through the dense workspace accumulator (which
-	// is clean between columns) instead of CSC.SortColumns' double
-	// transpose, so it allocates nothing and skips already-sorted columns.
+// finishFactor remaps L's row indices from original ids to pivot order and
+// sorts both factors so downstream solves and refactorization can rely on
+// order, then finalizes the prune boundaries. The sort runs in place
+// through the dense workspace accumulator (clean between columns), so it
+// allocates nothing and skips already-sorted columns.
+func (f *Factors) finishFactor(ws *Workspace, prune bool) {
 	for t := 0; t < f.L.Nnz(); t++ {
 		f.L.Rowidx[t] = f.Pinv[f.L.Rowidx[t]]
 	}
@@ -307,7 +343,6 @@ func FactorInto(f *Factors, a *sparse.CSC, estNnz int, opts Options, ws *Workspa
 	if prune {
 		f.finishPruneEnd()
 	}
-	return nil
 }
 
 // sortFactorColumns sorts each column's (row, value) entries ascending by

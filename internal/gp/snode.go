@@ -1,0 +1,499 @@
+package gp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dense"
+	"repro/internal/sparse"
+)
+
+// This file adds true supernodes to the Gilbert–Peierls kernel, the
+// SuperLU idea (Demmel, Eisenstat, Gilbert, Li, Liu): consecutive columns
+// whose factor patterns nest — detected from the column elimination tree by
+// etree.RelaxedSupernodes — are factored and refreshed together through one
+// blocked dense panel instead of column at a time. The win is for blocks at
+// moderate density (0.1–0.2): too sparse for the fully dense panel LU of
+// dense_feed.go, but with enough pattern overlap that per-column scatter,
+// DFS and sort bookkeeping dominates the arithmetic.
+//
+// Layout invariants of a supernodal factor over supernode S = [k0, k1),
+// w = k1-k0 (on top of the standard sorted-factor invariants):
+//   - U(:,k) for k = k0+c holds the column's own outside pattern
+//     (positions < k0), then the *padded* supernode triangle k0..k-1 —
+//     every triangle entry stored even when structurally absent, the few
+//     explicit zeros relaxation buys wider panels with — then the pivot;
+//   - every L(:,k) of the supernode stores the same below-supernode row
+//     set (the union over the supernode's columns, padded with explicit
+//     zeros), so after the final position remap and sort, all w columns
+//     share one ascending below-row sequence. RefactorSupernodal leans on
+//     this: panel row w+t of the refresh is the t-th below entry of every
+//     column, no row map needed.
+//
+// Patterns stay value-independent (reach closures and their unions), so
+// the refresh sweeps and the in-place refactorization contracts work on
+// supernodal factors exactly as on plain ones.
+
+// snScratch is the reusable staging state of FactorSupernodalInto: the
+// orig-row → panel-row assignment of the current supernode (tag-guarded so
+// resets are O(1)) and the per-column staged entries awaiting the panel.
+type snScratch struct {
+	tag      int
+	rowTag   []int
+	rowPanel []int
+	rowsArr  []int // panel row -> original row id
+	stageRow []int
+	stageVal []float64
+	stageOff []int
+}
+
+// snScratch returns the workspace's supernode staging scratch, lazily
+// built and grown to dimension n.
+func (w *Workspace) snScratch(n int) *snScratch {
+	if w.sn == nil {
+		w.sn = &snScratch{}
+	}
+	sn := w.sn
+	if len(sn.rowTag) < n {
+		sn.rowTag = make([]int, n)
+		sn.rowPanel = make([]int, n)
+		sn.tag = 0
+	}
+	return sn
+}
+
+// FactorSupernodalInto factors the square block a like FactorInto, but
+// eliminates the supernodes of the xsup partition (boundaries as returned
+// by etree.RelaxedSupernodes: supernode s spans columns [xsup[s],
+// xsup[s+1])) through blocked dense panels: each supernode column runs the
+// standard reach + left-looking update against the columns *outside* the
+// supernode — in-panel pivots are still unassigned, so the DFS
+// self-restricts — and the remaining sub-panel (the union of the columns'
+// unpivoted patterns, padded with explicit structural zeros) is factored
+// right-looking with the same diagonal-preference partial pivoting as the
+// sparse kernel. Singleton supernodes take the plain per-column path
+// unchanged. Storage recycling, error contract and the emitted invariants
+// match FactorInto; dws provides the pooled panel.
+func FactorSupernodalInto(f *Factors, a *sparse.CSC, xsup []int, estNnz int, opts Options, ws *Workspace, dws *dense.Workspace) error {
+	if a.M != a.N {
+		return fmt.Errorf("gp: matrix must be square, got %d×%d", a.M, a.N)
+	}
+	n := a.N
+	if len(xsup) < 2 || xsup[0] != 0 || xsup[len(xsup)-1] != n {
+		return fmt.Errorf("gp: supernode partition does not cover 0..%d", n)
+	}
+	if ws == nil {
+		ws = NewWorkspace(n)
+	} else {
+		ws.Grow(n)
+	}
+	if estNnz < a.Nnz()+n {
+		estNnz = a.Nnz() + n
+	}
+	f.N = n
+	f.L = resetFactorCSC(f.L, n, estNnz)
+	f.U = resetFactorCSC(f.U, n, estNnz)
+	f.P = sparse.GrowInts(f.P, n)
+	f.Pinv = sparse.GrowInts(f.Pinv, n)
+	f.Flops = 0
+	for i := range f.Pinv {
+		f.Pinv[i] = -1
+	}
+	prune := !opts.NoPrune && n >= pruneMinDim
+	for j := 0; j < n; j++ {
+		ws.lpend[j] = -1
+	}
+	if prune {
+		f.PruneEnd = sparse.GrowInts(f.PruneEnd, n)
+		for j := range f.PruneEnd {
+			f.PruneEnd[j] = -1
+		}
+	} else {
+		f.PruneEnd = nil
+	}
+	tol := opts.tol()
+	sn := ws.snScratch(n)
+
+	for s := 0; s+1 < len(xsup); s++ {
+		k0, k1 := xsup[s], xsup[s+1]
+		if k1 == k0+1 {
+			if err := f.factorFreshColumn(a, k0, tol, opts, ws, prune); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := f.factorSupernode(a, k0, k1, tol, opts, ws, sn, dws, prune); err != nil {
+			return err
+		}
+	}
+	f.finishFactor(ws, prune)
+	f.Snodes = append(f.Snodes[:0], xsup...)
+	return nil
+}
+
+// factorSupernode eliminates the wide supernode [k0, k1) in two phases:
+// the left-looking outside elimination and U emission per column, then one
+// right-looking pivoted panel LU over the staged union sub-panel.
+func (f *Factors) factorSupernode(a *sparse.CSC, k0, k1 int, tol float64, opts Options, ws *Workspace, sn *snScratch, dws *dense.Workspace, prune bool) error {
+	n := f.N
+	w := k1 - k0
+	x := ws.X
+	xi := ws.Xi
+	sn.tag++
+	tag := sn.tag
+	sn.rowsArr = sn.rowsArr[:0]
+	sn.stageRow = sn.stageRow[:0]
+	sn.stageVal = sn.stageVal[:0]
+	sn.stageOff = append(sn.stageOff[:0], 0)
+
+	// --- Phase 1: per column, reach + updates from outside columns only
+	// (in-supernode pivots are unassigned, so the DFS treats their rows as
+	// leaves and the update loop skips them), U emission with the padded
+	// triangle, and staging of the unpivoted remainder.
+	for k := k0; k < k1; k++ {
+		top := reach(f.L, f.Pinv, a, k, ws)
+		for p := a.Colptr[k]; p < a.Colptr[k+1]; p++ {
+			x[a.Rowidx[p]] = a.Values[p]
+		}
+		for t := top; t < n; t++ {
+			i := xi[t]
+			j := f.Pinv[i]
+			if j < 0 {
+				continue
+			}
+			xj := x[i]
+			if xj == 0 {
+				continue
+			}
+			lp0 := f.L.Colptr[j]
+			lp1 := f.L.Colptr[j+1]
+			rows := f.L.Rowidx[lp0+1 : lp1]
+			vals := f.L.Values[lp0+1 : lp1]
+			vals = vals[:len(rows)] // bounds-check elimination hint
+			for t2, i2 := range rows {
+				x[i2] -= vals[t2] * xj
+			}
+			f.Flops += int64(lp1 - lp0 - 1)
+		}
+		// Emit U(:,k): outside pivoted rows (every assigned pivot is < k0
+		// here), then the full padded triangle, pivot placeholder last. The
+		// triangle and pivot values land after the panel factors.
+		for t := top; t < n; t++ {
+			i := xi[t]
+			if j := f.Pinv[i]; j >= 0 {
+				f.U.Rowidx = append(f.U.Rowidx, j)
+				f.U.Values = append(f.U.Values, x[i])
+			}
+		}
+		for d := k0; d < k; d++ {
+			f.U.Rowidx = append(f.U.Rowidx, d)
+			f.U.Values = append(f.U.Values, 0)
+		}
+		f.U.Rowidx = append(f.U.Rowidx, k)
+		f.U.Values = append(f.U.Values, 0)
+		f.U.Colptr[k+1] = len(f.U.Rowidx)
+		// Stage the unpivoted pattern rows; panel rows are the union across
+		// the supernode's columns, assigned in encounter order.
+		for t := top; t < n; t++ {
+			i := xi[t]
+			if f.Pinv[i] >= 0 {
+				continue
+			}
+			if sn.rowTag[i] != tag {
+				sn.rowTag[i] = tag
+				sn.rowPanel[i] = len(sn.rowsArr)
+				sn.rowsArr = append(sn.rowsArr, i)
+			}
+			sn.stageRow = append(sn.stageRow, sn.rowPanel[i])
+			sn.stageVal = append(sn.stageVal, x[i])
+		}
+		sn.stageOff = append(sn.stageOff, len(sn.stageRow))
+		clearX(x, xi, top, n, a, k)
+	}
+
+	m := len(sn.rowsArr)
+	if m < w {
+		return fmt.Errorf("gp: supernode %d..%d: %w", k0, k1-1, ErrSingular)
+	}
+
+	// --- Phase 2: right-looking pivoted LU of the m×w union sub-panel.
+	panel := dws.Panel(m, w)
+	for c := 0; c < w; c++ {
+		col := panel.Col(c)
+		for q := sn.stageOff[c]; q < sn.stageOff[c+1]; q++ {
+			col[sn.stageRow[q]] = sn.stageVal[q]
+		}
+	}
+	rowsArr := sn.rowsArr
+	for d := 0; d < w; d++ {
+		cd := panel.Col(d)
+		pivR := -1
+		maxAbs := 0.0
+		for r := d; r < m; r++ {
+			if v := math.Abs(cd[r]); v > maxAbs {
+				maxAbs = v
+				pivR = r
+			}
+		}
+		nat := -1
+		for r := d; r < m; r++ {
+			if rowsArr[r] == k0+d {
+				nat = r
+				break
+			}
+		}
+		if opts.NoPivot {
+			if nat < 0 || cd[nat] == 0 {
+				return fmt.Errorf("gp: column %d: %w", k0+d, ErrSingular)
+			}
+			pivR = nat
+		} else if pivR >= 0 && nat >= 0 {
+			// Diagonal preference: keep the natural pivot when acceptable.
+			if v := math.Abs(cd[nat]); v >= tol*maxAbs && v > 0 {
+				pivR = nat
+			}
+		}
+		if pivR < 0 || cd[pivR] == 0 {
+			return fmt.Errorf("gp: column %d: %w", k0+d, ErrSingular)
+		}
+		if pivR != d {
+			panel.SwapRows(d, pivR)
+			rowsArr[d], rowsArr[pivR] = rowsArr[pivR], rowsArr[d]
+		}
+		piv := cd[d]
+		for r := d + 1; r < m; r++ {
+			cd[r] /= piv
+		}
+		for j := d + 1; j < w; j++ {
+			cj := panel.Col(j)
+			fjd := cj[d]
+			if fjd == 0 {
+				continue
+			}
+			tgt := cj[d+1:]
+			lo := cd[d+1:]
+			lo = lo[:len(tgt)] // bounds-check elimination hint
+			for r, v := range lo {
+				tgt[r] -= v * fjd
+			}
+		}
+		f.Flops += int64(m-d-1) * int64(w-d)
+		f.P[k0+d] = rowsArr[d]
+		f.Pinv[rowsArr[d]] = k0 + d
+	}
+
+	// --- Emit: U triangle + pivot values in place, L columns appended
+	// (pivot unit first, then the shared union rows in panel order — the
+	// final remap and sort put them in position order).
+	for c := 0; c < w; c++ {
+		k := k0 + c
+		col := panel.Col(c)
+		up1 := f.U.Colptr[k+1]
+		for d := 0; d < c; d++ {
+			f.U.Values[up1-1-c+d] = col[d]
+		}
+		f.U.Values[up1-1] = col[c]
+		f.L.Rowidx = append(f.L.Rowidx, rowsArr[c]) // original id; remapped later
+		f.L.Values = append(f.L.Values, 1)
+		for r := c + 1; r < m; r++ {
+			f.L.Rowidx = append(f.L.Rowidx, rowsArr[r])
+			f.L.Values = append(f.L.Values, col[r])
+		}
+		f.L.Colptr[k+1] = len(f.L.Rowidx)
+	}
+	if prune {
+		for c := 0; c < w; c++ {
+			f.pruneStep(k0+c, rowsArr[c], ws)
+		}
+	}
+	return nil
+}
+
+// RefactorSupernodal recomputes the numeric values of a supernodal
+// factorization (built by FactorSupernodalInto) for a new matrix a with the
+// same pattern, reusing the pivot sequence: singleton supernodes refresh
+// column at a time exactly like Refactor, wide supernodes gather their
+// outside-eliminated columns into a pooled panel and re-run the
+// right-looking elimination with no pivot search. Deterministic and
+// idempotent like every refresh kernel, so the partial-vs-full bitwise
+// contract carries over.
+func (f *Factors) RefactorSupernodal(a *sparse.CSC, ws *Workspace, dws *dense.Workspace) error {
+	n := f.N
+	if a.M != n || a.N != n {
+		return fmt.Errorf("gp: refactor dimension mismatch")
+	}
+	if ws == nil {
+		ws = NewWorkspace(n)
+	} else {
+		ws.Grow(n)
+	}
+	x := ws.X
+	xsup := f.Snodes
+	for s := 0; s+1 < len(xsup); s++ {
+		k0, k1 := xsup[s], xsup[s+1]
+		if k1 == k0+1 {
+			if err := f.refactorColumn(a, x, k0); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := f.refreshSupernode(a, x, k0, k1, dws); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RefactorSupernodalSelective is RefactorSupernodal restricted to the
+// dependency closure of a dirty column set, at supernode granularity: a
+// wide supernode reruns when any of its columns' inputs changed
+// (colStamp == epoch) or any already-rerun column appears in its outside
+// U patterns, and is skipped whole otherwise. Rerunning a supernode whose
+// earlier columns are clean is an over-refresh, which the refresh kernels'
+// determinism makes bitwise harmless; rerun is overwritten per column so
+// downstream closure scans see the same contract as RefactorSelective.
+func (f *Factors) RefactorSupernodalSelective(a *sparse.CSC, ws *Workspace, dws *dense.Workspace, colStamp []uint64, epoch uint64, rerun []bool) error {
+	n := f.N
+	if a.M != n || a.N != n {
+		return fmt.Errorf("gp: refactor dimension mismatch")
+	}
+	if ws == nil {
+		ws = NewWorkspace(n)
+	} else {
+		ws.Grow(n)
+	}
+	x := ws.X
+	xsup := f.Snodes
+	for s := 0; s+1 < len(xsup); s++ {
+		k0, k1 := xsup[s], xsup[s+1]
+		need := false
+		for k := k0; k < k1 && !need; k++ {
+			if colStamp[k] == epoch {
+				need = true
+				break
+			}
+			up0, up1 := f.U.Colptr[k], f.U.Colptr[k+1]
+			for p := up0; p < up1-1; p++ {
+				r := f.U.Rowidx[p]
+				if r >= k0 {
+					break // supernode triangle: own columns, covered above
+				}
+				if rerun[r] {
+					need = true
+					break
+				}
+			}
+		}
+		for k := k0; k < k1; k++ {
+			rerun[k] = need
+		}
+		if !need {
+			continue
+		}
+		if k1 == k0+1 {
+			if err := f.refactorColumn(a, x, k0); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := f.refreshSupernode(a, x, k0, k1, dws); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// refreshSupernode refreshes the wide supernode [k0, k1) in place: each
+// column scatters its input in pivot space, eliminates against the
+// outside columns along its own U pattern (ascending, same arithmetic as
+// refactorColumn), and lands its supernode-triangle and below values in the
+// panel; the panel then re-runs the fixed-sequence right-looking
+// elimination and scatters back over the unchanged factor patterns. Panel
+// row w+t is the t-th below-supernode entry of every column — the shared
+// sorted below-row sequence the supernodal emission guarantees.
+func (f *Factors) refreshSupernode(a *sparse.CSC, x []float64, k0, k1 int, dws *dense.Workspace) error {
+	w := k1 - k0
+	lp0, lp1 := f.L.Colptr[k0], f.L.Colptr[k0+1]
+	below := f.L.Rowidx[lp0+w : lp1] // below-supernode pivot positions, ascending
+	m := w + len(below)
+	panel := dws.Panel(m, w)
+	for c := 0; c < w; c++ {
+		k := k0 + c
+		for p := a.Colptr[k]; p < a.Colptr[k+1]; p++ {
+			x[f.Pinv[a.Rowidx[p]]] = a.Values[p]
+		}
+		up1 := f.U.Colptr[k+1]
+		for p := f.U.Colptr[k]; p < up1; p++ {
+			j := f.U.Rowidx[p]
+			if j >= k0 {
+				break
+			}
+			xj := x[j]
+			f.U.Values[p] = xj
+			x[j] = 0
+			if xj == 0 {
+				continue
+			}
+			rows := f.L.Rowidx[f.L.Colptr[j]+1 : f.L.Colptr[j+1]]
+			vals := f.L.Values[f.L.Colptr[j]+1 : f.L.Colptr[j+1]]
+			vals = vals[:len(rows)] // bounds-check elimination hint
+			for t, i := range rows {
+				x[i] -= vals[t] * xj
+			}
+		}
+		col := panel.Col(c)
+		for d := 0; d < w; d++ {
+			col[d] = x[k0+d]
+			x[k0+d] = 0
+		}
+		for t, pos := range below {
+			col[w+t] = x[pos]
+			x[pos] = 0
+		}
+	}
+	// Fixed-sequence elimination: no pivot search, error out on drift to
+	// zero (the caller falls back to a fresh factorization). x is already
+	// clean here, so the error path needs no workspace cleanup.
+	for d := 0; d < w; d++ {
+		cd := panel.Col(d)
+		piv := cd[d]
+		if piv == 0 {
+			return fmt.Errorf("gp: refactor column %d: %w", k0+d, ErrSingular)
+		}
+		for r := d + 1; r < m; r++ {
+			cd[r] /= piv
+		}
+		for j := d + 1; j < w; j++ {
+			cj := panel.Col(j)
+			fjd := cj[d]
+			if fjd == 0 {
+				continue
+			}
+			tgt := cj[d+1:]
+			lo := cd[d+1:]
+			lo = lo[:len(tgt)] // bounds-check elimination hint
+			for r, v := range lo {
+				tgt[r] -= v * fjd
+			}
+		}
+	}
+	// Scatter back over the fixed patterns.
+	for c := 0; c < w; c++ {
+		k := k0 + c
+		col := panel.Col(c)
+		up1 := f.U.Colptr[k+1]
+		for d := 0; d < c; d++ {
+			f.U.Values[up1-1-c+d] = col[d]
+		}
+		f.U.Values[up1-1] = col[c]
+		lp := f.L.Colptr[k]
+		for d := c + 1; d < w; d++ {
+			f.L.Values[lp+d-c] = col[d]
+		}
+		base := lp + w - c
+		for t := range below {
+			f.L.Values[base+t] = col[w+t]
+		}
+	}
+	return nil
+}

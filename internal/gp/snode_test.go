@@ -1,0 +1,450 @@
+package gp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dense"
+	"repro/internal/etree"
+	"repro/internal/sparse"
+)
+
+// perturbSamePattern returns a copy of a with every value scaled by a
+// random factor — same pattern, fresh values, still diagonally dominant
+// when a was.
+func perturbSamePattern(rng *rand.Rand, a *sparse.CSC) *sparse.CSC {
+	out := a.Clone()
+	for i := range out.Values {
+		out.Values[i] *= 1 + 0.25*rng.Float64()
+	}
+	return out
+}
+
+func assertValuesEqual(t *testing.T, want, got *Factors, ctx string) {
+	t.Helper()
+	for i, v := range want.L.Values {
+		if got.L.Values[i] != v {
+			t.Fatalf("%s: L value %d diverges: %v vs %v", ctx, i, got.L.Values[i], v)
+		}
+	}
+	for i, v := range want.U.Values {
+		if got.U.Values[i] != v {
+			t.Fatalf("%s: U value %d diverges: %v vs %v", ctx, i, got.U.Values[i], v)
+		}
+	}
+}
+
+// TestFactorSupernodalMatchesPlain: across densities spanning the
+// supernodal sweet spot, the supernodal factorization (partition from the
+// column elimination tree) must satisfy every factor invariant, reconstruct
+// P·A, and solve to the same answers as the plain per-column kernel.
+func TestFactorSupernodalMatchesPlain(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	dws := dense.NewWorkspace()
+	for _, n := range []int{20, 60, 120} {
+		for _, fill := range []float64{0.05, 0.15, 0.35} {
+			a := denseishCSC(rng, n, fill, true)
+			xsup := etree.RelaxedSupernodes(etree.ColEtree(a), nil, 8, 64)
+			sn := &Factors{}
+			if err := FactorSupernodalInto(sn, a, xsup, 0, Options{}, nil, dws); err != nil {
+				t.Fatalf("n=%d fill=%g: %v", n, fill, err)
+			}
+			checkFactorization(t, a, sn, 100)
+			plain, err := Factor(a, 0, Options{}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b := make([]float64, n)
+			x := make([]float64, n)
+			for i := range b {
+				b[i] = rng.NormFloat64()
+				x[i] = b[i]
+			}
+			plain.Solve(b)
+			sn.Solve(x)
+			for i := range b {
+				if math.Abs(b[i]-x[i]) > 1e-8*(1+math.Abs(b[i])) {
+					t.Fatalf("n=%d fill=%g: solve diverges at %d: %v vs %v", n, fill, i, x[i], b[i])
+				}
+			}
+			if len(sn.Snodes) != len(xsup) {
+				t.Fatalf("factors do not carry the supernode partition")
+			}
+		}
+	}
+}
+
+// TestFactorSupernodalArbitraryPartition: padding makes ANY partition
+// correct — the elimination tree only drives quality. Fixed-width runs that
+// ignore the tree entirely must still factor correctly, with true partial
+// pivoting exercising the panel's row swaps.
+func TestFactorSupernodalArbitraryPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	n := 48
+	a := denseishCSC(rng, n, 0.3, false)
+	for _, w := range []int{2, 5, 7, n} {
+		xsup := []int{0}
+		for xsup[len(xsup)-1] < n {
+			e := xsup[len(xsup)-1] + w
+			if e > n {
+				e = n
+			}
+			xsup = append(xsup, e)
+		}
+		sn := &Factors{}
+		if err := FactorSupernodalInto(sn, a, xsup, 0, Options{PivotTol: 1}, nil, dense.NewWorkspace()); err != nil {
+			t.Fatalf("width %d: %v", w, err)
+		}
+		checkFactorization(t, a, sn, 100)
+	}
+}
+
+// TestRefactorSupernodalBitwise pins the refresh contracts the fine-ND
+// sweeps rely on: after normalizing to refresh arithmetic, a same-values
+// refresh is a bitwise no-op (idempotence), and the selective refresh with
+// every column stamped is bitwise identical to the full refresh.
+func TestRefactorSupernodalBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	n := 90
+	a := denseishCSC(rng, n, 0.15, true)
+	xsup := etree.RelaxedSupernodes(etree.ColEtree(a), nil, 8, 64)
+	wide := false
+	for s := 0; s+1 < len(xsup); s++ {
+		if xsup[s+1]-xsup[s] >= 2 {
+			wide = true
+		}
+	}
+	if !wide {
+		t.Fatal("test premise broken: partition has no wide supernode")
+	}
+	dws := dense.NewWorkspace()
+	ws := NewWorkspace(n)
+	var fs [2]*Factors
+	for i := range fs {
+		fs[i] = &Factors{}
+		if err := FactorSupernodalInto(fs[i], a, xsup, 0, Options{}, ws, dws); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs[i].RefactorSupernodal(a, ws, dws); err != nil {
+			t.Fatal(err)
+		}
+	}
+	checkFactorization(t, a, fs[0], 100)
+
+	// Idempotence: a second same-values refresh changes no bit.
+	snapL := append([]float64(nil), fs[0].L.Values...)
+	snapU := append([]float64(nil), fs[0].U.Values...)
+	if err := fs[0].RefactorSupernodal(a, ws, dws); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range snapL {
+		if fs[0].L.Values[i] != v {
+			t.Fatalf("idempotence: L value %d changed", i)
+		}
+	}
+	for i, v := range snapU {
+		if fs[0].U.Values[i] != v {
+			t.Fatalf("idempotence: U value %d changed", i)
+		}
+	}
+
+	// Full vs selective-with-everything-stamped: bitwise identical, and the
+	// rerun closure marks every column.
+	a2 := perturbSamePattern(rng, a)
+	if err := fs[0].RefactorSupernodal(a2, ws, dws); err != nil {
+		t.Fatal(err)
+	}
+	stamp := make([]uint64, n)
+	rerun := make([]bool, n)
+	for i := range stamp {
+		stamp[i] = 7
+	}
+	if err := fs[1].RefactorSupernodalSelective(a2, ws, dws, stamp, 7, rerun); err != nil {
+		t.Fatal(err)
+	}
+	assertValuesEqual(t, fs[0], fs[1], "selective full-stamp")
+	for k, r := range rerun {
+		if !r {
+			t.Fatalf("column %d not marked rerun under full stamps", k)
+		}
+	}
+	checkFactorization(t, a2, fs[0], 100)
+
+	// No stamps at all: nothing reruns, nothing changes, rerun comes back
+	// all-false.
+	snapL = append(snapL[:0], fs[1].L.Values...)
+	if err := fs[1].RefactorSupernodalSelective(a, ws, dws, stamp, 8, rerun); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range snapL {
+		if fs[1].L.Values[i] != v {
+			t.Fatalf("no-stamp refresh touched L value %d", i)
+		}
+	}
+	for k, r := range rerun {
+		if r {
+			t.Fatalf("column %d marked rerun with no stamps", k)
+		}
+	}
+}
+
+// TestRefactorSupernodalSelectiveClosure: stamping a single column reruns
+// exactly its dependency closure at supernode granularity, bitwise equal to
+// the full refresh when the unstamped prefix is unchanged.
+func TestRefactorSupernodalSelectiveClosure(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	n := 80
+	a := denseishCSC(rng, n, 0.12, true)
+	xsup := etree.RelaxedSupernodes(etree.ColEtree(a), nil, 8, 64)
+	dws := dense.NewWorkspace()
+	ws := NewWorkspace(n)
+	var fs [2]*Factors
+	for i := range fs {
+		fs[i] = &Factors{}
+		if err := FactorSupernodalInto(fs[i], a, xsup, 0, Options{}, ws, dws); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs[i].RefactorSupernodal(a, ws, dws); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Perturb one late column only.
+	c := 3 * n / 4
+	a2 := a.Clone()
+	for p := a2.Colptr[c]; p < a2.Colptr[c+1]; p++ {
+		a2.Values[p] *= 1.5
+	}
+	if err := fs[0].RefactorSupernodal(a2, ws, dws); err != nil {
+		t.Fatal(err)
+	}
+	stamp := make([]uint64, n)
+	rerun := make([]bool, n)
+	stamp[c] = 3
+	if err := fs[1].RefactorSupernodalSelective(a2, ws, dws, stamp, 3, rerun); err != nil {
+		t.Fatal(err)
+	}
+	assertValuesEqual(t, fs[0], fs[1], "selective closure")
+	if !rerun[c] {
+		t.Fatal("stamped column not marked rerun")
+	}
+	for k := 0; k < n; k++ {
+		if rerun[k] && k < c {
+			// Allowed only for columns sharing c's supernode (over-refresh).
+			in := false
+			for s := 0; s+1 < len(xsup); s++ {
+				if xsup[s] <= c && c < xsup[s+1] && xsup[s] <= k && k < xsup[s+1] {
+					in = true
+				}
+			}
+			if !in {
+				t.Fatalf("column %d (< changed column %d, different supernode) reran", k, c)
+			}
+		}
+	}
+}
+
+// TestRefactorSupernodalSingular: a pivot drifted to zero must surface
+// ErrSingular through the usual chain — the fine-ND per-block fallback
+// depends on it — and leave the workspace clean for the retry.
+func TestRefactorSupernodalSingular(t *testing.T) {
+	rng := rand.New(rand.NewSource(65))
+	n := 40
+	a := denseishCSC(rng, n, 0.2, true)
+	xsup := etree.RelaxedSupernodes(etree.ColEtree(a), nil, 8, 64)
+	dws := dense.NewWorkspace()
+	ws := NewWorkspace(n)
+	f := &Factors{}
+	if err := FactorSupernodalInto(f, a, xsup, 0, Options{}, ws, dws); err != nil {
+		t.Fatal(err)
+	}
+	bad := a.Clone()
+	for p := bad.Colptr[n/2]; p < bad.Colptr[n/2+1]; p++ {
+		bad.Values[p] = 0
+	}
+	if err := f.RefactorSupernodal(bad, ws, dws); !errors.Is(err, ErrSingular) {
+		t.Fatalf("err = %v, want ErrSingular in chain", err)
+	}
+	// Workspace left clean: a fresh supernodal factorization of a good
+	// matrix through the same workspace must succeed and verify.
+	if err := FactorSupernodalInto(f, a, xsup, 0, Options{}, ws, dws); err != nil {
+		t.Fatalf("retry after singular refresh: %v", err)
+	}
+	checkFactorization(t, a, f, 100)
+}
+
+// TestFactorSupernodalRecyclesStorage: the supernodal path must reach the
+// same zero-allocation steady state as the per-column kernel once factor
+// storage, workspace and panels have grown.
+func TestFactorSupernodalRecyclesStorage(t *testing.T) {
+	rng := rand.New(rand.NewSource(66))
+	n := 72
+	base := denseishCSC(rng, n, 0.15, true)
+	xsup := etree.RelaxedSupernodes(etree.ColEtree(base), nil, 8, 64)
+	steps := make([]*sparse.CSC, 3)
+	for i := range steps {
+		steps[i] = perturbSamePattern(rng, base)
+	}
+	f := &Factors{}
+	ws := NewWorkspace(n)
+	dws := dense.NewWorkspace()
+	for _, s := range steps {
+		if err := FactorSupernodalInto(f, s, xsup, 0, Options{}, ws, dws); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(20, func() {
+		i++
+		if err := FactorSupernodalInto(f, steps[i%len(steps)], xsup, 0, Options{}, ws, dws); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state FactorSupernodalInto allocates: %v allocs/op", allocs)
+	}
+	allocs = testing.AllocsPerRun(20, func() {
+		i++
+		if err := f.RefactorSupernodal(steps[i%len(steps)], ws, dws); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state RefactorSupernodal allocates: %v allocs/op", allocs)
+	}
+}
+
+// TestRefactorDenseMatchesSparseRefresh pins the tentpole bitwise claim at
+// the kernel level: on a dense-built factorization, RefactorDense (panel
+// right-looking) produces values bitwise identical to Refactor (per-column
+// left-looking), and the selective variant degenerates to the suffix rule.
+func TestRefactorDenseMatchesSparseRefresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	n := 56
+	a := denseishCSC(rng, n, 0.4, true)
+	dws := dense.NewWorkspace()
+	ws := NewWorkspace(n)
+	var fs [2]*Factors
+	for i := range fs {
+		fs[i] = &Factors{}
+		if err := FactorDenseInto(fs[i], a, Options{}, dws); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a2 := perturbSamePattern(rng, a)
+	if err := fs[0].Refactor(a2, ws); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs[1].RefactorDense(a2, dws); err != nil {
+		t.Fatal(err)
+	}
+	assertValuesEqual(t, fs[0], fs[1], "dense vs sparse refresh")
+
+	// Suffix restriction: perturb only columns >= c, stamp exactly those,
+	// and the selective dense refresh must match the full one bitwise while
+	// reporting the rerun suffix.
+	c := n / 3
+	a3 := a2.Clone()
+	for j := c; j < n; j++ {
+		for p := a3.Colptr[j]; p < a3.Colptr[j+1]; p++ {
+			a3.Values[p] *= 1.25
+		}
+	}
+	if err := fs[0].RefactorDense(a3, dws); err != nil {
+		t.Fatal(err)
+	}
+	stamp := make([]uint64, n)
+	rerun := make([]bool, n)
+	for j := c; j < n; j++ {
+		stamp[j] = 5
+	}
+	if err := fs[1].RefactorDenseSelective(a3, dws, stamp, 5, rerun); err != nil {
+		t.Fatal(err)
+	}
+	assertValuesEqual(t, fs[0], fs[1], "selective dense refresh")
+	for k := range rerun {
+		if rerun[k] != (k >= c) {
+			t.Fatalf("rerun[%d] = %v, want suffix from %d", k, rerun[k], c)
+		}
+	}
+
+	// No stamps: a no-op that clears rerun.
+	if err := fs[1].RefactorDenseSelective(a3, dws, stamp, 6, rerun); err != nil {
+		t.Fatal(err)
+	}
+	for k := range rerun {
+		if rerun[k] {
+			t.Fatalf("rerun[%d] set by a no-stamp selective refresh", k)
+		}
+	}
+
+	// Drifted-to-zero pivot: ErrSingular, factor values untouched.
+	bad := a3.Clone()
+	for p := bad.Colptr[0]; p < bad.Colptr[1]; p++ {
+		bad.Values[p] = 0
+	}
+	snapU := append([]float64(nil), fs[1].U.Values...)
+	if err := fs[1].RefactorDense(bad, dws); !errors.Is(err, ErrSingular) {
+		t.Fatalf("err = %v, want ErrSingular in chain", err)
+	}
+	for i, v := range snapU {
+		if fs[1].U.Values[i] != v {
+			t.Fatal("failed dense refresh touched factor values")
+		}
+	}
+}
+
+// TestDenseTRSMRefreshMatchesSolve: the in-place dense TRSM refreshes must
+// reproduce the dense solve kernels bitwise — same arithmetic on the same
+// contiguous columns, destination storage instead of a pooled panel.
+func TestDenseTRSMRefreshMatchesSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(68))
+	n, m, h := 36, 22, 15
+	a := denseishCSC(rng, n, 0.45, true)
+	dws := dense.NewWorkspace()
+	f := &Factors{}
+	if err := FactorDenseInto(f, a, Options{}, dws); err != nil {
+		t.Fatal(err)
+	}
+
+	// Upper: refresh in place vs fresh solve of the new right-hand block.
+	b := denseishCSC(rng, n, 0.25, false).ExtractBlock(0, n, 0, m)
+	up := f.DenseUpperSolveInto(nil, b, dws)
+	b2 := perturbSamePattern(rng, b)
+	want := f.DenseUpperSolveInto(nil, b2, dws)
+	f.DenseUpperRefactorFrom(up, b2, 0)
+	for i, v := range want.Values {
+		if up.Values[i] != v {
+			t.Fatalf("upper refresh value %d diverges: %v vs %v", i, up.Values[i], v)
+		}
+	}
+	// Suffix restriction: only columns >= c0 change; the in-place suffix
+	// refresh matches the full fresh solve bitwise.
+	c0 := m / 2
+	b3 := b2.Clone()
+	for j := c0; j < m; j++ {
+		for p := b3.Colptr[j]; p < b3.Colptr[j+1]; p++ {
+			b3.Values[p] *= 1.3
+		}
+	}
+	want = f.DenseUpperSolveInto(want, b3, dws)
+	f.DenseUpperRefactorFrom(up, b3, c0)
+	for i, v := range want.Values {
+		if up.Values[i] != v {
+			t.Fatalf("upper suffix refresh value %d diverges", i)
+		}
+	}
+
+	// Lower: same contract for X·U = B.
+	bl := denseishCSC(rng, n, 0.25, false).ExtractBlock(0, h, 0, n)
+	lo := f.DenseLowerSolveInto(nil, bl, dws)
+	bl2 := perturbSamePattern(rng, bl)
+	wantL := f.DenseLowerSolveInto(nil, bl2, dws)
+	f.DenseLowerRefactorFrom(lo, bl2, 0)
+	for i, v := range wantL.Values {
+		if lo.Values[i] != v {
+			t.Fatalf("lower refresh value %d diverges: %v vs %v", i, lo.Values[i], v)
+		}
+	}
+}

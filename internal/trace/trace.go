@@ -77,6 +77,12 @@ const (
 	KindAnalyzePlan
 	// KindSolveBlock is one coarse block of the parallel triangular solve.
 	KindSolveBlock
+	// KindDenseRefresh is a fine-ND refresh span whose kernels ran through
+	// the dense panel layer (dense refactor / dense TRSM refresh).
+	KindDenseRefresh
+	// KindSnodeKernel is a fine-ND leaf diagonal factored or refreshed
+	// through elimination-tree supernode panels.
+	KindSnodeKernel
 )
 
 func (k Kind) String() string {
@@ -97,6 +103,10 @@ func (k Kind) String() string {
 		return "analyze-plan"
 	case KindSolveBlock:
 		return "solve-block"
+	case KindDenseRefresh:
+		return "dense-refresh"
+	case KindSnodeKernel:
+		return "snode-kernel"
 	}
 	return "unknown"
 }
