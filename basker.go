@@ -25,9 +25,11 @@
 package basker
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/faultinject"
@@ -115,6 +117,14 @@ type Options struct {
 	// propagating garbage into the factors. The screen is O(nnz); cheap O(1)
 	// dimension checks are always on regardless of this flag.
 	ValidateInputs bool
+	// StallTimeout arms the per-sweep stall watchdog: a parallel sweep
+	// (factor, refactor, partial refactor, parallel solve) that makes no
+	// progress for this long is aborted with ErrStalled naming the stuck
+	// block and worker lane, and the factorization is left poisoned but
+	// recoverable (RefactorRobust or a fresh Factor restores it). 0 — the
+	// default — disables the watchdog. Serial sweeps run on the caller's
+	// goroutine and cannot be unwound by the watchdog.
+	StallTimeout time.Duration
 
 	// inject arms the numeric engine's deterministic fault-injection points
 	// (chaos tests only; set by in-package tests, nil in production).
@@ -158,6 +168,7 @@ func (o Options) internal() core.Options {
 	c.NoSupernodes = o.NoSupernodes
 	c.Trace = o.Trace
 	c.ValidateInputs = o.ValidateInputs
+	c.StallTimeout = o.StallTimeout
 	c.Inject = o.inject
 	return c
 }
@@ -193,6 +204,30 @@ var (
 	ErrIllConditioned = errors.New("basker: matrix is ill-conditioned")
 )
 
+// Cancellation and watchdog errors of the context-accepting entry points
+// (FactorCtx, RefactorCtx and friends). A sweep aborted by any of these
+// leaves the factorization poisoned but recoverable: RefactorRobust or a
+// fresh Factor re-establishes a consistent state.
+var (
+	// ErrCanceled reports that the caller's context was cancelled mid-sweep.
+	// It wraps context.Canceled, so errors.Is matches either.
+	ErrCanceled = core.ErrCanceled
+	// ErrDeadlineExceeded reports that the caller's context deadline fired
+	// mid-sweep. It wraps context.DeadlineExceeded.
+	ErrDeadlineExceeded = core.ErrDeadlineExceeded
+	// ErrStalled reports that the stall watchdog (Options.StallTimeout)
+	// aborted a sweep that made no progress. The concrete error is a
+	// *StallError; match the class with errors.Is and the diagnostics with
+	// errors.As.
+	ErrStalled = core.ErrStalled
+)
+
+// StallError carries the stall watchdog's diagnostics: the sweep name, the
+// first coarse block still pending when the watchdog fired, the fine-BTF
+// worker lane owning it (-1 for cooperative fine-ND teams or when unknown),
+// and how long the sweep had been idle.
+type StallError = core.StallError
+
 // validateInput is the gated O(nnz) screen of the API boundary.
 func validateInput(a *Matrix, on bool) error {
 	if !on {
@@ -227,13 +262,24 @@ type Factorization struct {
 
 // Factor analyzes and numerically factors a.
 func (s *Solver) Factor(a *Matrix) (*Factorization, error) {
+	return s.FactorCtx(context.Background(), a)
+}
+
+// FactorCtx is Factor with cooperative cancellation: a ctx that is
+// cancelled or deadline-expired mid-sweep aborts the numeric factorization
+// at the next block boundary and returns ErrCanceled or
+// ErrDeadlineExceeded (both matching the corresponding context errors with
+// errors.Is). A Done-capable ctx also arms the sweep monitor, as does
+// Options.StallTimeout. context.Background() keeps the exact fast path of
+// Factor.
+func (s *Solver) FactorCtx(ctx context.Context, a *Matrix) (*Factorization, error) {
 	if a.M != a.N {
 		return nil, fmt.Errorf("%w: matrix is %d×%d, want square", ErrDimensionMismatch, a.M, a.N)
 	}
 	if err := validateInput(a, s.opts.ValidateInputs); err != nil {
 		return nil, err
 	}
-	num, err := core.FactorDirect(a, s.opts)
+	num, err := core.FactorDirectCtx(ctx, a, s.opts)
 	if err != nil {
 		return nil, wrapErr(err)
 	}
@@ -268,6 +314,20 @@ func (f *Factorization) Solve(b []float64) error {
 	return wrapErr(f.ts.Solve(b))
 }
 
+// SolveCtx is Solve with cooperative cancellation: a fired ctx aborts the
+// dependency-scheduled parallel sweep at the next block boundary and
+// returns ErrCanceled or ErrDeadlineExceeded with b unspecified (the
+// factorization is unharmed — solves only read it). The serial solve path
+// runs on the caller's goroutine and only honours a ctx already expired at
+// entry. A Done-capable ctx or Options.StallTimeout arms the sweep monitor
+// on the parallel path.
+func (f *Factorization) SolveCtx(ctx context.Context, b []float64) error {
+	if n := f.num.Sym.N; len(b) != n {
+		return fmt.Errorf("%w: len(b) = %d, want %d", ErrDimensionMismatch, len(b), n)
+	}
+	return wrapErr(f.ts.SolveCtx(ctx, b))
+}
+
 // SolveMany solves A·xᵢ = bᵢ in place for every right-hand side, sweeping
 // the BTF block back-substitution once per panel of right-hand sides
 // instead of once per vector and distributing panels across the solver's
@@ -282,6 +342,21 @@ func (f *Factorization) SolveMany(bs [][]float64) error {
 		}
 	}
 	return wrapErr(f.ts.SolveMany(bs))
+}
+
+// SolveManyCtx is SolveMany with cooperative cancellation: workers stop
+// picking up panels once ctx fires and the call returns ErrCanceled or
+// ErrDeadlineExceeded with the batch partially solved (every bᵢ is then
+// unspecified). The sweep joins fully before returning, so cancellation
+// accelerates the unwind rather than abandoning work in flight.
+func (f *Factorization) SolveManyCtx(ctx context.Context, bs [][]float64) error {
+	n := f.num.Sym.N
+	for i, b := range bs {
+		if len(b) != n {
+			return fmt.Errorf("%w: len(bs[%d]) = %d, want %d", ErrDimensionMismatch, i, len(b), n)
+		}
+	}
+	return wrapErr(f.ts.SolveManyCtx(ctx, bs))
 }
 
 // SolveMatrix solves A·X = B in place for a dense column-major
@@ -312,6 +387,19 @@ func (f *Factorization) Refactor(a *Matrix) error {
 		return err
 	}
 	return wrapErr(f.num.Refactor(a))
+}
+
+// RefactorCtx is Refactor with cooperative cancellation: a ctx cancelled or
+// deadline-expired mid-sweep aborts at the next block boundary, returning
+// ErrCanceled or ErrDeadlineExceeded and leaving the factorization poisoned
+// but recoverable (RefactorRobust or a fresh Factor restores it). A
+// Done-capable ctx or Options.StallTimeout arms the sweep monitor;
+// context.Background() keeps Refactor's zero-allocation steady state.
+func (f *Factorization) RefactorCtx(ctx context.Context, a *Matrix) error {
+	if err := f.refreshChecks(a); err != nil {
+		return err
+	}
+	return wrapErr(f.num.RefactorCtx(ctx, a))
 }
 
 // refreshChecks is the shared API-boundary screen of the Refactor family:
@@ -345,6 +433,15 @@ func (f *Factorization) RefactorPartial(a *Matrix, changedCols []int) error {
 	return wrapErr(f.num.RefactorPartial(a, changedCols))
 }
 
+// RefactorPartialCtx is RefactorPartial with cooperative cancellation; the
+// contract matches RefactorCtx.
+func (f *Factorization) RefactorPartialCtx(ctx context.Context, a *Matrix, changedCols []int) error {
+	if err := f.refreshChecks(a); err != nil {
+		return err
+	}
+	return wrapErr(f.num.RefactorPartialCtx(ctx, a, changedCols))
+}
+
 // RefactorAuto is Refactor with automatic change discovery: incoming values
 // are diffed against the cached previous gather entry by entry, and only
 // the blocks a real change reaches are refreshed. Use it when tracking an
@@ -359,6 +456,15 @@ func (f *Factorization) RefactorAuto(a *Matrix) error {
 		return err
 	}
 	return wrapErr(f.num.RefactorAuto(a))
+}
+
+// RefactorAutoCtx is RefactorAuto with cooperative cancellation; the
+// contract matches RefactorCtx.
+func (f *Factorization) RefactorAutoCtx(ctx context.Context, a *Matrix) error {
+	if err := f.refreshChecks(a); err != nil {
+		return err
+	}
+	return wrapErr(f.num.RefactorAutoCtx(ctx, a))
 }
 
 // RefactorRobust is the graceful-degradation refresh: it tries the
@@ -475,6 +581,22 @@ func (f *Factorization) SolveRefined(a *Matrix, b []float64, maxIters int) (Refi
 		return RefineResult{}, fmt.Errorf("%w: len(b) = %d, want %d", ErrDimensionMismatch, len(b), n)
 	}
 	res, err := f.ts.SolveRefined(a, b, maxIters)
+	return res, wrapErr(err)
+}
+
+// SolveRefinedCtx is SolveRefined with cooperative cancellation between
+// refinement iterations: when ctx fires, refinement stops, b holds the
+// best iterate computed so far, and the returned RefineResult describes it
+// with Canceled set alongside ErrCanceled or ErrDeadlineExceeded.
+func (f *Factorization) SolveRefinedCtx(ctx context.Context, a *Matrix, b []float64, maxIters int) (RefineResult, error) {
+	n := f.num.Sym.N
+	if a.M != n || a.N != n {
+		return RefineResult{}, fmt.Errorf("%w: matrix is %d×%d, factorization is %d×%d", ErrDimensionMismatch, a.M, a.N, n, n)
+	}
+	if len(b) != n {
+		return RefineResult{}, fmt.Errorf("%w: len(b) = %d, want %d", ErrDimensionMismatch, len(b), n)
+	}
+	res, err := f.ts.SolveRefinedCtx(ctx, a, b, maxIters)
 	return res, wrapErr(err)
 }
 

@@ -54,7 +54,17 @@ var (
 		"output path for the dense/supernodal refresh trajectory JSON (denserefresh experiment); empty disables the file")
 	traceOut = flag.String("trace", "",
 		"write the scheduler timeline of the traced experiments (refactor, factor) as Chrome trace-event JSON to this path (loadable in Perfetto), and print per-sweep scheduler summaries")
+	stallTimeout = flag.Duration("timeout", 0,
+		"arm the per-sweep stall watchdog on every basker factorization: a parallel sweep that makes no progress for this long aborts with ErrStalled naming the stuck block instead of hanging the run (0 disables)")
 )
+
+// benchOpts is core.DefaultOptions with the -timeout stall watchdog armed;
+// every basker factorization the benchmark builds goes through it.
+func benchOpts() core.Options {
+	o := core.DefaultOptions()
+	o.StallTimeout = *stallTimeout
+	return o
+}
 
 // tracer is the shared event recorder behind -trace; nil when the flag is
 // unset (the trajectory experiments then use private recorders for their
@@ -176,7 +186,7 @@ func timeBasker(a *sparse.CSC, threads int) float64 {
 }
 
 func timeBaskerOpts(a *sparse.CSC, threads int, mod func(*core.Options)) float64 {
-	opts := core.DefaultOptions()
+	opts := benchOpts()
 	opts.Threads = threads
 	if mod != nil {
 		mod(&opts)
@@ -275,7 +285,7 @@ func table1() {
 		pOpts := pmkl.DefaultOptions()
 		pOpts.Threads = 8
 		pmklNum, perr := pmkl.FactorDirect(a, pOpts)
-		bOpts := core.DefaultOptions()
+		bOpts := benchOpts()
 		bOpts.Threads = 8
 		baskerNum, berr := core.FactorDirect(a, bOpts)
 		pm, bk := "fail", "fail"
@@ -469,7 +479,7 @@ func xyce() {
 	}
 
 	// Basker with maxcores threads (simulated: sum of per-step makespans).
-	bOpts := core.DefaultOptions()
+	bOpts := benchOpts()
 	bOpts.Threads = *maxCores
 	bSym, err := core.Analyze(base, bOpts)
 	if err != nil {
@@ -578,7 +588,7 @@ func syncAblation() {
 // wallBasker measures wall-clock numeric time with the given sync mode and
 // reports the number of contended point-to-point waits.
 func wallBasker(a *sparse.CSC, threads int, mode core.SyncMode) (float64, int64) {
-	opts := core.DefaultOptions()
+	opts := benchOpts()
 	opts.Threads = threads
 	opts.Sync = mode
 	sym, err := core.Analyze(a, opts)
@@ -638,7 +648,7 @@ func ablation() {
 		name string
 		opts core.Options
 	}
-	base := core.DefaultOptions()
+	base := benchOpts()
 	base.Threads = *maxCores
 	mk := func(name string, mod func(*core.Options)) cfg {
 		o := base
@@ -718,7 +728,7 @@ func refactorTrajectory() {
 	var ratios []float64
 	for _, m := range matgen.TableISuite(*scale) {
 		a := m.Gen()
-		opts := core.DefaultOptions()
+		opts := benchOpts()
 		opts.Threads = *maxCores
 		rec := trajectoryRecorder()
 		opts.Trace = rec
@@ -839,7 +849,7 @@ func factorTrajectory() {
 	var vsKLU, pruneGain, pooledGain, pooledSecs []float64
 	for _, m := range matgen.TableISuite(*scale) {
 		a := m.Gen()
-		opts := core.DefaultOptions()
+		opts := benchOpts()
 		opts.Threads = *maxCores
 		rec := trajectoryRecorder()
 		opts.Trace = rec
@@ -864,7 +874,7 @@ func factorTrajectory() {
 				fatalf("klu factor: %v", err)
 			}
 		})
-		serialOpts := core.DefaultOptions()
+		serialOpts := benchOpts()
 		serialSym, err := core.Analyze(a, serialOpts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: serial analyze failed: %v\n", m.Name, err)
@@ -890,7 +900,7 @@ func factorTrajectory() {
 		}
 		// Pruning ablation on the serial path, where the symbolic DFS cost
 		// is not drowned by goroutine scheduling noise.
-		npOpts := core.DefaultOptions()
+		npOpts := benchOpts()
 		npOpts.NoPrune = true
 		npSym, err := core.Analyze(a, npOpts)
 		if err != nil {
@@ -991,7 +1001,7 @@ func incrementalTrajectory() {
 	var rows [][]string
 	for _, m := range matgen.TableISuite(*scale) {
 		a := m.Gen()
-		opts := core.DefaultOptions()
+		opts := benchOpts()
 		opts.Threads = *maxCores
 		sym, err := core.Analyze(a, opts)
 		if err != nil {
@@ -1138,7 +1148,7 @@ func densendTrajectory() {
 	var heavySp, lowSp []float64
 	for _, m := range matgen.TableISuite(*scale) {
 		a := m.Gen()
-		opts := core.DefaultOptions()
+		opts := benchOpts()
 		opts.Threads = *maxCores
 		symD, err := core.Analyze(a, opts)
 		if err != nil {
@@ -1312,7 +1322,7 @@ func denserefreshTrajectory() {
 			psteps[i] = matgen.PerturbColumns(base, cols, i+1, 31)
 		}
 		variant := func(mut func(*core.Options)) (*core.Symbolic, *core.Numeric, error) {
-			opts := core.DefaultOptions()
+			opts := benchOpts()
 			opts.Threads = m.threads
 			if mut != nil {
 				mut(&opts)
@@ -1443,11 +1453,11 @@ func solvePhase() {
 			copy(batch[c], master)
 		}
 	}
-	serial, err := basker.New(basker.Options{Threads: 1}).Factor(a)
+	serial, err := basker.New(basker.Options{Threads: 1, StallTimeout: *stallTimeout}).Factor(a)
 	if err != nil {
 		fatalf("serial factor: %v", err)
 	}
-	threaded, err := basker.New(basker.Options{Threads: *maxCores}).Factor(a)
+	threaded, err := basker.New(basker.Options{Threads: *maxCores, StallTimeout: *stallTimeout}).Factor(a)
 	if err != nil {
 		fatalf("threaded factor: %v", err)
 	}
@@ -1483,7 +1493,7 @@ func solvePhase() {
 		steps[t] = matgen.TransientStep(base, t, 99)
 	}
 	rhs := make([]float64, base.N)
-	opts := basker.Options{Threads: 2, BigBlockMin: 64}
+	opts := basker.Options{Threads: 2, BigBlockMin: 64, StallTimeout: *stallTimeout}
 	i := 0
 	solver := basker.New(opts)
 	everySec := perf.Time(*minTime, func() {

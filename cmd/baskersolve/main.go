@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
@@ -27,6 +28,8 @@ var (
 	threads    = flag.Int("threads", 1, "worker goroutines for parallel solvers")
 	traceOut   = flag.String("trace", "",
 		"basker only: record the scheduler timeline, print per-sweep profiles, and write Chrome trace-event JSON to this path (loadable in Perfetto)")
+	timeout = flag.Duration("timeout", 0,
+		"basker only: overall deadline for the factorization (context.WithTimeout) and per-sweep stall watchdog (Options.StallTimeout); a run past the deadline or a wedged sweep aborts with a typed error instead of hanging (0 disables)")
 )
 
 func main() {
@@ -60,12 +63,19 @@ func main() {
 	case "basker":
 		opts := core.DefaultOptions()
 		opts.Threads = *threads
+		opts.StallTimeout = *timeout
 		var rec *trace.Recorder
 		if *traceOut != "" {
 			rec = trace.NewRecorder(0)
 			opts.Trace = rec
 		}
-		num, err := core.FactorDirect(a, opts)
+		ctx := context.Background()
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
+		}
+		num, err := core.FactorDirectCtx(ctx, a, opts)
 		if err != nil {
 			fail(err)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -201,6 +202,16 @@ type Numeric struct {
 	// numeric's sweeps — the graceful-degradation chain tightens pivoting
 	// per Numeric without mutating the shared Symbolic's Options.
 	pivotTolOverride float64
+
+	// sweep is the cancellation fabric every sync primitive of this
+	// numeric's sweeps binds to: the context-accepting entry points and the
+	// stall watchdog cancel through it, workers poll it between blocks, and
+	// its inflight count lets a cancelled sweep return early while its
+	// straggler goroutines drain before the next sweep touches shared
+	// state. gpPoll is the bound-once kernel-poll closure handed to long
+	// Gilbert–Peierls factorizations.
+	sweep  SweepControl
+	gpPoll func() error
 }
 
 // refactorPipeline holds everything a steady-state Refactor needs so the
@@ -673,7 +684,15 @@ func analyzeND(sym *Symbolic, b *sparse.CSC, blk, r0, r1 int, rowPerm, colPerm [
 // per-block completion fabric instead of a barrier. A different pattern
 // falls back to per-call permutation and extraction.
 func Factor(a *sparse.CSC, sym *Symbolic) (*Numeric, error) {
-	return factorImpl(a, sym, nil, nil)
+	return factorImpl(context.Background(), a, sym, nil, nil)
+}
+
+// FactorCtx is Factor bound to a context: a cancellation or deadline fired
+// mid-sweep unwinds every worker cooperatively and returns
+// ErrCanceled/ErrDeadlineExceeded. With context.Background() it is exactly
+// Factor (no monitor runs unless Options.StallTimeout arms the watchdog).
+func FactorCtx(ctx context.Context, a *sparse.CSC, sym *Symbolic) (*Numeric, error) {
+	return factorImpl(ctx, a, sym, nil, nil)
 }
 
 // FactorInto runs a fresh numeric factorization (new pivot selection, same
@@ -684,11 +703,17 @@ func Factor(a *sparse.CSC, sym *Symbolic) (*Numeric, error) {
 // succeeds; its structure remains intact, so retrying is permitted. Like
 // Refactor, it must not run concurrently with solves on this Numeric.
 func (num *Numeric) FactorInto(a *sparse.CSC) error {
-	_, err := factorImpl(a, num.Sym, num, nil)
+	_, err := factorImpl(context.Background(), a, num.Sym, num, nil)
 	return err
 }
 
-func factorImpl(a *sparse.CSC, sym *Symbolic, num *Numeric, hooks *schedHooks) (out *Numeric, err error) {
+// FactorIntoCtx is FactorInto bound to a context (see FactorCtx).
+func (num *Numeric) FactorIntoCtx(ctx context.Context, a *sparse.CSC) error {
+	_, err := factorImpl(ctx, a, num.Sym, num, nil)
+	return err
+}
+
+func factorImpl(ctx context.Context, a *sparse.CSC, sym *Symbolic, num *Numeric, hooks *schedHooks) (out *Numeric, err error) {
 	if a.N != sym.N || a.M != sym.N {
 		return nil, fmt.Errorf("core: dimension mismatch with symbolic analysis")
 	}
@@ -712,6 +737,7 @@ func factorImpl(a *sparse.CSC, sym *Symbolic, num *Numeric, hooks *schedHooks) (
 	sweep := rec.BeginSweep(trace.PhaseFactor)
 	defer sweep.End()
 	fresh := num == nil
+	armed := MonitorArmed(ctx, sym.Opts.StallTimeout)
 	if fresh {
 		num = &Numeric{
 			Sym:        sym,
@@ -723,8 +749,13 @@ func factorImpl(a *sparse.CSC, sym *Symbolic, num *Numeric, hooks *schedHooks) (
 			factorWS:   make([]*gp.Workspace, nt),
 			smallIn:    make([]*sparse.CSC, nblocks),
 		}
+		num.factorSig.Bind(&num.sweep)
+		num.gpPoll = num.sweep.Poll
 		num.hooks = hooks
 	} else {
+		// Stragglers of a previous cancelled/stalled sweep still own their
+		// workspaces and storage; wait them out before any state is reset.
+		num.sweep.drain()
 		num.factorSig.Reset()
 		for i := range num.factorErrs {
 			num.factorErrs[i] = nil
@@ -735,6 +766,24 @@ func factorImpl(a *sparse.CSC, sym *Symbolic, num *Numeric, hooks *schedHooks) (
 		num.SyncWaits, num.SyncWaitNs, num.ndSim = 0, 0, 0
 	}
 	num.factorFailed.Store(false)
+	num.sweep.BeginSweep(armed)
+	var mon *SweepMonitor
+	if armed {
+		mon = StartSweepMonitor(MonitorSpec{
+			Ctx: ctx, Stall: sym.Opts.StallTimeout, Sweep: "factor",
+			Ctl:     &num.sweep,
+			Pending: func() (int, int) { return num.pendingCoarse(num.factorSig) },
+		})
+	}
+	defer func() {
+		if merr := mon.Stop(); merr != nil {
+			// The typed cancellation outranks per-block errors: cancelled
+			// workers record only the aborted-sweep marker.
+			num.incPoisoned = true
+			err = merr
+			out = nil
+		}
+	}()
 
 	// ---- Value gather (or slow-path permutation) into num.Perm. A reused
 	// numeric must itself have been built on the planned layout — its Perm,
@@ -773,7 +822,9 @@ func factorImpl(a *sparse.CSC, sym *Symbolic, num *Numeric, hooks *schedHooks) (
 			if sym.kind[blk] != blockND {
 				continue
 			}
+			num.sweep.addWorker()
 			go func(blk int) {
+				defer num.sweep.workerDone()
 				// A panicking launcher owns exactly its block's slot; Set is
 				// an idempotent epoch store, so force-releasing it lets the
 				// point-to-point join quiesce instead of deadlocking.
@@ -786,7 +837,9 @@ func factorImpl(a *sparse.CSC, sym *Symbolic, num *Numeric, hooks *schedHooks) (
 			if len(sym.partition[t]) == 0 {
 				continue
 			}
+			num.sweep.addWorker()
 			go func(t int) {
+				defer num.sweep.workerDone()
 				defer num.recoverRelease(num.factorSig, sym.partition[t])
 				inject.WorkerPanic(faultinject.SweepFactor, nblocks+t)
 				for _, blk := range sym.partition[t] {
@@ -795,12 +848,25 @@ func factorImpl(a *sparse.CSC, sym *Symbolic, num *Numeric, hooks *schedHooks) (
 			}(t)
 		}
 		for blk := 0; blk < nblocks; blk++ {
-			num.factorSig.Wait(blk)
+			if !num.factorSig.Wait(blk) {
+				// Only external cancellation unblocks this join with false
+				// (coarse fabrics are never failed by workers): return
+				// early with the monitor's typed error; stragglers drain at
+				// the next sweep entry.
+				break
+			}
 		}
 	}
 	if perr := num.takePanicErr(); perr != nil {
 		num.incPoisoned = true
 		return nil, perr
+	}
+	if num.sweep.Canceled() {
+		// Cancelled mid-sweep: stragglers may still be writing block
+		// storage, so no post-processing may touch it. The deferred monitor
+		// stop replaces this marker with the typed cancellation error.
+		num.incPoisoned = true
+		return nil, errSweepAborted
 	}
 	for _, err := range num.factorErrs {
 		if err != nil {
@@ -829,9 +895,10 @@ func factorImpl(a *sparse.CSC, sym *Symbolic, num *Numeric, hooks *schedHooks) (
 // allocated on first use.
 func (num *Numeric) factorBlock(blk, t int) {
 	sym := num.Sym
-	if num.factorFailed.Load() {
-		// Another block already failed: skip the work, signal the slot so
-		// the point-to-point join still quiesces every worker.
+	if num.factorFailed.Load() || num.sweep.Canceled() {
+		// Another block already failed, or the sweep was cancelled: skip the
+		// work, signal the slot so the point-to-point join still quiesces
+		// every worker.
 		num.factorSig.Set(blk)
 		return
 	}
@@ -936,11 +1003,23 @@ func (num *Numeric) compactStorage() {
 
 // FactorDirect is the one-shot Analyze+Factor.
 func FactorDirect(a *sparse.CSC, opts Options) (*Numeric, error) {
+	return FactorDirectCtx(context.Background(), a, opts)
+}
+
+// FactorDirectCtx is FactorDirect with cooperative cancellation of the
+// numeric sweep (the serial analysis runs to completion regardless; only a
+// ctx already expired at entry skips it).
+func FactorDirectCtx(ctx context.Context, a *sparse.CSC, opts Options) (*Numeric, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, CancelCause(ctx)
+		}
+	}
 	sym, err := Analyze(a, opts)
 	if err != nil {
 		return nil, err
 	}
-	return Factor(a, sym)
+	return FactorCtx(ctx, a, sym)
 }
 
 // Refactor recomputes numeric values for a same-pattern matrix, reusing the
@@ -965,10 +1044,25 @@ func FactorDirect(a *sparse.CSC, opts Options) (*Numeric, error) {
 // factorization must not be used for solves until a subsequent Refactor or
 // a fresh Factor succeeds; its structure remains intact, so retrying is
 // permitted.
-func (num *Numeric) Refactor(a *sparse.CSC) (err error) {
+func (num *Numeric) Refactor(a *sparse.CSC) error {
+	return num.RefactorCtx(context.Background(), a)
+}
+
+// RefactorCtx is Refactor bound to a context: a cancellation or deadline
+// fired mid-sweep unwinds every worker cooperatively, poisons the numeric
+// (recoverable by any subsequent successful refresh) and returns
+// ErrCanceled/ErrDeadlineExceeded. With context.Background() it is exactly
+// Refactor — no monitor goroutine, no allocation — unless
+// Options.StallTimeout arms the stall watchdog.
+func (num *Numeric) RefactorCtx(ctx context.Context, a *sparse.CSC) (err error) {
 	sym := num.Sym
 	if a.N != sym.N || a.M != sym.N {
 		return fmt.Errorf("core: dimension mismatch with symbolic analysis")
+	}
+	// A context already expired at entry rejects before any numeric work:
+	// the factors are untouched, so the numeric is NOT poisoned.
+	if ctx != nil && ctx.Err() != nil {
+		return CancelCause(ctx)
 	}
 	// Serial-path panic isolation (parallel workers recover in
 	// refactorParallel); a recovered panic poisons the numeric.
@@ -990,6 +1084,9 @@ func (num *Numeric) Refactor(a *sparse.CSC) (err error) {
 	if err := pipe.checkPattern(a); err != nil {
 		return err
 	}
+	// Stragglers of a previous cancelled/stalled sweep still read permuted
+	// storage and own their workspaces; wait them out before the gather.
+	num.sweep.drain()
 	rec := sym.Opts.Trace
 	sweep := rec.BeginSweep(trace.PhaseRefactor)
 	defer sweep.End()
@@ -1010,6 +1107,22 @@ func (num *Numeric) Refactor(a *sparse.CSC) (err error) {
 	num.SyncWaitNs = 0
 	num.ndSim = 0
 	pipe.sig.Reset()
+	armed := MonitorArmed(ctx, sym.Opts.StallTimeout)
+	num.sweep.BeginSweep(armed)
+	var mon *SweepMonitor
+	if armed {
+		mon = StartSweepMonitor(MonitorSpec{
+			Ctx: ctx, Stall: sym.Opts.StallTimeout, Sweep: "refactor",
+			Ctl:     &num.sweep,
+			Pending: func() (int, int) { return num.pendingCoarse(pipe.sig) },
+		})
+	}
+	defer func() {
+		if merr := mon.Stop(); merr != nil {
+			num.incPoisoned = true
+			err = merr
+		}
+	}()
 	nt := sym.Opts.threads()
 	if nt == 1 {
 		for blk := 0; blk < sym.NumBlocks(); blk++ {
@@ -1021,6 +1134,13 @@ func (num *Numeric) Refactor(a *sparse.CSC) (err error) {
 	if perr := num.takePanicErr(); perr != nil {
 		num.incPoisoned = true
 		return perr
+	}
+	if num.sweep.Canceled() {
+		// Cancelled mid-sweep: stragglers may still be refreshing blocks,
+		// so no post-processing may touch them. The deferred monitor stop
+		// replaces this marker with the typed cancellation error.
+		num.incPoisoned = true
+		return errSweepAborted
 	}
 	for _, err := range pipe.errs {
 		if err != nil {
@@ -1058,6 +1178,7 @@ func (num *Numeric) buildPipeline(a *sparse.CSC) (*refactorPipeline, error) {
 		sig:      NewEpochSignals(nblocks),
 		errs:     make([]error, nblocks),
 	}
+	pipe.sig.Bind(&num.sweep)
 	if num.planned && sym.plan.matches(a) {
 		pipe.permMap = sym.plan.permMap
 		pipe.colptr = sym.plan.colptr
@@ -1145,7 +1266,9 @@ func (num *Numeric) refactorParallel(nt int) {
 		if sym.kind[blk] != blockND {
 			continue
 		}
+		num.sweep.addWorker()
 		go func(blk int) {
+			defer num.sweep.workerDone()
 			// Force-release the owned slot on panic (Set is idempotent), so
 			// the driver's point-to-point join quiesces every sibling.
 			defer num.recoverRelease(pipe.sig, []int{blk})
@@ -1157,7 +1280,9 @@ func (num *Numeric) refactorParallel(nt int) {
 		if len(sym.partition[t]) == 0 {
 			continue
 		}
+		num.sweep.addWorker()
 		go func(t int) {
+			defer num.sweep.workerDone()
 			defer num.recoverRelease(pipe.sig, sym.partition[t])
 			inject.WorkerPanic(faultinject.SweepRefactor, nblocks+t)
 			for _, blk := range sym.partition[t] {
@@ -1166,7 +1291,12 @@ func (num *Numeric) refactorParallel(nt int) {
 		}(t)
 	}
 	for blk := 0; blk < nblocks; blk++ {
-		pipe.sig.Wait(blk)
+		if !pipe.sig.Wait(blk) {
+			// Only external cancellation unblocks this join with false:
+			// return early with the monitor's typed error; stragglers drain
+			// at the next sweep entry.
+			break
+		}
 	}
 }
 
@@ -1179,6 +1309,10 @@ func (num *Numeric) refactorParallel(nt int) {
 func (num *Numeric) refactorBlock(blk, t int) {
 	sym := num.Sym
 	pipe := num.pipe
+	if num.sweep.Canceled() {
+		pipe.sig.Set(blk)
+		return
+	}
 	inject := sym.Opts.Inject
 	switch sym.kind[blk] {
 	case blockSmall:
@@ -1445,4 +1579,33 @@ func (num *Numeric) countNnzLU() int {
 // FillDensity reports |L+U| / |A| using the cached count.
 func (num *Numeric) FillDensity(a *sparse.CSC) float64 {
 	return float64(num.NnzLU()) / float64(a.Nnz())
+}
+
+// pendingCoarse reports the first coarse block still pending on sig and the
+// worker lane that owns it, for the stall watchdog's diagnostics. Safe to
+// call from the monitor goroutine mid-sweep: the fabric's epoch is stable
+// between Reset calls and the slots are atomic.
+func (num *Numeric) pendingCoarse(sig *EpochSignals) (int, int) {
+	blk := sig.FirstPending()
+	if blk < 0 {
+		return -1, -1
+	}
+	return blk, num.laneOf(blk)
+}
+
+// laneOf maps a coarse block to the fine-BTF worker lane that owns it, or
+// -1 for fine-ND blocks (factored by a cooperative team, not a single lane).
+func (num *Numeric) laneOf(blk int) int {
+	sym := num.Sym
+	if sym.kind[blk] == blockND {
+		return -1
+	}
+	for t, blks := range sym.partition {
+		for _, b := range blks {
+			if b == blk {
+				return t
+			}
+		}
+	}
+	return -1
 }

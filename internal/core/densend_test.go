@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -133,7 +134,7 @@ func TestFactorDenseNDOverlapsBTF(t *testing.T) {
 			}
 		},
 	}
-	num, err := factorImpl(a, sym, nil, hooks)
+	num, err := factorImpl(context.Background(), a, sym, nil, hooks)
 	if err != nil {
 		t.Fatal(err)
 	}

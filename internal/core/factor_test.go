@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -57,7 +58,7 @@ func TestFactorNDOverlapsBTF(t *testing.T) {
 			}
 		},
 	}
-	num, err := factorImpl(a, sym, nil, hooks)
+	num, err := factorImpl(context.Background(), a, sym, nil, hooks)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -351,6 +352,7 @@ func (num *Numeric) gpOpts() gp.Options {
 	if num.pivotTolOverride > 0 {
 		o.PivotTol = num.pivotTolOverride
 	}
+	o.Poll = num.gpPoll
 	return o
 }
 
@@ -362,6 +364,8 @@ func (num *Numeric) sweepOpts() Options {
 	if num.pivotTolOverride > 0 {
 		o.PivotTol = num.pivotTolOverride
 	}
+	o.ctl = &num.sweep
+	o.poll = num.gpPoll
 	return o
 }
 
@@ -373,7 +377,7 @@ func (num *Numeric) sweepOpts() Options {
 func (num *Numeric) FactorIntoTol(a *sparse.CSC, tol float64) error {
 	prev := num.pivotTolOverride
 	num.pivotTolOverride = tol
-	_, err := factorImpl(a, num.Sym, num, nil)
+	_, err := factorImpl(context.Background(), a, num.Sym, num, nil)
 	num.pivotTolOverride = prev
 	return err
 }

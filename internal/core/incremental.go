@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -171,11 +172,28 @@ func (num *Numeric) ensureIncremental(a *sparse.CSC) error {
 // and on error the values are unspecified until a subsequent refresh
 // succeeds (a failed sweep is remembered, so the next incremental call
 // transparently runs a full refresh to re-establish a consistent state).
-func (num *Numeric) RefactorPartial(a *sparse.CSC, changed []int) (err error) {
+func (num *Numeric) RefactorPartial(a *sparse.CSC, changed []int) error {
+	return num.RefactorPartialCtx(context.Background(), a, changed)
+}
+
+// RefactorPartialCtx is RefactorPartial with cooperative cancellation: a
+// fired ctx aborts the dirty-block sweep at the next block boundary and
+// returns ErrCanceled or ErrDeadlineExceeded, leaving the numeric poisoned
+// but recoverable (the next refresh transparently runs a full recovery
+// sweep). A ctx with a Done channel also arms the sweep monitor, as does
+// Options.StallTimeout for stall detection.
+func (num *Numeric) RefactorPartialCtx(ctx context.Context, a *sparse.CSC, changed []int) (err error) {
 	sym := num.Sym
 	if a.N != sym.N || a.M != sym.N {
 		return fmt.Errorf("core: dimension mismatch with symbolic analysis")
 	}
+	// A context already expired at entry rejects before any numeric work.
+	if ctx != nil && ctx.Err() != nil {
+		return CancelCause(ctx)
+	}
+	// Quiesce stragglers from a previously canceled sweep before touching
+	// any state they might still write (fast path: one atomic load).
+	num.sweep.drain()
 	// Serial-path panic isolation: a panic during marking or the serial
 	// sweep poisons the numeric, so the next incremental call runs a full
 	// recovery refresh.
@@ -192,13 +210,13 @@ func (num *Numeric) RefactorPartial(a *sparse.CSC, changed []int) (err error) {
 	if num.incPoisoned {
 		// A prior failed sweep left unspecified values behind; the partial
 		// contract cannot hold, so recover through one full refresh.
-		return num.Refactor(a)
+		return num.RefactorCtx(ctx, a)
 	}
 	if len(changed)*2 >= sym.N {
 		// Near-total change sets gain nothing from per-column marking; the
 		// flat full sweep is faster, so degrade to it transparently (this
 		// also keeps the 100%-changed case at full-Refactor speed).
-		return num.Refactor(a)
+		return num.RefactorCtx(ctx, a)
 	}
 	pipe := num.pipe
 	if a.Nnz() != len(pipe.rowidx) {
@@ -231,7 +249,7 @@ func (num *Numeric) RefactorPartial(a *sparse.CSC, changed []int) (err error) {
 	for _, j := range changed {
 		num.gatherChangedColumn(a, inc.permColOf[j])
 	}
-	return num.refactorPartialSweep()
+	return num.refactorPartialSweep(ctx)
 }
 
 // RefactorAuto is Refactor with automatic change discovery: the incoming
@@ -244,11 +262,22 @@ func (num *Numeric) RefactorPartial(a *sparse.CSC, changed []int) (err error) {
 // diff pass replaces the flat gather).
 //
 // Exclusion and error contracts are Refactor's.
-func (num *Numeric) RefactorAuto(a *sparse.CSC) (err error) {
+func (num *Numeric) RefactorAuto(a *sparse.CSC) error {
+	return num.RefactorAutoCtx(context.Background(), a)
+}
+
+// RefactorAutoCtx is RefactorAuto with cooperative cancellation and stall
+// monitoring; the contract matches RefactorPartialCtx.
+func (num *Numeric) RefactorAutoCtx(ctx context.Context, a *sparse.CSC) (err error) {
 	sym := num.Sym
 	if a.N != sym.N || a.M != sym.N {
 		return fmt.Errorf("core: dimension mismatch with symbolic analysis")
 	}
+	// A context already expired at entry rejects before any numeric work.
+	if ctx != nil && ctx.Err() != nil {
+		return CancelCause(ctx)
+	}
+	num.sweep.drain()
 	defer func() {
 		if r := recover(); r != nil {
 			num.notePanic(r)
@@ -260,7 +289,7 @@ func (num *Numeric) RefactorAuto(a *sparse.CSC) (err error) {
 		return err
 	}
 	if num.incPoisoned {
-		return num.Refactor(a)
+		return num.RefactorCtx(ctx, a)
 	}
 	pipe := num.pipe
 	if err := pipe.checkPattern(a); err != nil {
@@ -272,7 +301,7 @@ func (num *Numeric) RefactorAuto(a *sparse.CSC) (err error) {
 	for k := 0; k < sym.N; k++ {
 		num.diffColumn(a, k)
 	}
-	return num.refactorPartialSweep()
+	return num.refactorPartialSweep(ctx)
 }
 
 // markDirtyBlock records coarse block blk as dirty this epoch.
@@ -472,7 +501,7 @@ func (ndn *ndNum) computeChanged(st *ndIncState, epoch uint64) bool {
 // blocks rerun exactly the kernels computeChanged selected. Scheduling,
 // synchronization, pivot-drift fallbacks and the error contract mirror the
 // full Refactor sweep.
-func (num *Numeric) refactorPartialSweep() error {
+func (num *Numeric) refactorPartialSweep(ctx context.Context) (err error) {
 	sym := num.Sym
 	pipe := num.pipe
 	inc := num.inc
@@ -491,15 +520,37 @@ func (num *Numeric) refactorPartialSweep() error {
 	num.SyncWaits = 0
 	num.SyncWaitNs = 0
 	num.ndSim = 0
-	// The coarse completion fabric is not touched here: nothing in the
-	// partial path waits on it (the parallel join is a WaitGroup, since
-	// coarse diagonal blocks are independent under refactorization), and
-	// the full sweep re-arms it itself. The load-bearing pre-arming is the
-	// fine-ND epoch flags inside each dirty block's refactorSweep.
+	// The load-bearing synchronization of the partial path stays the
+	// WaitGroup / fine-ND epoch flags: coarse diagonal blocks are
+	// independent under refactorization. The coarse fabric is re-armed
+	// anyway — clean blocks pre-set, dirty blocks set on completion — so
+	// the stall watchdog can name the stuck block and an armed sweep can
+	// join on it with early cancellation unwind.
+	pipe.sig.Reset()
 	for blk := 0; blk < nblocks; blk++ {
-		if inc.blkStamp[blk] == inc.epoch && sym.kind[blk] == blockND {
+		if inc.blkStamp[blk] != inc.epoch {
+			pipe.sig.Set(blk)
+			continue
+		}
+		if sym.kind[blk] == blockND {
 			num.nd[blk].computeChanged(inc.nd[blk], inc.epoch)
 		}
+	}
+	armed := MonitorArmed(ctx, sym.Opts.StallTimeout)
+	num.sweep.BeginSweep(armed)
+	var mon *SweepMonitor
+	if armed {
+		mon = StartSweepMonitor(MonitorSpec{
+			Ctx: ctx, Stall: sym.Opts.StallTimeout,
+			Sweep: "partial refactor", Ctl: &num.sweep,
+			Pending: func() (int, int) { return num.pendingCoarse(pipe.sig) },
+		})
+		defer func() {
+			if merr := mon.Stop(); merr != nil {
+				num.incPoisoned = true
+				err = merr
+			}
+		}()
 	}
 	if inc.dirty > 0 {
 		nt := sym.Opts.threads()
@@ -510,12 +561,16 @@ func (num *Numeric) refactorPartialSweep() error {
 				}
 			}
 		} else {
-			num.refactorParallelPartial(nt)
+			num.refactorParallelPartial(nt, armed)
 		}
 	}
 	if perr := num.takePanicErr(); perr != nil {
 		num.incPoisoned = true
 		return perr
+	}
+	if num.sweep.Canceled() {
+		num.incPoisoned = true
+		return errSweepAborted
 	}
 	for _, err := range pipe.errs {
 		if err != nil {
@@ -546,7 +601,7 @@ func (num *Numeric) refactorPartialSweep() error {
 // stamps after signalling its last dirty block, so the driver must not
 // start the next sweep's marking until every worker goroutine has exited,
 // not merely until every slot is set.
-func (num *Numeric) refactorParallelPartial(nt int) {
+func (num *Numeric) refactorParallelPartial(nt int, armed bool) {
 	sym := num.Sym
 	pipe := num.pipe
 	inc := num.inc
@@ -564,13 +619,17 @@ func (num *Numeric) refactorParallelPartial(nt int) {
 			continue
 		}
 		wg.Add(1)
+		num.sweep.addWorker()
 		go func(blk int) {
+			defer num.sweep.workerDone()
 			// The join is the WaitGroup, so panic recovery only needs to
-			// record the error; no completion slots to release.
+			// record the error; no completion slots to release — but the
+			// slot is force-set anyway so an armed join quiesces.
 			defer wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
 					num.notePanic(r)
+					pipe.sig.Set(blk)
 				}
 			}()
 			inject.WorkerPanic(faultinject.SweepPartial, blk)
@@ -589,11 +648,18 @@ func (num *Numeric) refactorParallelPartial(nt int) {
 			continue
 		}
 		wg.Add(1)
+		num.sweep.addWorker()
 		go func(t int) {
+			defer num.sweep.workerDone()
 			defer wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
 					num.notePanic(r)
+					for _, blk := range sym.partition[t] {
+						if dirty(blk) {
+							pipe.sig.Set(blk)
+						}
+					}
 				}
 			}()
 			inject.WorkerPanic(faultinject.SweepPartial, nblocks+t)
@@ -604,7 +670,28 @@ func (num *Numeric) refactorParallelPartial(nt int) {
 			}
 		}(t)
 	}
-	wg.Wait()
+	if !armed {
+		// A partition worker consults the epoch stamps after signalling its
+		// last dirty block, so the driver must not start the next sweep's
+		// marking until every goroutine exits, not merely until every slot
+		// is set; the full join guarantees that directly.
+		wg.Wait()
+		return
+	}
+	// Armed join: per-block waits break on cancellation so the driver can
+	// return within the watchdog's bound while a stalled worker is still
+	// asleep. Stragglers are drained at the next sweep's entry before any
+	// marking, which restores the epoch-stamp safety the WaitGroup gave.
+	early := false
+	for blk := 0; blk < nblocks; blk++ {
+		if !pipe.sig.Wait(blk) {
+			early = true
+			break
+		}
+	}
+	if !early {
+		wg.Wait()
+	}
 }
 
 // refactorBlockPartial refreshes one dirty coarse block in place and
@@ -616,6 +703,10 @@ func (num *Numeric) refactorBlockPartial(blk, t int) {
 	sym := num.Sym
 	pipe := num.pipe
 	inc := num.inc
+	if num.sweep.Canceled() {
+		pipe.sig.Set(blk)
+		return
+	}
 	inject := sym.Opts.Inject
 	switch sym.kind[blk] {
 	case blockSmall:
@@ -663,6 +754,8 @@ func (num *Numeric) refactorBlockPartial(blk, t int) {
 			pipe.errs[blk] = fmt.Errorf("core: refactor small block %d: %w", blk, err)
 		}
 		num.hookDone(blk, false)
+		inject.StallPoint(faultinject.SweepPartial, blk)
+		pipe.sig.Set(blk)
 	case blockND:
 		num.hookStart(blk, true)
 		r0 := sym.BlockPtr[blk]
@@ -702,5 +795,7 @@ func (num *Numeric) refactorBlockPartial(blk, t int) {
 			pipe.errs[blk] = fmt.Errorf("core: refactor nd block %d: %w", blk, err)
 		}
 		num.hookDone(blk, true)
+		inject.StallPoint(faultinject.SweepPartial, blk)
+		pipe.sig.Set(blk)
 	}
 }

@@ -320,6 +320,12 @@ func factorND(perm *sparse.CSC, blk, r0 int, sym *ndSym, opts Options, grid *ndG
 		num.phaseDur = make([][]float64, sym.p)
 		if opts.Sync == SyncBarrier {
 			num.barr = newBarrier(sym.p)
+			if opts.ctl != nil {
+				// Register with the owning Numeric's cancel source so a
+				// fired deadline or stall verdict wakes barrier sleepers
+				// (with a cancellation cause, not a failure one).
+				opts.ctl.registerBarrier(num.barr)
+			}
 		}
 	} else {
 		num.flags.Reset()
@@ -334,7 +340,10 @@ func factorND(perm *sparse.CSC, blk, r0 int, sym *ndSym, opts Options, grid *ndG
 	num.blk = blk
 	// Refresh the resident options on reuse too: a recovery factorization
 	// may carry a tightened pivot tolerance or an armed fault injector.
+	// The flag fabric binds to the owner's cancel source so inner waits
+	// unblock on cancellation (Bind is idempotent; ctl is per-Numeric).
 	num.opts = opts
+	num.flags.Bind(opts.ctl)
 	num.rec = opts.Trace
 	num.phase = trace.PhaseFactor
 	num.resetWaitAccounting()
@@ -374,6 +383,11 @@ func factorND(perm *sparse.CSC, blk, r0 int, sym *ndSym, opts Options, grid *ndG
 	delta := total - num.lastContended
 	num.lastContended = total
 	waitDelta := num.snapshotWaitNs()
+	if num.firstErr == nil && opts.ctl != nil && opts.ctl.Canceled() {
+		// Workers unwound cooperatively without a numeric failure: report
+		// the abort so a partially-built hierarchy is never published.
+		num.firstErr = errSweepAborted
+	}
 	if num.firstErr != nil {
 		return nil, num.firstErr
 	}

@@ -36,9 +36,11 @@ type ndRefactor struct {
 // maps already live on the ndNum).
 func (num *ndNum) ensureRefactorState(perm *sparse.CSC, r0 int) {
 	if num.re != nil {
+		num.re.flags.Bind(num.opts.ctl)
 		return
 	}
 	num.re = &ndRefactor{flags: newEpochBlockFlags(num.sym.nb)}
+	num.re.flags.Bind(num.opts.ctl)
 }
 
 // refactorInPlace refreshes every numeric value of the 2D factorization for
@@ -123,6 +125,11 @@ func (num *ndNum) refactorSweep(perm *sparse.CSC, r0 int, st *ndIncState) error 
 	waitTotal := re.flags.WaitNanos()
 	num.SyncWaitNs = waitTotal - re.lastWaitNs
 	re.lastWaitNs = waitTotal
+	if num.firstErr == nil {
+		if ctl := num.opts.ctl; ctl != nil && ctl.Canceled() {
+			num.firstErr = errSweepAborted
+		}
+	}
 	return num.firstErr
 }
 

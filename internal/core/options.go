@@ -23,6 +23,8 @@
 package core
 
 import (
+	"time"
+
 	"repro/internal/faultinject"
 	"repro/internal/gp"
 	"repro/internal/trace"
@@ -100,6 +102,18 @@ type Options struct {
 	// inside every numeric sweep (chaos testing only). nil — the production
 	// state — keeps every hook on its single-pointer-test fast path.
 	Inject *faultinject.Injector
+	// StallTimeout arms the per-sweep stall watchdog: a parallel sweep that
+	// makes no progress (no completion signal lands) for this long is
+	// aborted with ErrStalled, naming the stalled block and worker lane.
+	// 0 (the default) disables the watchdog. Serial sweeps run on the
+	// caller's goroutine and cannot be unwound by the watchdog.
+	StallTimeout time.Duration
+
+	// ctl and poll are the per-Numeric cancellation hooks, threaded through
+	// sweepOpts into the fine-ND engine and its kernels (never set on the
+	// shared Symbolic's Options).
+	ctl  *SweepControl
+	poll func() error
 }
 
 // DefaultDenseKernelThreshold is the estimated-density line above which
@@ -129,7 +143,7 @@ func DefaultOptions() Options {
 // gpOptions returns the Gilbert–Peierls kernel options used inside every
 // diagonal block.
 func (o Options) gpOptions() gp.Options {
-	return gp.Options{PivotTol: o.PivotTol, NoPrune: o.NoPrune}
+	return gp.Options{PivotTol: o.PivotTol, NoPrune: o.NoPrune, Poll: o.poll}
 }
 
 func (o Options) threads() int {

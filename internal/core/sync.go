@@ -18,7 +18,12 @@ import (
 type Signals struct {
 	done  []chan struct{}
 	abort chan struct{}
-	once  sync.Once
+	// cancel is the external cancel source (a SweepControl's channel face):
+	// unlike abort, which a worker closes on numeric failure, cancel is
+	// fired from outside the sweep (context expiry, stall watchdog). A nil
+	// channel never fires, so unbound fabrics pay one extra select arm.
+	cancel <-chan struct{}
+	once   sync.Once
 	// contended counts waits that actually had to block (ablation metric);
 	// waitNanos accumulates the wall-clock time those blocked waits cost
 	// (the fast path pays nothing — uncontended waits read no clock).
@@ -41,9 +46,14 @@ func NewSignals(n int) *Signals {
 // Set marks slot i complete. Each slot has exactly one producer.
 func (s *Signals) Set(i int) { close(s.done[i]) }
 
+// BindCancel attaches an external cancel source: a blocked Wait returns
+// false when ch fires, exactly as it does for an internal abort. Must be
+// called before any waiter blocks.
+func (s *Signals) BindCancel(ch <-chan struct{}) { s.cancel = ch }
+
 // Wait blocks until slot i is complete. It returns false if the
-// computation has been aborted (another worker hit an error), so waiters
-// can unwind instead of deadlocking.
+// computation has been aborted (another worker hit an error) or cancelled
+// from outside, so waiters can unwind instead of deadlocking.
 func (s *Signals) Wait(i int) bool {
 	ch := s.done[i]
 	select {
@@ -58,6 +68,9 @@ func (s *Signals) Wait(i int) bool {
 		s.waitNanos.Add(time.Since(t0).Nanoseconds())
 		return true
 	case <-s.abort:
+		s.waitNanos.Add(time.Since(t0).Nanoseconds())
+		return false
+	case <-s.cancel:
 		s.waitNanos.Add(time.Since(t0).Nanoseconds())
 		return false
 	}
@@ -99,6 +112,11 @@ type EpochSignals struct {
 	slots []atomic.Uint64
 	epoch uint64 // written only by Reset, between sweeps
 	abort atomic.Uint64
+	// ctl, when bound, is the sweep's shared cancellation fabric: every Set
+	// bumps its progress heartbeat (the stall watchdog's sample) and every
+	// blocked wait polls its cancel flag so an external cancellation
+	// unwinds waiters exactly like an internal abort.
+	ctl *SweepControl
 	// contended counts waits that actually had to block (ablation metric);
 	// waitNanos accumulates the wall-clock time of those blocked waits. Both
 	// live on the slow path only — the uncontended fast path reads no clock
@@ -115,12 +133,37 @@ func NewEpochSignals(n int) *EpochSignals {
 // Len reports the number of slots.
 func (s *EpochSignals) Len() int { return len(s.slots) }
 
+// Bind attaches the fabric to a sweep's cancellation control. Must happen
+// before workers launch; the binding is stable for the fabric's lifetime.
+func (s *EpochSignals) Bind(ctl *SweepControl) { s.ctl = ctl }
+
 // Reset begins a new sweep: all slots become "not done" at once. The
 // previous sweep must have fully quiesced.
 func (s *EpochSignals) Reset() { s.epoch++ }
 
 // Set marks slot i complete for the current sweep. One producer per slot.
-func (s *EpochSignals) Set(i int) { s.slots[i].Store(s.epoch) }
+// The progress bump is the watchdog heartbeat — one atomic add per
+// completed block, paid only on monitored sweeps so the unarmed fast path
+// keeps its pre-cancellation cost.
+func (s *EpochSignals) Set(i int) {
+	s.slots[i].Store(s.epoch)
+	if c := s.ctl; c != nil && c.armed {
+		c.progress.Add(1)
+	}
+}
+
+// FirstPending reports the first slot not yet complete for the current
+// sweep (-1 when all are). Safe to call from a monitor goroutine while the
+// sweep runs: slots are atomic and the epoch is stable between Resets.
+func (s *EpochSignals) FirstPending() int {
+	e := s.epoch
+	for i := range s.slots {
+		if s.slots[i].Load() < e {
+			return i
+		}
+	}
+	return -1
+}
 
 // Wait blocks until slot i completes, returning false if the sweep was
 // aborted (a worker hit an error) so waiters can unwind.
@@ -158,6 +201,14 @@ func (s *EpochSignals) waitSlow(i int, e uint64) (int64, bool) {
 			s.waitNanos.Add(d)
 			return d, false
 		}
+		// External cancellation (context expiry, stall watchdog) unblocks
+		// waiters through the same false return as an internal abort. The
+		// poll lives only on this blocked slow path.
+		if c := s.ctl; c != nil && c.flag.Load() {
+			d := time.Since(t0).Nanoseconds()
+			s.waitNanos.Add(d)
+			return d, false
+		}
 		if spins < 128 {
 			runtime.Gosched()
 		} else {
@@ -174,8 +225,15 @@ func (s *EpochSignals) WaitNanos() int64 { return s.waitNanos.Load() }
 // until the next Reset.
 func (s *EpochSignals) Fail() { s.abort.Store(s.epoch) }
 
-// Aborted reports whether the current sweep has been aborted.
-func (s *EpochSignals) Aborted() bool { return s.abort.Load() == s.epoch }
+// Aborted reports whether the current sweep has been aborted, by a worker
+// failure or by external cancellation.
+func (s *EpochSignals) Aborted() bool {
+	if s.abort.Load() == s.epoch {
+		return true
+	}
+	c := s.ctl
+	return c != nil && c.flag.Load()
+}
 
 // Contended reports how many waits actually had to block, accumulated
 // across sweeps.
@@ -213,11 +271,24 @@ type barrier struct {
 	count   int
 	gen     int
 	broken  atomic.Bool
+	// cause distinguishes why the barrier broke: a numeric failure
+	// (breakBarrier) or an external cancellation (breakCanceled). The
+	// distinction lets the barrier-ablation sweeps report a cancelled
+	// deadline as ErrCanceled instead of misclassifying it as an internal
+	// failure.
+	cause atomic.Uint32
 	// waitNanos accumulates the wall-clock time participants spent blocked
 	// waiting for the rest (the last arriver pays nothing) — the barrier
 	// half of the paper's 2.3%-vs-11% sync-overhead comparison.
 	waitNanos atomic.Int64
 }
+
+// barrier break causes.
+const (
+	barrierIntact uint32 = iota
+	barrierFailed
+	barrierCanceled
+)
 
 func newBarrier(parties int) *barrier {
 	b := &barrier{parties: parties}
@@ -256,7 +327,15 @@ func (b *barrier) await() bool {
 func (b *barrier) waitNs() int64 { return b.waitNanos.Load() }
 
 // breakBarrier releases all waiters with a failure indication.
-func (b *barrier) breakBarrier() {
+func (b *barrier) breakBarrier() { b.breakWith(barrierFailed) }
+
+// breakCanceled releases all waiters with the external-cancellation cause,
+// so the sweep driver can surface ErrCanceled/ErrDeadlineExceeded/ErrStalled
+// instead of a numeric failure.
+func (b *barrier) breakCanceled() { b.breakWith(barrierCanceled) }
+
+func (b *barrier) breakWith(cause uint32) {
+	b.cause.CompareAndSwap(barrierIntact, cause)
 	b.broken.Store(true)
 	b.mu.Lock()
 	b.gen++
@@ -265,11 +344,16 @@ func (b *barrier) breakBarrier() {
 	b.cond.Broadcast()
 }
 
+// canceled reports that the barrier was broken by external cancellation
+// (false for an intact barrier or a failure break).
+func (b *barrier) canceled() bool { return b.cause.Load() == barrierCanceled }
+
 // reset re-arms a quiesced barrier for a new parallel region after a
 // failure (all prior participants must have returned).
 func (b *barrier) reset() {
 	b.mu.Lock()
 	b.broken.Store(false)
+	b.cause.Store(barrierIntact)
 	b.count = 0
 	b.gen++
 	b.mu.Unlock()

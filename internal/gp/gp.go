@@ -41,7 +41,18 @@ type Options struct {
 	// a pruned prefix of every L column). Exists for the ablation study;
 	// the factors are identical either way, only the symbolic cost changes.
 	NoPrune bool
+	// Poll, when non-nil, is invoked about every pollStride columns of a
+	// fresh factorization; a non-nil return aborts the kernel with that
+	// error. This is the cooperative-cancellation hook of long-running
+	// kernels: the parallel drivers bind it to their sweep's cancel flag so
+	// a fired deadline unwinds even mid-block.
+	Poll func() error
 }
+
+// pollStride is how many columns a fresh factorization processes between
+// two cancellation polls — frequent enough to bound cancel latency inside
+// a big block, rare enough to cost nothing.
+const pollStride = 256
 
 // DefaultPivotTol mirrors KLU's diagonal-preference default.
 const DefaultPivotTol = 0.001
@@ -199,6 +210,11 @@ func FactorInto(f *Factors, a *sparse.CSC, estNnz int, opts Options, ws *Workspa
 	tol := opts.tol()
 
 	for k := 0; k < n; k++ {
+		if opts.Poll != nil && k%pollStride == 0 {
+			if err := opts.Poll(); err != nil {
+				return err
+			}
+		}
 		if err := f.factorFreshColumn(a, k, tol, opts, ws, prune); err != nil {
 			return err
 		}

@@ -116,6 +116,11 @@ func FactorSupernodalInto(f *Factors, a *sparse.CSC, xsup []int, estNnz int, opt
 
 	for s := 0; s+1 < len(xsup); s++ {
 		k0, k1 := xsup[s], xsup[s+1]
+		if opts.Poll != nil && s%64 == 0 {
+			if err := opts.Poll(); err != nil {
+				return err
+			}
+		}
 		if k1 == k0+1 {
 			if err := f.factorFreshColumn(a, k0, tol, opts, ws, prune); err != nil {
 				return err

@@ -1,0 +1,161 @@
+package trisolve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/matgen"
+)
+
+// stallSolver is chaosSolver with the stall watchdog armed on the
+// factorization's options, so block-parallel solves run monitored.
+func stallSolver(t *testing.T, inject *faultinject.Injector, stall time.Duration) (*Solver, []float64, []float64) {
+	t.Helper()
+	a := matgen.Circuit(matgen.CircuitParams{
+		N: 700, BTFPct: 50, Blocks: 40, Core: matgen.CoreLadder, ExtraDensity: 0.3, Seed: 11,
+	})
+	opts := core.DefaultOptions()
+	opts.Threads = 4
+	opts.BigBlockMin = 64
+	opts.Inject = inject
+	opts.StallTimeout = stall
+	num, err := core.FactorDirect(a, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(num, Options{Workers: 4, BlockParallelMin: 1})
+	x := randRHS(a.N, 7)
+	b := make([]float64, a.N)
+	a.MulVec(b, x)
+	return s, b, x
+}
+
+// TestSolveStallWatchdog wedges a block-parallel solve worker for far
+// longer than StallTimeout: the watchdog aborts the sweep with ErrStalled
+// naming the stuck block, the caller's right-hand side is untouched (the
+// sweep writes only its pooled workspace until the final scatter), the
+// factorization is unharmed, and the very next solve succeeds while the
+// straggler is still draining.
+func TestSolveStallWatchdog(t *testing.T) {
+	inject := faultinject.New()
+	s, b, x := stallSolver(t, inject, 60*time.Millisecond)
+
+	inject.Arm(faultinject.PointStall, faultinject.Rule{
+		Sweep: faultinject.SweepSolve, SweepSet: true, Block: -1, Worker: -1,
+		Times: 1, Stall: 900 * time.Millisecond,
+	})
+	got := append([]float64(nil), b...)
+	t0 := time.Now()
+	err := s.Solve(got)
+	if elapsed := time.Since(t0); elapsed >= 700*time.Millisecond {
+		t.Fatalf("stalled solve took %v to return, want early abort", elapsed)
+	}
+	if !errors.Is(err, core.ErrStalled) {
+		t.Fatalf("stalled solve error %v does not match ErrStalled", err)
+	}
+	var se *core.StallError
+	if !errors.As(err, &se) {
+		t.Fatalf("stalled solve error %v carries no *StallError", err)
+	}
+	if se.Sweep != "solve" || se.Block < 0 || se.Lane < 0 {
+		t.Fatalf("StallError diagnostics incomplete: %+v", se)
+	}
+	for i := range got {
+		if got[i] != b[i] {
+			t.Fatalf("aborted solve clobbered rhs[%d]: %v != %v", i, got[i], b[i])
+		}
+	}
+
+	// Solves only read the factorization: the next call — racing the
+	// still-sleeping straggler, which owns a detached workspace — succeeds.
+	got = append([]float64(nil), b...)
+	if err := s.Solve(got); err != nil {
+		t.Fatalf("solve after stall: %v", err)
+	}
+	checkSolution(t, got, x)
+}
+
+// TestSolveCtxDeadline aborts a block-parallel solve via context deadline
+// (no watchdog armed): ErrDeadlineExceeded, rhs untouched, next solve fine.
+func TestSolveCtxDeadline(t *testing.T) {
+	inject := faultinject.New()
+	s, b, x := stallSolver(t, inject, 0)
+
+	inject.Arm(faultinject.PointStall, faultinject.Rule{
+		Sweep: faultinject.SweepSolve, SweepSet: true, Block: -1, Worker: -1,
+		Times: 1, Stall: 900 * time.Millisecond,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	got := append([]float64(nil), b...)
+	t0 := time.Now()
+	err := s.SolveCtx(ctx, got)
+	if elapsed := time.Since(t0); elapsed >= 700*time.Millisecond {
+		t.Fatalf("deadline abort took %v, want early return", elapsed)
+	}
+	if !errors.Is(err, core.ErrDeadlineExceeded) {
+		t.Fatalf("solve past deadline: %v, want ErrDeadlineExceeded", err)
+	}
+	for i := range got {
+		if got[i] != b[i] {
+			t.Fatalf("aborted solve clobbered rhs[%d]", i)
+		}
+	}
+
+	got = append([]float64(nil), b...)
+	if err := s.Solve(got); err != nil {
+		t.Fatalf("solve after deadline abort: %v", err)
+	}
+	checkSolution(t, got, x)
+}
+
+// TestSolveManyCtxArmedPath runs the panel-parallel batch solve with a
+// live (unfired) cancellable context: the armed monitor path must produce
+// exactly the serial results and shut the monitor down cleanly.
+func TestSolveManyCtxArmedPath(t *testing.T) {
+	a := testMatrix(t)
+	num := factor(t, a, 2)
+	s := New(num, Options{Workers: 4})
+	want := make([][]float64, 6)
+	batch := make([][]float64, 6)
+	for i := range batch {
+		want[i] = randRHS(a.N, int64(20+i))
+		batch[i] = append([]float64(nil), want[i]...)
+		num.Solve(want[i])
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := s.SolveManyCtx(ctx, batch); err != nil {
+		t.Fatalf("SolveManyCtx: %v", err)
+	}
+	for i := range batch {
+		checkSolution(t, batch[i], want[i])
+	}
+}
+
+// TestSolveCtxBackgroundAllocs pins the fast-path contract: SolveCtx and
+// SolveManyCtx with context.Background() arm no monitor and stay on the
+// allocation-free steady-state path.
+func TestSolveCtxBackgroundAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under -race; allocation counts are unrepresentative")
+	}
+	a := testMatrix(t)
+	num := factor(t, a, 1)
+	s := New(num, Options{Workers: 1})
+	ctx := context.Background()
+	b := randRHS(a.N, 3)
+	s.SolveCtx(ctx, b) // warm the pool
+	batch := [][]float64{randRHS(a.N, 4), randRHS(a.N, 5)}
+	s.SolveManyCtx(ctx, batch) // warm the panel buffer
+	if avg := testing.AllocsPerRun(50, func() { s.SolveCtx(ctx, b) }); avg > 0.5 {
+		t.Errorf("SolveCtx(Background) allocates %.1f objects/call in steady state, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(50, func() { s.SolveManyCtx(ctx, batch) }); avg > 0.5 {
+		t.Errorf("SolveManyCtx(Background) allocates %.1f objects/call in steady state, want 0", avg)
+	}
+}

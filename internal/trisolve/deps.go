@@ -1,9 +1,11 @@
 package trisolve
 
 import (
+	"context"
 	"sort"
 	"sync"
 
+	"repro/internal/core"
 	"repro/internal/faultinject"
 	"repro/internal/sparse"
 	"repro/internal/trace"
@@ -133,17 +135,35 @@ func (s *Solver) SolutionClosure(changedCols []int) []bool {
 // are written only by i's owner, and y values of a feeding block are read
 // only after its completion signal, so the sweep is race-free; the feed
 // ordering makes it bit-for-bit identical to the serial sweep.
-func (s *Solver) solveBlockParallel(rhs []float64, ws *Workspace) error {
+func (s *Solver) solveBlockParallel(ctx context.Context, rhs []float64) error {
 	s.buildDeps()
 	num := s.num
 	sym := num.Sym
 	n := sym.N
+	ws := s.pool.get()
 	y := ws.y
 	for k := 0; k < n; k++ {
 		y[k] = rhs[sym.RowPerm[k]]
 	}
 	nb := sym.NumBlocks()
+	stall := sym.Opts.StallTimeout
+	armed := core.MonitorArmed(ctx, stall)
+	ws.ctl.BeginSweep(armed)
+	ctl := &ws.ctl
 	sig := ws.signals(nb)
+	var mon *core.SweepMonitor
+	if armed {
+		mon = core.StartSweepMonitor(core.MonitorSpec{
+			Ctx: ctx, Stall: stall, Sweep: "solve", Ctl: ctl,
+			Pending: func() (int, int) {
+				blk := sig.FirstPending()
+				if blk < 0 {
+					return -1, -1
+				}
+				return blk, (nb - 1 - blk) % s.workers
+			},
+		})
+	}
 	rec := sym.Opts.Trace
 	inject := sym.Opts.Inject
 	var wg sync.WaitGroup
@@ -179,6 +199,9 @@ func (s *Solver) solveBlockParallel(rhs []float64, ws *Workspace) error {
 			// nanoseconds its dependency waits cost.
 			var waitNs int64
 			for blk := nb - 1 - w; blk >= 0; blk -= s.workers {
+				if ctl.Canceled() {
+					return
+				}
 				for _, j := range s.deps[blk] {
 					if rec == nil {
 						if !sig.Wait(j) {
@@ -209,11 +232,46 @@ func (s *Solver) solveBlockParallel(rhs []float64, ws *Workspace) error {
 			}
 		}(w)
 	}
-	wg.Wait()
+	early := false
+	if armed {
+		// Per-block join: each wait breaks on cancellation, so a fired
+		// deadline or stall verdict returns to the caller while a wedged
+		// straggler is still asleep inside a kernel.
+		for blk := 0; blk < nb; blk++ {
+			if !sig.Wait(blk) {
+				early = true
+				break
+			}
+		}
+	}
+	merr := mon.Stop()
+	if early && merr == nil {
+		// The fabric broke by Fail (a worker panic), not by our monitor:
+		// workers unwind promptly, so the full join stays cheap and makes
+		// the error read below race-free.
+		early = false
+	}
+	if !early {
+		wg.Wait()
+	}
+	if early {
+		// Stragglers may still write ws.y; hand the workspace to a reaper
+		// that repools it only once every worker has exited. rhs itself is
+		// untouched — workers only write the workspace copy.
+		go func() {
+			wg.Wait()
+			s.pool.put(ws)
+		}()
+		return merr
+	}
+	defer s.pool.put(ws)
 	if firstErr != nil {
 		// rhs is left as-is (partially solved values never leave y); the
 		// factorization itself is untouched — solves only read it.
 		return firstErr
+	}
+	if merr != nil {
+		return merr
 	}
 	for k := 0; k < n; k++ {
 		rhs[sym.ColPerm[k]] = y[k]

@@ -27,6 +27,7 @@
 package trisolve
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime/debug"
@@ -130,17 +131,32 @@ func panicErr(r any) error {
 // state on the serial path. On a non-nil error (a recovered panic in a
 // sweep) b is unspecified; the factorization itself is unharmed, solves
 // are read-only against it.
-func (s *Solver) Solve(b []float64) (err error) {
-	ws := s.pool.get()
-	defer s.pool.put(ws)
+func (s *Solver) Solve(b []float64) error {
+	return s.SolveCtx(context.Background(), b)
+}
+
+// SolveCtx is Solve with cooperative cancellation: a fired ctx aborts the
+// dependency-scheduled parallel sweep at the next block boundary and
+// returns ErrCanceled or ErrDeadlineExceeded; b is then unspecified (the
+// factorization is unharmed — solves only read it). A Done-capable ctx or
+// a positive Options.StallTimeout on the factorization also arms the sweep
+// watchdog, which aborts a no-progress sweep with ErrStalled. The serial
+// path runs on the caller's goroutine and only honours a ctx that is
+// already expired at entry.
+func (s *Solver) SolveCtx(ctx context.Context, b []float64) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = panicErr(r)
 		}
 	}()
-	if s.blockPar {
-		return s.solveBlockParallel(b, ws)
+	if ctx != nil && ctx.Err() != nil {
+		return core.CancelCause(ctx)
 	}
+	if s.blockPar {
+		return s.solveBlockParallel(ctx, b)
+	}
+	ws := s.pool.get()
+	defer s.pool.put(ws)
 	s.num.SolveInto(b, ws.y, ws.scratch)
 	return nil
 }
@@ -151,7 +167,17 @@ func (s *Solver) Solve(b []float64) (err error) {
 // before moving on), and panels are distributed over the worker
 // goroutines. Per right-hand side the operation sequence is identical to
 // Solve.
-func (s *Solver) SolveMany(bs [][]float64) (err error) {
+func (s *Solver) SolveMany(bs [][]float64) error {
+	return s.SolveManyCtx(context.Background(), bs)
+}
+
+// SolveManyCtx is SolveMany with cooperative cancellation: workers stop
+// picking up panels once ctx fires (or the stall watchdog trips) and the
+// call returns the typed error with the batch partially solved. The sweep
+// always joins fully before returning — workers write the caller-owned
+// right-hand sides — so cancellation accelerates the unwind rather than
+// abandoning stragglers.
+func (s *Solver) SolveManyCtx(ctx context.Context, bs [][]float64) (err error) {
 	k := len(bs)
 	if k == 0 {
 		return nil
@@ -161,6 +187,9 @@ func (s *Solver) SolveMany(bs [][]float64) (err error) {
 			err = panicErr(r)
 		}
 	}()
+	if ctx != nil && ctx.Err() != nil {
+		return core.CancelCause(ctx)
+	}
 	// Panel width: fill maxPanel columns when serial, but never leave a
 	// worker idle — with few right-hand sides and many workers, narrower
 	// panels spread the batch across the goroutines.
@@ -177,11 +206,14 @@ func (s *Solver) SolveMany(bs [][]float64) (err error) {
 	}
 	if nw <= 1 {
 		for lo := 0; lo < k; lo += width {
+			if ctx != nil && ctx.Err() != nil {
+				return core.CancelCause(ctx)
+			}
 			s.solvePanel(bs[lo:min(lo+width, k)])
 		}
 		return nil
 	}
-	return s.solveManyParallel(bs, width, nchunks, nw)
+	return s.solveManyParallel(ctx, bs, width, nchunks, nw)
 }
 
 // solveManyParallel distributes panel chunks over nw worker goroutines
@@ -190,9 +222,27 @@ func (s *Solver) SolveMany(bs [][]float64) (err error) {
 // captures onto the heap on every call). A panicking worker records the
 // first error and stops; the cursor lets the surviving workers drain the
 // remaining panels, so the WaitGroup join always quiesces.
-func (s *Solver) solveManyParallel(bs [][]float64, width, nchunks, nw int) error {
+func (s *Solver) solveManyParallel(ctx context.Context, bs [][]float64, width, nchunks, nw int) (err error) {
 	k := len(bs)
 	inject := s.num.Sym.Opts.Inject
+	// Armed batches borrow a pooled workspace purely for its cancellation
+	// control; the unarmed fast path allocates and arms nothing.
+	var ctl *core.SweepControl
+	var mon *core.SweepMonitor
+	if stall := s.num.Sym.Opts.StallTimeout; core.MonitorArmed(ctx, stall) {
+		cws := s.pool.get()
+		defer s.pool.put(cws)
+		ctl = &cws.ctl
+		ctl.BeginSweep(true)
+		mon = core.StartSweepMonitor(core.MonitorSpec{
+			Ctx: ctx, Stall: stall, Sweep: "solve", Ctl: ctl,
+		})
+		defer func() {
+			if merr := mon.Stop(); merr != nil && err == nil {
+				err = merr
+			}
+		}()
+	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	var mu sync.Mutex
@@ -212,12 +262,18 @@ func (s *Solver) solveManyParallel(bs [][]float64, width, nchunks, nw int) error
 			}()
 			inject.WorkerPanic(faultinject.SweepSolve, w)
 			for {
+				if ctl != nil && ctl.Canceled() {
+					return
+				}
 				c := int(next.Add(1)) - 1
 				if c >= nchunks {
 					return
 				}
 				lo := c * width
 				s.solvePanel(bs[lo:min(lo+width, k)])
+				if ctl != nil {
+					ctl.Step()
+				}
 			}
 		}(w)
 	}
@@ -286,6 +342,10 @@ type RefineResult struct {
 	// factorization too inaccurate for refinement to help (severe
 	// ill-conditioning), at which point further solves only burn time.
 	Stagnated bool
+	// Canceled reports that a SolveRefinedCtx context fired between
+	// refinement iterations: b holds the best iterate computed so far and
+	// the result fields describe it, alongside the returned typed error.
+	Canceled bool
 }
 
 // RefineTol is the componentwise backward-error target of SolveRefined:
@@ -300,7 +360,15 @@ const RefineTol = 4 * 2.220446049250313e-16
 // progress (stagnation), or maxIters corrections have been applied. b is
 // overwritten with x. All scratch comes from the workspace pool; the
 // backward-error pass shares the residual's single sweep over a.
-func (s *Solver) SolveRefined(a *sparse.CSC, b []float64, maxIters int) (res RefineResult, err error) {
+func (s *Solver) SolveRefined(a *sparse.CSC, b []float64, maxIters int) (RefineResult, error) {
+	return s.SolveRefinedCtx(context.Background(), a, b, maxIters)
+}
+
+// SolveRefinedCtx is SolveRefined with cooperative cancellation between
+// refinement iterations: when ctx fires, the method stops refining, leaves
+// the best iterate computed so far in b, and returns the result describing
+// it with Canceled set alongside ErrCanceled or ErrDeadlineExceeded.
+func (s *Solver) SolveRefinedCtx(ctx context.Context, a *sparse.CSC, b []float64, maxIters int) (res RefineResult, err error) {
 	ws := s.pool.get()
 	defer s.pool.put(ws)
 	defer func() {
@@ -308,6 +376,10 @@ func (s *Solver) SolveRefined(a *sparse.CSC, b []float64, maxIters int) (res Ref
 			err = panicErr(r)
 		}
 	}()
+	if ctx != nil && ctx.Err() != nil {
+		res.Canceled = true
+		return res, core.CancelCause(ctx)
+	}
 	n := a.N
 	r, rhs, den := ws.refine(n)
 	copy(rhs, b)
@@ -333,6 +405,11 @@ func (s *Solver) SolveRefined(a *sparse.CSC, b []float64, maxIters int) (res Ref
 		}
 		if it >= maxIters {
 			return res, nil
+		}
+		if ctx != nil && ctx.Err() != nil {
+			// b already holds the iterate the result fields describe.
+			res.Canceled = true
+			return res, core.CancelCause(ctx)
 		}
 		if omega > 0.5*prev {
 			// The last correction did not at least halve ω: stagnation.

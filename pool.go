@@ -1,6 +1,8 @@
 package basker
 
 import (
+	"context"
+	"errors"
 	"hash/fnv"
 	"sync"
 	"time"
@@ -58,6 +60,19 @@ type Pool struct {
 	// poisonEvictions counts released factorizations dropped because a
 	// failed or panicked refresh left their numerics poisoned.
 	poisonEvictions uint64
+	// rejected counts AcquireCtx calls turned away because their context
+	// was already expired at entry; canceled counts callers whose context
+	// fired while queued for a fresh-factorization slot; queueWaits counts
+	// fresh factorizations that had to block for a slot.
+	rejected   uint64
+	canceled   uint64
+	queueWaits uint64
+
+	// sem is the fresh-factorization admission semaphore (nil = unlimited):
+	// each in-flight full numeric factorization holds one slot, bounding
+	// the memory and CPU burst a miss storm can impose on the serving
+	// layer. Refactor fast paths are never gated.
+	sem chan struct{}
 }
 
 type poolEntry struct {
@@ -100,6 +115,13 @@ type PoolOptions struct {
 	// 0 disables age-based eviction. Expiry is enforced lazily on the
 	// pool's own operations (no background goroutine).
 	MaxIdleAge time.Duration
+	// MaxConcurrentFactors caps how many fresh numeric factorizations (the
+	// expensive miss path and the re-pivoting fallbacks; never the
+	// Refactor fast path) run concurrently. Excess callers queue for a
+	// slot — honouring their context when they came through AcquireCtx —
+	// so a burst of cold patterns degrades into an orderly queue instead
+	// of a memory and CPU stampede. 0 disables admission control.
+	MaxConcurrentFactors int
 }
 
 // NewPool returns an empty factorization pool.
@@ -118,6 +140,10 @@ func NewPool(opts PoolOptions) *Pool {
 	case maxSyms < 0:
 		maxSyms = 1 << 30
 	}
+	var sem chan struct{}
+	if opts.MaxConcurrentFactors > 0 {
+		sem = make(chan struct{}, opts.MaxConcurrentFactors)
+	}
 	return &Pool{
 		solver:  New(opts.Options),
 		maxIdle: maxIdle,
@@ -126,6 +152,43 @@ func NewPool(opts PoolOptions) *Pool {
 		now:     time.Now,
 		idle:    map[uint64][]*poolEntry{},
 		syms:    map[uint64][]*symEntry{},
+		sem:     sem,
+	}
+}
+
+// acquireSlot admits one fresh factorization, blocking for a semaphore
+// slot when the cap is reached. A ctx that fires while queued abandons the
+// wait with the typed cancellation error.
+func (p *Pool) acquireSlot(ctx context.Context) error {
+	if p.sem == nil {
+		return nil
+	}
+	select {
+	case p.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	p.mu.Lock()
+	p.queueWaits++
+	p.mu.Unlock()
+	if ctx == nil || ctx.Done() == nil {
+		p.sem <- struct{}{}
+		return nil
+	}
+	select {
+	case p.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		p.mu.Lock()
+		p.canceled++
+		p.mu.Unlock()
+		return core.CancelCause(ctx)
+	}
+}
+
+func (p *Pool) releaseSlot() {
+	if p.sem != nil {
+		<-p.sem
 	}
 }
 
@@ -169,6 +232,24 @@ type Lease struct {
 // otherwise. Safe for concurrent use; the numeric work happens outside the
 // pool lock.
 func (p *Pool) Acquire(a *Matrix) (*Lease, error) {
+	return p.AcquireCtx(context.Background(), a)
+}
+
+// AcquireCtx is Acquire with deadline-aware admission: a ctx already
+// expired at entry is rejected before any numeric work (PoolStats.Rejected),
+// a ctx that fires while queued for a fresh-factorization slot abandons the
+// queue (PoolStats.Canceled), and a ctx cancelled mid-sweep aborts the
+// refresh or factorization itself, returning ErrCanceled or
+// ErrDeadlineExceeded. A cached entry whose refresh was cancelled mid-sweep
+// is discarded (its numerics are unspecified), so later Acquires of the
+// pattern rebuild cleanly.
+func (p *Pool) AcquireCtx(ctx context.Context, a *Matrix) (*Lease, error) {
+	if ctx != nil && ctx.Err() != nil {
+		p.mu.Lock()
+		p.rejected++
+		p.mu.Unlock()
+		return nil, core.CancelCause(ctx)
+	}
 	key := patternKey(a)
 	p.mu.Lock()
 	p.evictExpiredLocked()
@@ -189,17 +270,32 @@ func (p *Pool) Acquire(a *Matrix) (*Lease, error) {
 		// Diff-based incremental refresh: transient lease holders whose
 		// steps perturb a few stamps get the change-set-aware sweep
 		// transparently; fully-changed matrices degrade to ~full Refactor.
-		if err := entry.f.RefactorAuto(a); err != nil {
+		if err := entry.f.num.RefactorAutoCtx(ctx, a); err != nil {
+			if isAbortErr(err) {
+				// Cancelled or stalled mid-refresh: the entry's numerics are
+				// unspecified, so drop the storage rather than fall through
+				// to an even more expensive fresh factorization.
+				return nil, wrapErr(err)
+			}
 			// A same-pattern matrix whose values defeat the cached pivot
 			// sequence: fall back to a fresh factorization with new pivots,
 			// recycling the entry's storage; if even that pivots into trouble,
 			// retry once with full partial pivoting before giving up on the
-			// recycled storage.
-			if err := entry.f.num.FactorInto(a); err != nil {
+			// recycled storage. Fresh-pivot work honours the admission cap.
+			if err := p.acquireSlot(ctx); err != nil {
+				return nil, err
+			}
+			if err := entry.f.num.FactorIntoCtx(ctx, a); err != nil {
+				if isAbortErr(err) {
+					p.releaseSlot()
+					return nil, wrapErr(err)
+				}
 				if err := entry.f.num.FactorIntoTol(a, 1.0); err != nil {
-					return p.factorMiss(a, key) // storage discarded
+					p.releaseSlot()
+					return p.factorMissCtx(ctx, a, key) // storage discarded
 				}
 			}
+			p.releaseSlot()
 			p.mu.Lock()
 			p.factorReuses++
 			p.mu.Unlock()
@@ -210,7 +306,13 @@ func (p *Pool) Acquire(a *Matrix) (*Lease, error) {
 		p.mu.Unlock()
 		return &Lease{Factorization: entry.f, pool: p, entry: entry}, nil
 	}
-	return p.factorMiss(a, key)
+	return p.factorMissCtx(ctx, a, key)
+}
+
+// isAbortErr reports whether err is an external-abort verdict (cancel,
+// deadline, stall) rather than a numeric failure worth a fallback.
+func isAbortErr(err error) bool {
+	return errors.Is(err, ErrCanceled) || errors.Is(err, ErrDeadlineExceeded) || errors.Is(err, ErrStalled)
 }
 
 // Factor returns a freshly pivoted factorization of a through the pool: the
@@ -236,7 +338,12 @@ func (p *Pool) Factor(a *Matrix) (*Lease, error) {
 	}
 	p.mu.Unlock()
 	if entry != nil {
-		if err := entry.f.num.FactorInto(a); err != nil {
+		if err := p.acquireSlot(nil); err != nil {
+			return nil, err
+		}
+		err := entry.f.num.FactorInto(a)
+		p.releaseSlot()
+		if err != nil {
 			// Singular (or otherwise unusable) values: the recycled entry's
 			// numerics are unspecified now, so drop it and surface the error
 			// through the ordinary full-factor path.
@@ -299,6 +406,10 @@ func (p *Pool) symFor(a *Matrix, key uint64) (*core.Symbolic, error) {
 }
 
 func (p *Pool) factorMiss(a *Matrix, key uint64) (*Lease, error) {
+	return p.factorMissCtx(context.Background(), a, key)
+}
+
+func (p *Pool) factorMissCtx(ctx context.Context, a *Matrix, key uint64) (*Lease, error) {
 	p.mu.Lock()
 	p.misses++
 	p.mu.Unlock()
@@ -306,7 +417,11 @@ func (p *Pool) factorMiss(a *Matrix, key uint64) (*Lease, error) {
 	if err != nil {
 		return nil, wrapErr(err)
 	}
-	num, err := core.Factor(a, sym)
+	if err := p.acquireSlot(ctx); err != nil {
+		return nil, err
+	}
+	num, err := core.FactorCtx(ctx, a, sym)
+	p.releaseSlot()
 	if err != nil {
 		return nil, wrapErr(err)
 	}
@@ -384,6 +499,15 @@ type PoolStats struct {
 	// PoisonEvictions counts released factorizations discarded because a
 	// failed or panicked refresh poisoned their numerics.
 	PoisonEvictions uint64
+	// Rejected counts AcquireCtx calls turned away because their context
+	// was already expired at entry (no numeric work was attempted).
+	Rejected uint64
+	// Canceled counts callers whose context fired while they were queued
+	// for a fresh-factorization admission slot.
+	Canceled uint64
+	// QueueWaits counts fresh factorizations that found the admission
+	// semaphore full and had to queue (PoolOptions.MaxConcurrentFactors).
+	QueueWaits uint64
 	// Idle counts factorizations currently cached.
 	Idle int
 	// CachedSymbolics counts sparsity patterns holding a cached symbolic
@@ -406,6 +530,9 @@ func (p *Pool) Stats() PoolStats {
 		FactorReuses:    p.factorReuses,
 		Evictions:       p.evictions,
 		PoisonEvictions: p.poisonEvictions,
+		Rejected:        p.rejected,
+		Canceled:        p.canceled,
+		QueueWaits:      p.queueWaits,
 		Idle:            idle,
 		CachedSymbolics: p.symCount,
 	}
