@@ -127,8 +127,21 @@ type Options struct {
 	StallTimeout time.Duration
 
 	// inject arms the numeric engine's deterministic fault-injection points
-	// (chaos tests only; set by in-package tests, nil in production).
+	// (chaos tests only; set by in-package tests or InjectFaults, nil in
+	// production).
 	inject *faultinject.Injector
+}
+
+// InjectFaults returns a copy of o with the numeric engine's deterministic
+// fault-injection harness (internal/faultinject) armed — the hook chaos
+// tests of layers built on the public API (the serve package's full-stack
+// suite) use to force worker panics, NaN kernels, pivot failures and stalls
+// at exact points. The parameter type lives in an internal package, so
+// nothing outside this module can arm it; production callers leave
+// injection off.
+func (o Options) InjectFaults(inj *faultinject.Injector) Options {
+	o.inject = inj
+	return o
 }
 
 // Tracer is the scheduler event recorder of the observability layer: a

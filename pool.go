@@ -3,7 +3,6 @@ package basker
 import (
 	"context"
 	"errors"
-	"hash/fnv"
 	"sync"
 	"time"
 
@@ -37,13 +36,24 @@ import (
 // with. If a cached entry's Refactor fails (new values defeat every reused
 // pivot), the entry is discarded and the Acquire falls back to a fresh
 // Factor, so callers never observe a half-refreshed factorization.
+//
+// A Pool serializes its bookkeeping (never the numeric work) on one mutex;
+// under many-core many-client load, wrap it in a ShardedPool, which spreads
+// patterns over independent Pools.
 type Pool struct {
-	solver  *Solver
-	maxIdle int
-	maxSyms int
-	maxAge  time.Duration
+	solver   *Solver
+	maxIdle  int
+	maxSyms  int
+	maxAge   time.Duration
+	maxBytes int64
+	meter    bool
 	// now is the clock (replaceable by tests of the age-based eviction).
 	now func() time.Time
+
+	// leases recycles Lease headers so the steady-state hit path allocates
+	// nothing (a released lease is cleared before reuse, so stale caller
+	// pointers fail fast on nil instead of aliasing the next holder).
+	leases sync.Pool
 
 	mu       sync.Mutex
 	idle     map[uint64][]*poolEntry
@@ -55,11 +65,18 @@ type Pool struct {
 	// entry's storage (the Pool.Factor fast path and re-pivoting fallbacks).
 	factorReuses uint64
 	// evictions counts idle factorizations dropped by the capacity cap or
-	// the idle-age limit.
-	evictions uint64
+	// the idle-age limit; memEvictions counts drops forced by the MaxBytes
+	// memory bound.
+	evictions    uint64
+	memEvictions uint64
+	// bytesCached is the estimated footprint of all idle entries (the sum
+	// of their entryBytes at release time).
+	bytesCached int64
 	// poisonEvictions counts released factorizations dropped because a
-	// failed or panicked refresh left their numerics poisoned.
+	// failed or panicked refresh left their numerics poisoned; discards
+	// counts leases the holder dropped through Lease.Discard.
 	poisonEvictions uint64
+	discards        uint64
 	// rejected counts AcquireCtx calls turned away because their context
 	// was already expired at entry; canceled counts callers whose context
 	// fired while queued for a fresh-factorization slot; queueWaits counts
@@ -67,19 +84,40 @@ type Pool struct {
 	rejected   uint64
 	canceled   uint64
 	queueWaits uint64
+	// lockWaitNs/lockHoldNs accumulate mutex wait and hold time when
+	// PoolOptions.MeterLock is set (the serving layer's contention meter);
+	// lockT0 is the running section's acquisition instant.
+	lockWaitNs int64
+	lockHoldNs int64
+	lockT0     time.Time
 
 	// sem is the fresh-factorization admission semaphore (nil = unlimited):
 	// each in-flight full numeric factorization holds one slot, bounding
 	// the memory and CPU burst a miss storm can impose on the serving
-	// layer. Refactor fast paths are never gated.
+	// layer. Refactor fast paths are never gated. A ShardedPool shares one
+	// semaphore across all shards, so the admission bound stays global.
 	sem chan struct{}
 }
 
 type poolEntry struct {
 	f   *Factorization
 	key uint64
-	// idleSince is when the entry last entered the idle cache.
+	// idleSince is when the entry last entered the idle cache; bytes is its
+	// estimated footprint, computed at that moment (the factorization's
+	// |L+U| can drift across refreshes).
 	idleSince time.Time
+	bytes     int64
+}
+
+// entryBytes estimates one cached factorization's memory footprint from its
+// |L+U|: 8 bytes of value plus 8 of row index per stored factor entry, plus
+// another 8 amortizing the permuted input copy, block inputs and gather
+// maps, and ~48 bytes per row of permutation/scratch/pointer vectors. An
+// estimate — Go gives no exact per-object accounting — but it is monotone
+// in the quantity that matters (factor fill), which is what a memory bound
+// needs.
+func entryBytes(f *Factorization) int64 {
+	return 24*int64(f.num.NnzLU()) + 48*int64(f.num.Sym.N)
 }
 
 // symEntry caches one sparsity pattern's symbolic analysis, so repeated
@@ -115,6 +153,15 @@ type PoolOptions struct {
 	// 0 disables age-based eviction. Expiry is enforced lazily on the
 	// pool's own operations (no background goroutine).
 	MaxIdleAge time.Duration
+	// MaxBytes caps the estimated aggregate footprint of idle cached
+	// factorizations (per-entry footprints are derived from |L+U|; see
+	// PoolStats.BytesCached). When a Release pushes the pool over the
+	// bound, the oldest idle entries are evicted until it fits
+	// (PoolStats.MemEvictions), so a burst of large or many-pattern traffic
+	// converges back under the bound as leases drain. Leased factorizations
+	// are not counted — the bound governs what the pool retains, not what
+	// callers hold. 0 disables the bound.
+	MaxBytes int64
 	// MaxConcurrentFactors caps how many fresh numeric factorizations (the
 	// expensive miss path and the re-pivoting fallbacks; never the
 	// Refactor fast path) run concurrently. Excess callers queue for a
@@ -122,6 +169,13 @@ type PoolOptions struct {
 	// so a burst of cold patterns degrades into an orderly queue instead
 	// of a memory and CPU stampede. 0 disables admission control.
 	MaxConcurrentFactors int
+	// MeterLock accounts the pool mutex's wait and hold time
+	// (PoolStats.LockWaitSeconds/LockHoldSeconds) at the cost of two clock
+	// reads per locked section — the serving layer's direct measure of how
+	// contended one pool's bookkeeping is (the number sharding exists to
+	// divide). Off by default; the metered path allocates nothing, so the
+	// zero-alloc steady states hold either way.
+	MeterLock bool
 }
 
 // NewPool returns an empty factorization pool.
@@ -145,15 +199,38 @@ func NewPool(opts PoolOptions) *Pool {
 		sem = make(chan struct{}, opts.MaxConcurrentFactors)
 	}
 	return &Pool{
-		solver:  New(opts.Options),
-		maxIdle: maxIdle,
-		maxSyms: maxSyms,
-		maxAge:  opts.MaxIdleAge,
-		now:     time.Now,
-		idle:    map[uint64][]*poolEntry{},
-		syms:    map[uint64][]*symEntry{},
-		sem:     sem,
+		solver:   New(opts.Options),
+		maxIdle:  maxIdle,
+		maxSyms:  maxSyms,
+		maxAge:   opts.MaxIdleAge,
+		maxBytes: opts.MaxBytes,
+		meter:    opts.MeterLock,
+		now:      time.Now,
+		idle:     map[uint64][]*poolEntry{},
+		syms:     map[uint64][]*symEntry{},
+		sem:      sem,
 	}
+}
+
+// lock acquires the pool mutex, accounting wait and hold time when metering
+// is on (lockT0 is protected by the mutex itself).
+func (p *Pool) lock() {
+	if !p.meter {
+		p.mu.Lock()
+		return
+	}
+	t0 := time.Now()
+	p.mu.Lock()
+	now := time.Now()
+	p.lockWaitNs += now.Sub(t0).Nanoseconds()
+	p.lockT0 = now
+}
+
+func (p *Pool) unlock() {
+	if p.meter {
+		p.lockHoldNs += time.Since(p.lockT0).Nanoseconds()
+	}
+	p.mu.Unlock()
 }
 
 // acquireSlot admits one fresh factorization, blocking for a semaphore
@@ -168,9 +245,9 @@ func (p *Pool) acquireSlot(ctx context.Context) error {
 		return nil
 	default:
 	}
-	p.mu.Lock()
+	p.lock()
 	p.queueWaits++
-	p.mu.Unlock()
+	p.unlock()
 	if ctx == nil || ctx.Done() == nil {
 		p.sem <- struct{}{}
 		return nil
@@ -179,9 +256,9 @@ func (p *Pool) acquireSlot(ctx context.Context) error {
 	case p.sem <- struct{}{}:
 		return nil
 	case <-ctx.Done():
-		p.mu.Lock()
+		p.lock()
 		p.canceled++
-		p.mu.Unlock()
+		p.unlock()
 		return core.CancelCause(ctx)
 	}
 }
@@ -207,6 +284,7 @@ func (p *Pool) evictExpiredLocked() {
 		for _, e := range bucket {
 			if e.idleSince.Before(cutoff) {
 				p.evictions++
+				p.bytesCached -= e.bytes
 				continue
 			}
 			kept = append(kept, e)
@@ -219,12 +297,83 @@ func (p *Pool) evictExpiredLocked() {
 	}
 }
 
+// evictOverBudgetLocked drops oldest-idle entries until the estimated
+// cached footprint fits under MaxBytes. Oldest-first matches the age
+// eviction's bias: the entries least likely to be leased again go first.
+// Caller holds p.mu.
+func (p *Pool) evictOverBudgetLocked() {
+	if p.maxBytes <= 0 {
+		return
+	}
+	for p.bytesCached > p.maxBytes {
+		var oldestKey uint64
+		oldestIdx := -1
+		var oldest time.Time
+		for key, bucket := range p.idle {
+			for i, e := range bucket {
+				if oldestIdx < 0 || e.idleSince.Before(oldest) {
+					oldestKey, oldestIdx, oldest = key, i, e.idleSince
+				}
+			}
+		}
+		if oldestIdx < 0 {
+			return // nothing idle left to evict
+		}
+		bucket := p.idle[oldestKey]
+		e := bucket[oldestIdx]
+		last := len(bucket) - 1
+		bucket[oldestIdx] = bucket[last]
+		if last == 0 {
+			delete(p.idle, oldestKey)
+		} else {
+			p.idle[oldestKey] = bucket[:last]
+		}
+		p.bytesCached -= e.bytes
+		p.memEvictions++
+	}
+}
+
+// removeIdleLocked takes one same-pattern entry out of the idle cache,
+// maintaining the footprint account. Caller holds p.mu.
+func (p *Pool) removeIdleLocked(key uint64, a *Matrix) *poolEntry {
+	bucket := p.idle[key]
+	for i, e := range bucket {
+		if samePattern(e, a) {
+			last := len(bucket) - 1
+			bucket[i] = bucket[last]
+			p.idle[key] = bucket[:last]
+			p.bytesCached -= e.bytes
+			return e
+		}
+	}
+	return nil
+}
+
 // Lease is a Factorization checked out of a Pool. Release returns it; a
 // leased factorization is private to the caller until then.
 type Lease struct {
 	*Factorization
 	pool  *Pool
 	entry *poolEntry
+}
+
+// newLease recycles a Lease header from the pool's free list.
+func (p *Pool) newLease(f *Factorization, e *poolEntry) *Lease {
+	l, _ := p.leases.Get().(*Lease)
+	if l == nil {
+		l = &Lease{}
+	}
+	l.Factorization, l.pool, l.entry = f, p, e
+	return l
+}
+
+// detach clears the lease (so any retained pointer fails fast instead of
+// aliasing the header's next holder) and recycles it.
+func (l *Lease) detach() (*Pool, *poolEntry) {
+	p, e := l.pool, l.entry
+	l.Factorization, l.pool, l.entry = nil, nil, nil
+	p.leases.Put(l)
+	return p, e
 }
 
 // Acquire returns a factorization of a, reusing an idle same-pattern
@@ -244,27 +393,28 @@ func (p *Pool) Acquire(a *Matrix) (*Lease, error) {
 // is discarded (its numerics are unspecified), so later Acquires of the
 // pattern rebuild cleanly.
 func (p *Pool) AcquireCtx(ctx context.Context, a *Matrix) (*Lease, error) {
+	return p.acquireKeyed(ctx, a, patternKey(a))
+}
+
+// acquireKeyed is AcquireCtx for a caller that already hashed the pattern
+// (the ShardedPool front end, which routes on the same key).
+func (p *Pool) acquireKeyed(ctx context.Context, a *Matrix, key uint64) (*Lease, error) {
 	if ctx != nil && ctx.Err() != nil {
-		p.mu.Lock()
+		p.lock()
 		p.rejected++
-		p.mu.Unlock()
+		p.unlock()
 		return nil, core.CancelCause(ctx)
 	}
-	key := patternKey(a)
-	p.mu.Lock()
-	p.evictExpiredLocked()
-	var entry *poolEntry
-	bucket := p.idle[key]
-	for i, e := range bucket {
-		if samePattern(e, a) {
-			last := len(bucket) - 1
-			bucket[i] = bucket[last]
-			p.idle[key] = bucket[:last]
-			entry = e
-			break
-		}
+	// The pool is an API boundary like Solver.Factor: the same opt-in
+	// validation screen guards it, so malformed or non-finite input reports
+	// ErrBadInput/ErrNotFinite instead of corrupting a cached entry.
+	if err := validateInput(a, p.solver.opts.ValidateInputs); err != nil {
+		return nil, err
 	}
-	p.mu.Unlock()
+	p.lock()
+	p.evictExpiredLocked()
+	entry := p.removeIdleLocked(key, a)
+	p.unlock()
 
 	if entry != nil {
 		// Diff-based incremental refresh: transient lease holders whose
@@ -296,15 +446,15 @@ func (p *Pool) AcquireCtx(ctx context.Context, a *Matrix) (*Lease, error) {
 				}
 			}
 			p.releaseSlot()
-			p.mu.Lock()
+			p.lock()
 			p.factorReuses++
-			p.mu.Unlock()
-			return &Lease{Factorization: entry.f, pool: p, entry: entry}, nil
+			p.unlock()
+			return p.newLease(entry.f, entry), nil
 		}
-		p.mu.Lock()
+		p.lock()
 		p.hits++
-		p.mu.Unlock()
-		return &Lease{Factorization: entry.f, pool: p, entry: entry}, nil
+		p.unlock()
+		return p.newLease(entry.f, entry), nil
 	}
 	return p.factorMissCtx(ctx, a, key)
 }
@@ -322,21 +472,18 @@ func isAbortErr(err error) bool {
 // when an idle same-pattern factorization is cached, its entire storage are
 // reused, so repeated same-pattern Factor calls allocate almost nothing.
 func (p *Pool) Factor(a *Matrix) (*Lease, error) {
-	key := patternKey(a)
-	p.mu.Lock()
-	p.evictExpiredLocked()
-	var entry *poolEntry
-	bucket := p.idle[key]
-	for i, e := range bucket {
-		if samePattern(e, a) {
-			last := len(bucket) - 1
-			bucket[i] = bucket[last]
-			p.idle[key] = bucket[:last]
-			entry = e
-			break
-		}
+	return p.factorKeyed(a, patternKey(a))
+}
+
+// factorKeyed is Factor for a caller that already hashed the pattern.
+func (p *Pool) factorKeyed(a *Matrix, key uint64) (*Lease, error) {
+	if err := validateInput(a, p.solver.opts.ValidateInputs); err != nil {
+		return nil, err
 	}
-	p.mu.Unlock()
+	p.lock()
+	p.evictExpiredLocked()
+	entry := p.removeIdleLocked(key, a)
+	p.unlock()
 	if entry != nil {
 		if err := p.acquireSlot(nil); err != nil {
 			return nil, err
@@ -349,10 +496,10 @@ func (p *Pool) Factor(a *Matrix) (*Lease, error) {
 			// through the ordinary full-factor path.
 			return p.factorMiss(a, key)
 		}
-		p.mu.Lock()
+		p.lock()
 		p.factorReuses++
-		p.mu.Unlock()
-		return &Lease{Factorization: entry.f, pool: p, entry: entry}, nil
+		p.unlock()
+		return p.newLease(entry.f, entry), nil
 	}
 	return p.factorMiss(a, key)
 }
@@ -360,24 +507,24 @@ func (p *Pool) Factor(a *Matrix) (*Lease, error) {
 // symFor returns the cached symbolic analysis for a's pattern, creating and
 // memoizing it on first use. The analysis itself runs outside the pool lock.
 func (p *Pool) symFor(a *Matrix, key uint64) (*core.Symbolic, error) {
-	p.mu.Lock()
+	p.lock()
 	for _, e := range p.syms[key] {
 		if e.matches(a) {
-			p.mu.Unlock()
+			p.unlock()
 			return e.sym, nil
 		}
 	}
-	p.mu.Unlock()
+	p.unlock()
 	sym, err := core.Analyze(a, p.solver.opts)
 	if err != nil {
 		return nil, err
 	}
-	p.mu.Lock()
+	p.lock()
 	// Double-checked insert: concurrent first factorizations of one pattern
 	// may race to Analyze; keep only the winner's entry.
 	for _, e := range p.syms[key] {
 		if e.matches(a) {
-			p.mu.Unlock()
+			p.unlock()
 			return e.sym, nil
 		}
 	}
@@ -401,7 +548,7 @@ func (p *Pool) symFor(a *Matrix, key uint64) (*core.Symbolic, error) {
 	}
 	p.syms[key] = append(p.syms[key], &symEntry{sym: sym})
 	p.symCount++
-	p.mu.Unlock()
+	p.unlock()
 	return sym, nil
 }
 
@@ -410,9 +557,9 @@ func (p *Pool) factorMiss(a *Matrix, key uint64) (*Lease, error) {
 }
 
 func (p *Pool) factorMissCtx(ctx context.Context, a *Matrix, key uint64) (*Lease, error) {
-	p.mu.Lock()
+	p.lock()
 	p.misses++
-	p.mu.Unlock()
+	p.unlock()
 	sym, err := p.symFor(a, key)
 	if err != nil {
 		return nil, wrapErr(err)
@@ -430,32 +577,48 @@ func (p *Pool) factorMissCtx(ctx context.Context, a *Matrix, key uint64) (*Lease
 	// caller's buffers), so a caller that restamps its matrix in place
 	// cannot corrupt the check behind the hash key.
 	entry := &poolEntry{f: f, key: key}
-	return &Lease{Factorization: f, pool: p, entry: entry}, nil
+	return p.newLease(f, entry), nil
 }
 
 // Release returns the lease's factorization to the pool for reuse by the
 // next same-pattern Acquire. Releasing twice is a bug; the factorization
 // must not be used after Release.
 func (l *Lease) Release() {
-	p := l.pool
-	if l.entry.f.num.Poisoned() {
+	p, entry := l.detach()
+	if entry.f.num.Poisoned() {
 		// A failed refresh left the numerics unspecified; never hand such an
 		// entry to the next Acquire — drop it so the pattern's next lease
 		// rebuilds from scratch.
-		p.mu.Lock()
+		p.lock()
 		p.poisonEvictions++
-		p.mu.Unlock()
+		p.unlock()
 		return
 	}
-	p.mu.Lock()
+	bytes := entryBytes(entry.f)
+	p.lock()
 	p.evictExpiredLocked()
-	if len(p.idle[l.entry.key]) < p.maxIdle {
-		l.entry.idleSince = p.now()
-		p.idle[l.entry.key] = append(p.idle[l.entry.key], l.entry)
+	if len(p.idle[entry.key]) < p.maxIdle {
+		entry.idleSince = p.now()
+		entry.bytes = bytes
+		p.idle[entry.key] = append(p.idle[entry.key], entry)
+		p.bytesCached += bytes
+		p.evictOverBudgetLocked()
 	} else {
 		p.evictions++
 	}
-	p.mu.Unlock()
+	p.unlock()
+}
+
+// Discard drops the lease's factorization instead of returning it to the
+// pool — for holders with reason to distrust the entry beyond what the
+// pool can see itself (a served solution that came back non-finite, a
+// failed application-level check). The pattern's next Acquire rebuilds
+// fresh. The factorization must not be used after Discard.
+func (l *Lease) Discard() {
+	p, _ := l.detach()
+	p.lock()
+	p.discards++
+	p.unlock()
 }
 
 // Solve factors (or refactors) a and solves A·x = b in place — the
@@ -496,9 +659,14 @@ type PoolStats struct {
 	// Evictions counts idle factorizations dropped by the capacity cap or
 	// the idle-age limit.
 	Evictions uint64
+	// MemEvictions counts idle factorizations dropped by the MaxBytes
+	// memory bound.
+	MemEvictions uint64
 	// PoisonEvictions counts released factorizations discarded because a
 	// failed or panicked refresh poisoned their numerics.
 	PoisonEvictions uint64
+	// Discards counts leases dropped by their holders via Lease.Discard.
+	Discards uint64
 	// Rejected counts AcquireCtx calls turned away because their context
 	// was already expired at entry (no numeric work was attempted).
 	Rejected uint64
@@ -508,58 +676,81 @@ type PoolStats struct {
 	// QueueWaits counts fresh factorizations that found the admission
 	// semaphore full and had to queue (PoolOptions.MaxConcurrentFactors).
 	QueueWaits uint64
+	// InFlightFactors is the number of admission-semaphore slots currently
+	// held by in-flight fresh factorizations (0 when admission control is
+	// off). A pool at rest must report 0 — cancelled or failed callers
+	// return their slots.
+	InFlightFactors int
 	// Idle counts factorizations currently cached.
 	Idle int
+	// BytesCached is the estimated footprint of the idle cache (per-entry
+	// |L+U|-derived estimates; see PoolOptions.MaxBytes).
+	BytesCached int64
 	// CachedSymbolics counts sparsity patterns holding a cached symbolic
 	// analysis.
 	CachedSymbolics int
+	// LockWaitSeconds and LockHoldSeconds accumulate the pool mutex's
+	// contended wait time and total hold time when PoolOptions.MeterLock is
+	// on (both 0 otherwise) — the direct measurement of the single-mutex
+	// bottleneck a ShardedPool divides.
+	LockWaitSeconds float64
+	LockHoldSeconds float64
 }
 
 // Stats snapshots the pool counters. Age-based eviction is lazy, so idle
 // counts may include entries that would expire on their next touch.
 func (p *Pool) Stats() PoolStats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	inFlight := 0
+	if p.sem != nil {
+		inFlight = len(p.sem)
+	}
+	p.lock()
 	idle := 0
 	for _, b := range p.idle {
 		idle += len(b)
 	}
-	return PoolStats{
+	s := PoolStats{
 		Hits:            p.hits,
 		Misses:          p.misses,
 		FactorReuses:    p.factorReuses,
 		Evictions:       p.evictions,
+		MemEvictions:    p.memEvictions,
 		PoisonEvictions: p.poisonEvictions,
+		Discards:        p.discards,
 		Rejected:        p.rejected,
 		Canceled:        p.canceled,
 		QueueWaits:      p.queueWaits,
+		InFlightFactors: inFlight,
 		Idle:            idle,
+		BytesCached:     p.bytesCached,
 		CachedSymbolics: p.symCount,
+		LockWaitSeconds: float64(p.lockWaitNs) / 1e9,
+		LockHoldSeconds: float64(p.lockHoldNs) / 1e9,
 	}
+	p.unlock()
+	return s
 }
 
 // patternKey hashes the sparsity pattern of a (dimensions, column
-// pointers, row indices). Matching keys are verified entry-by-entry
-// before the Refactor fast path is taken.
+// pointers, row indices) with word-at-a-time FNV-1a — allocation-free, so
+// the steady-state hit path stays zero-alloc. Matching keys are verified
+// entry-by-entry before the Refactor fast path is taken, so hash quality
+// only affects bucketing, never correctness.
 func patternKey(a *Matrix) uint64 {
-	h := fnv.New64a()
-	var buf [8]byte
-	word := func(v int) {
-		u := uint64(v)
-		for i := 0; i < 8; i++ {
-			buf[i] = byte(u >> (8 * i))
-		}
-		h.Write(buf[:])
-	}
-	word(a.M)
-	word(a.N)
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	h = (h ^ uint64(a.M)) * prime64
+	h = (h ^ uint64(a.N)) * prime64
 	for _, c := range a.Colptr {
-		word(c)
+		h = (h ^ uint64(c)) * prime64
 	}
 	for _, r := range a.Rowidx {
-		word(r)
+		h = (h ^ uint64(r)) * prime64
 	}
-	return h.Sum64()
+	return h
 }
 
 // samePattern verifies the caller's matrix against the entry's analyzed

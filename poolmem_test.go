@@ -1,0 +1,238 @@
+package basker
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/matgen"
+)
+
+func memTestMatrix(seed int64) *Matrix {
+	return matgen.Circuit(matgen.CircuitParams{
+		N: 140, BTFPct: 50, Blocks: 8, Core: matgen.CoreLadder, ExtraDensity: 0.5, Seed: seed,
+	})
+}
+
+// TestPoolMaxBytesAccounting pins the footprint ledger across the entry
+// life cycle: release adds an entry's estimate, acquire removes it, and the
+// estimate itself is |L+U|-derived and positive.
+func TestPoolMaxBytesAccounting(t *testing.T) {
+	a := memTestMatrix(3)
+	pool := NewPool(PoolOptions{Options: Options{Threads: 1, BigBlockMin: 64}})
+	if got := pool.Stats().BytesCached; got != 0 {
+		t.Fatalf("empty pool BytesCached = %d, want 0", got)
+	}
+	lease, err := pool.Acquire(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := entryBytes(lease.Factorization)
+	if want <= 0 {
+		t.Fatalf("entryBytes = %d, want > 0", want)
+	}
+	if got := pool.Stats().BytesCached; got != 0 {
+		t.Fatalf("leased entry counted while checked out: BytesCached = %d", got)
+	}
+	lease.Release()
+	if got := pool.Stats().BytesCached; got != want {
+		t.Fatalf("after release BytesCached = %d, want %d", got, want)
+	}
+	lease, err = pool.Acquire(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pool.Stats().BytesCached; got != 0 {
+		t.Fatalf("after re-acquire BytesCached = %d, want 0", got)
+	}
+	lease.Discard()
+	s := pool.Stats()
+	if s.BytesCached != 0 || s.Idle != 0 || s.Discards != 1 {
+		t.Fatalf("after discard: %+v, want empty idle cache and Discards = 1", s)
+	}
+}
+
+// TestPoolMemEvictionStorm floods the idle cache past MaxBytes and checks
+// convergence under the bound with the eviction counter matching the
+// observed drops exactly.
+func TestPoolMemEvictionStorm(t *testing.T) {
+	a := memTestMatrix(4)
+	// Measure one entry's footprint on an unbounded pool.
+	probe := NewPool(PoolOptions{Options: Options{Threads: 1, BigBlockMin: 64}})
+	lease, err := probe.Acquire(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit := entryBytes(lease.Factorization)
+	lease.Release()
+
+	const keep = 3
+	pool := NewPool(PoolOptions{
+		Options:           Options{Threads: 1, BigBlockMin: 64},
+		MaxIdlePerPattern: -1,
+		MaxBytes:          keep*unit + unit/2,
+	})
+	// Check out a storm of same-pattern leases (every one a miss: the idle
+	// cache is empty while they are all held), then release them all.
+	const storm = 10
+	leases := make([]*Lease, storm)
+	for i := range leases {
+		l, err := pool.Acquire(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		leases[i] = l
+	}
+	for _, l := range leases {
+		l.Release()
+	}
+	s := pool.Stats()
+	if s.BytesCached > keep*unit+unit/2 {
+		t.Fatalf("idle cache footprint %d exceeds MaxBytes %d", s.BytesCached, keep*unit+unit/2)
+	}
+	if s.Idle != keep {
+		t.Fatalf("idle entries = %d, want %d under the byte bound", s.Idle, keep)
+	}
+	if want := uint64(storm - keep); s.MemEvictions != want {
+		t.Fatalf("MemEvictions = %d, want %d (stormed %d, kept %d)", s.MemEvictions, want, storm, keep)
+	}
+	if s.Evictions != 0 {
+		t.Fatalf("capacity/age evictions = %d, want 0 (only the byte bound should fire)", s.Evictions)
+	}
+	// The survivors still serve the pattern.
+	l, err := pool.Acquire(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkLeaseSolve(t, l, a, 99)
+	l.Release()
+}
+
+// TestPoolMemEvictionMixedPatterns checks oldest-first selection across
+// pattern buckets: the stale pattern's entry is the one evicted.
+func TestPoolMemEvictionMixedPatterns(t *testing.T) {
+	old := memTestMatrix(5)
+	hot := memTestMatrix(6)
+	probe := NewPool(PoolOptions{Options: Options{Threads: 1, BigBlockMin: 64}})
+	l, err := probe.Acquire(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit := entryBytes(l.Factorization)
+	l.Release()
+
+	now := time.Unix(1000, 0)
+	pool := NewPool(PoolOptions{
+		Options:  Options{Threads: 1, BigBlockMin: 64},
+		MaxBytes: 2*unit + unit/2, // room for two entries of either pattern
+	})
+	pool.now = func() time.Time { return now }
+
+	for i, a := range []*Matrix{old, hot} {
+		l, err := pool.Acquire(a)
+		if err != nil {
+			t.Fatalf("pattern %d: %v", i, err)
+		}
+		l.Release()
+		now = now.Add(time.Second)
+	}
+	// A second hot-pattern entry pushes the pool over budget; the oldest
+	// idle entry (the old pattern's) must be the casualty.
+	l2, err := pool.Factor(scaleValues(hot, 1.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Factor recycled the hot pattern's idle entry, so take another lease
+	// to force a second live factorization of hot.
+	l3, err := pool.Acquire(scaleValues(hot, 2.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2.Release()
+	now = now.Add(time.Second)
+	l3.Release()
+	s := pool.Stats()
+	if s.MemEvictions != 1 {
+		t.Fatalf("MemEvictions = %d, want 1: %+v", s.MemEvictions, s)
+	}
+	// The old pattern must now miss; the hot pattern must hit.
+	before := pool.Stats().Misses
+	lo, err := pool.Acquire(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo.Release()
+	if got := pool.Stats().Misses; got != before+1 {
+		t.Fatalf("old pattern served from cache after its entry should have been evicted")
+	}
+}
+
+// TestPoolDeadlineFreesAdmissionSlot proves a deadline-expired in-flight
+// factorization returns its admission-semaphore token: PoolStats shows no
+// held slots afterwards and the next caller proceeds without queueing
+// forever.
+func TestPoolDeadlineFreesAdmissionSlot(t *testing.T) {
+	big := matgen.Circuit(matgen.CircuitParams{
+		N: 2200, BTFPct: 30, Blocks: 12, Core: matgen.CoreGrid3D, ExtraDensity: 0.8, Seed: 7,
+	})
+	pool := NewPool(PoolOptions{
+		Options:              Options{Threads: 2, BigBlockMin: 64},
+		MaxConcurrentFactors: 1,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Millisecond)
+	defer cancel()
+	_, err := pool.AcquireCtx(ctx, big)
+	if err == nil {
+		t.Skip("matrix factored inside the deadline; cannot exercise mid-flight cancellation here")
+	}
+	if !errors.Is(err, ErrDeadlineExceeded) && !errors.Is(err, ErrCanceled) {
+		t.Fatalf("got %v, want deadline/cancel", err)
+	}
+	s := pool.Stats()
+	if s.InFlightFactors != 0 {
+		t.Fatalf("admission slot leaked after cancelled factorization: %+v", s)
+	}
+	// The slot must be available again: a fresh factorization on the only
+	// slot completes.
+	small := memTestMatrix(8)
+	lease, err := pool.Acquire(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lease.Release()
+	if got := pool.Stats().InFlightFactors; got != 0 {
+		t.Fatalf("admission slots held at rest: %d", got)
+	}
+}
+
+// TestPoolQueuedCallerCanceledFreesSlot covers the queued side: a caller
+// whose ctx fires while waiting for the admission semaphore is counted in
+// PoolStats.Canceled and leaks nothing.
+func TestPoolQueuedCallerCanceledFreesSlot(t *testing.T) {
+	pool := NewPool(PoolOptions{
+		Options:              Options{Threads: 1, BigBlockMin: 64},
+		MaxConcurrentFactors: 1,
+	})
+	// Occupy the only slot directly (the numeric path is irrelevant here).
+	pool.sem <- struct{}{}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	_, err := pool.AcquireCtx(ctx, memTestMatrix(9))
+	if !errors.Is(err, ErrDeadlineExceeded) && !errors.Is(err, ErrCanceled) {
+		t.Fatalf("queued caller got %v, want deadline/cancel", err)
+	}
+	<-pool.sem // release the artificial holder
+	s := pool.Stats()
+	if s.Canceled != 1 || s.QueueWaits != 1 {
+		t.Fatalf("queue counters: %+v, want Canceled = 1, QueueWaits = 1", s)
+	}
+	if s.InFlightFactors != 0 {
+		t.Fatalf("slots held at rest: %d", s.InFlightFactors)
+	}
+	lease, err := pool.Acquire(memTestMatrix(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lease.Release()
+}

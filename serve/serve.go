@@ -1,0 +1,404 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	basker "repro"
+)
+
+// Options configures the HTTP front end. The pool itself is constructed by
+// the caller (shard count, admission control, memory bound, fault injection
+// for chaos tests) and handed to NewServer.
+type Options struct {
+	// MaxInFlight bounds concurrently executing /v1/ requests; excess
+	// traffic is shed immediately with 503 overloaded rather than queued
+	// (the pool's own MaxConcurrentFactors queues; this layer does not).
+	// 0 means unlimited.
+	MaxInFlight int
+	// MaxBodyBytes bounds request bodies; beyond it the request fails with
+	// 413 body_too_large. 0 means the 64 MiB default.
+	MaxBodyBytes int64
+	// DefaultTimeout applies to requests that carry no timeout_ms. 0 means
+	// no server-imposed deadline (the client's connection is still the
+	// cancellation source).
+	DefaultTimeout time.Duration
+}
+
+const defaultMaxBody = 64 << 20
+
+// Server serves assemble→factor→solve traffic over a sharded
+// factorization pool.
+type Server struct {
+	pool     *basker.ShardedPool
+	opts     Options
+	mux      *http.ServeMux
+	inflight chan struct{} // admission tokens; nil when unlimited
+
+	registry sync.Map // pattern id -> *pattern
+	patterns atomic.Int64
+
+	requests atomic.Uint64 // /v1/ requests accepted for processing
+	shed     atomic.Uint64 // /v1/ requests rejected by admission
+	failures atomic.Uint64 // /v1/ requests answered with an error body
+}
+
+// pattern is a registered matrix template. The pattern arrays are shared
+// read-only with values-only requests; the solver never mutates its input
+// matrix.
+type pattern struct {
+	a     *basker.Matrix
+	shard int
+}
+
+// ServerStats is the front end's own counter block, reported beside the
+// pool's in /v1/stats.
+type ServerStats struct {
+	Requests uint64 `json:"requests"`
+	Shed     uint64 `json:"shed"`
+	Failures uint64 `json:"failures"`
+	InFlight int    `json:"in_flight"`
+	Patterns int64  `json:"patterns"`
+}
+
+// StatsResponse is the GET /v1/stats body.
+type StatsResponse struct {
+	Pool   basker.PoolStats   `json:"pool"`
+	Shards []basker.PoolStats `json:"shards"`
+	Server ServerStats        `json:"server"`
+}
+
+// NewServer wires the handlers over the given pool.
+func NewServer(pool *basker.ShardedPool, opts Options) *Server {
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = defaultMaxBody
+	}
+	s := &Server{pool: pool, opts: opts, mux: http.NewServeMux()}
+	if opts.MaxInFlight > 0 {
+		s.inflight = make(chan struct{}, opts.MaxInFlight)
+	}
+	s.mux.HandleFunc("POST /v1/solve", s.admit(s.handleSolve))
+	s.mux.HandleFunc("POST /v1/factor", s.admit(s.handleFactor))
+	s.mux.HandleFunc("POST /v1/matrices", s.admit(s.handleRegister))
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.Handle("GET /debug/vars", expvar.Handler())
+	return s
+}
+
+// Handler returns the front end as an http.Handler for mounting or for
+// httptest.
+func (s *Server) Handler() http.Handler { return s }
+
+// Pool exposes the backing sharded pool (for operational hooks such as
+// expvar publication at process startup).
+func (s *Server) Pool() *basker.ShardedPool { return s.pool }
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Stats snapshots the front end's counters.
+func (s *Server) Stats() ServerStats {
+	st := ServerStats{
+		Requests: s.requests.Load(),
+		Shed:     s.shed.Load(),
+		Failures: s.failures.Load(),
+		Patterns: s.patterns.Load(),
+	}
+	if s.inflight != nil {
+		st.InFlight = len(s.inflight)
+	}
+	return st
+}
+
+// admit applies load shedding and panic containment around a solver
+// endpoint. A handler panic must answer 500 and keep the process alive —
+// the chaos battery's survival property — and a full server must shed
+// immediately so health checks and queued upstream load balancers see
+// backpressure, not latency.
+func (s *Server) admit(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.inflight != nil {
+			select {
+			case s.inflight <- struct{}{}:
+				defer func() { <-s.inflight }()
+			default:
+				s.shed.Add(1)
+				w.Header().Set("Retry-After", "1")
+				s.writeError(w, http.StatusServiceUnavailable, "overloaded",
+					"server is at its in-flight request limit")
+				return
+			}
+		}
+		s.requests.Add(1)
+		defer func() {
+			if p := recover(); p != nil {
+				s.writeError(w, http.StatusInternalServerError, "internal_panic",
+					"request handler panicked; request dropped")
+			}
+		}()
+		r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+		h(w, r)
+	}
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(body)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, code, msg string) {
+	s.failures.Add(1)
+	s.writeJSON(w, status, ErrorBody{Error: ErrorDetail{Code: code, Message: msg}})
+}
+
+// fail maps a solver or wire error onto its HTTP shape.
+func (s *Server) fail(w http.ResponseWriter, err error) {
+	status, code := errorStatus(err)
+	s.writeError(w, status, code, err.Error())
+}
+
+// decode reads one JSON body into dst, translating size and syntax defects
+// into wire errors.
+func (s *Server) decode(r *http.Request, dst any) error {
+	if err := json.NewDecoder(r.Body).Decode(dst); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return &wireError{status: http.StatusRequestEntityTooLarge, code: "body_too_large",
+				msg: "request body exceeds the server limit"}
+		}
+		return badRequest("bad_input", "invalid JSON request body: %v", err)
+	}
+	return nil
+}
+
+// resolveMatrix turns a request's matrix selector — inline CSC, inline
+// triplets, or registered id with optional replacement values — into the
+// CSC the pool factors.
+func (s *Server) resolveMatrix(mj *MatrixJSON, tj *TripletsJSON, id string, values []float64) (*basker.Matrix, error) {
+	selectors := 0
+	if mj != nil {
+		selectors++
+	}
+	if tj != nil {
+		selectors++
+	}
+	if id != "" {
+		selectors++
+	}
+	if selectors != 1 {
+		return nil, badRequest("bad_input",
+			"exactly one of matrix, triplets or id must select the system (got %d selectors)", selectors)
+	}
+	switch {
+	case mj != nil:
+		return mj.toCSC()
+	case tj != nil:
+		return tj.toCSC()
+	}
+	v, ok := s.registry.Load(id)
+	if !ok {
+		return nil, &wireError{status: http.StatusNotFound, code: "unknown_pattern",
+			msg: "no registered matrix with id " + id}
+	}
+	pat := v.(*pattern)
+	if values == nil {
+		return pat.a, nil
+	}
+	if len(values) != len(pat.a.Values) {
+		return nil, badRequest("dimension_mismatch",
+			"values carries %d entries; pattern %s has %d nonzeros", len(values), id, len(pat.a.Values))
+	}
+	// Shallow template: the immutable pattern arrays are shared, the values
+	// are this request's own — the refactor→solve wire path allocates only
+	// what the client sent.
+	return &basker.Matrix{M: pat.a.M, N: pat.a.N, Colptr: pat.a.Colptr, Rowidx: pat.a.Rowidx, Values: values}, nil
+}
+
+// requestContext derives the work deadline for one request: the client
+// connection is always a cancellation source, timeout_ms (or the server
+// default) adds a deadline on top.
+func (s *Server) requestContext(r *http.Request, timeoutMillis int64) (context.CancelFunc, context.Context) {
+	base := r.Context()
+	d := s.opts.DefaultTimeout
+	if timeoutMillis > 0 {
+		d = time.Duration(timeoutMillis) * time.Millisecond
+	}
+	if d <= 0 {
+		return func() {}, base
+	}
+	c, cancel := context.WithTimeout(base, d)
+	return cancel, c
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req SolveRequest
+	if err := s.decode(r, &req); err != nil {
+		s.fail(w, err)
+		return
+	}
+	if (req.B == nil) == (len(req.Bs) == 0) {
+		s.fail(w, badRequest("bad_input", "exactly one of b or bs must be set"))
+		return
+	}
+	a, err := s.resolveMatrix(req.Matrix, req.Triplets, req.ID, req.Values)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	cancel, ctx := s.requestContext(r, req.TimeoutMillis)
+	defer cancel()
+	lease, err := s.acquire(ctx, a, req.Mode)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	if req.B != nil {
+		err = lease.SolveCtx(ctx, req.B)
+	} else {
+		err = lease.SolveManyCtx(ctx, req.Bs)
+	}
+	if err != nil {
+		lease.Release()
+		s.fail(w, err)
+		return
+	}
+	// Finiteness screen: silent numeric corruption (the KernelNaN chaos
+	// mode) can survive factorization and surface only in the solution.
+	// A non-finite answer is never served; the factorization that produced
+	// it is discarded so the next same-pattern request refactors cleanly.
+	finite := true
+	if req.B != nil {
+		finite = finiteSlice(req.B)
+	} else {
+		for _, b := range req.Bs {
+			if !finiteSlice(b) {
+				finite = false
+				break
+			}
+		}
+	}
+	if !finite {
+		lease.Discard()
+		s.writeError(w, http.StatusInternalServerError, "not_finite_solution",
+			"computed solution contains NaN or Inf; cached factorization discarded")
+		return
+	}
+	lease.Release()
+	resp := SolveResponse{ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond)}
+	if req.B != nil {
+		resp.X = req.B
+	} else {
+		resp.Xs = req.Bs
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleFactor(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req FactorRequest
+	if err := s.decode(r, &req); err != nil {
+		s.fail(w, err)
+		return
+	}
+	a, err := s.resolveMatrix(req.Matrix, req.Triplets, req.ID, req.Values)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	cancel, ctx := s.requestContext(r, req.TimeoutMillis)
+	defer cancel()
+	lease, err := s.acquire(ctx, a, req.Mode)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	st := lease.Stats(a)
+	lease.Release()
+	s.writeJSON(w, http.StatusOK, FactorResponse{
+		N:         a.N,
+		NnzLU:     st.NnzLU,
+		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
+	})
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if err := s.decode(r, &req); err != nil {
+		s.fail(w, err)
+		return
+	}
+	if (req.Matrix == nil) == (req.Triplets == nil) {
+		s.fail(w, badRequest("bad_input", "exactly one of matrix or triplets must be set"))
+		return
+	}
+	var (
+		a   *basker.Matrix
+		err error
+	)
+	if req.Matrix != nil {
+		a, err = req.Matrix.toCSC()
+	} else {
+		a, err = req.Triplets.toCSC()
+	}
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	id := patternID(a)
+	pat := &pattern{a: a, shard: s.pool.ShardIndex(a)}
+	if _, existed := s.registry.Swap(id, pat); !existed {
+		s.patterns.Add(1)
+	}
+	if req.Warm {
+		cancel, ctx := s.requestContext(r, req.TimeoutMillis)
+		defer cancel()
+		lease, err := s.pool.AcquireCtx(ctx, a)
+		if err != nil {
+			s.fail(w, err)
+			return
+		}
+		lease.Release()
+	}
+	s.writeJSON(w, http.StatusOK, RegisterResponse{
+		ID:    id,
+		N:     a.N,
+		Nnz:   len(a.Values),
+		Shard: pat.shard,
+	})
+}
+
+// acquire picks the pool entry point for the request mode: "refresh"
+// (default) rides the cached-pattern refactorization path, "fresh" forces
+// a newly pivoted factorization.
+func (s *Server) acquire(ctx context.Context, a *basker.Matrix, mode string) (*basker.Lease, error) {
+	switch mode {
+	case "", "refresh":
+		return s.pool.AcquireCtx(ctx, a)
+	case "fresh":
+		return s.pool.Factor(a)
+	default:
+		return nil, badRequest("bad_input", "mode %q is not one of refresh, fresh", mode)
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, StatsResponse{
+		Pool:   s.pool.Stats(),
+		Shards: s.pool.ShardStats(),
+		Server: s.Stats(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

@@ -1,0 +1,253 @@
+// Package serve is the HTTP/JSON front end of the solver-as-a-service
+// layer: assemble→factor→solve and refactor→solve traffic over a
+// basker.ShardedPool, with the library's typed error taxonomy mapped onto
+// HTTP semantics. Everything is stdlib net/http + encoding/json.
+//
+// Endpoints:
+//
+//	POST /v1/matrices  register a matrix template (CSC or triplets); returns
+//	                   a pattern id for values-only refresh traffic
+//	POST /v1/factor    factor (or refresh) a matrix into the pool cache
+//	POST /v1/solve     factor/refresh + solve one or many right-hand sides
+//	GET  /v1/stats     pool + shard + server counters
+//	GET  /healthz      liveness
+//	GET  /debug/vars   expvar (mount point for the pool's expvar bridges)
+//
+// Error mapping (body {"error":{"code","message"}}):
+//
+//	400 bad_input | not_finite | dimension_mismatch | body_too_large (413)
+//	404 unknown_pattern
+//	422 singular
+//	499 canceled            (client closed request / context canceled)
+//	503 overloaded          (server admission: MaxInFlight exceeded)
+//	503 stalled             (stall watchdog aborted the sweep)
+//	504 deadline_exceeded   (request deadline fired mid-sweep)
+//	500 internal_panic      (recovered worker panic; entry evicted)
+//	500 not_finite_solution (served solution failed the finiteness screen;
+//	                         entry discarded)
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+
+	basker "repro"
+)
+
+// StatusClientClosedRequest is the non-standard 499 status (nginx's
+// "client closed request") reported when the caller's context was canceled
+// — there is no requester left to read a real status.
+const StatusClientClosedRequest = 499
+
+// MatrixJSON is a sparse matrix in compressed sparse column form on the
+// wire.
+type MatrixJSON struct {
+	M      int       `json:"m"`
+	N      int       `json:"n"`
+	Colptr []int     `json:"colptr"`
+	Rowidx []int     `json:"rowidx"`
+	Values []float64 `json:"values"`
+}
+
+// TripletsJSON is coordinate-form assembly input: entry k adds Values[k] at
+// (Rows[k], Cols[k]), duplicates summing — circuit-stamping semantics.
+type TripletsJSON struct {
+	M      int       `json:"m"`
+	N      int       `json:"n"`
+	Rows   []int     `json:"rows"`
+	Cols   []int     `json:"cols"`
+	Values []float64 `json:"values"`
+}
+
+// wireError is a request defect detected at the wire layer, before the
+// solver sees anything.
+type wireError struct {
+	status int
+	code   string
+	msg    string
+}
+
+func (e *wireError) Error() string { return e.msg }
+
+func badRequest(code, format string, args ...any) *wireError {
+	return &wireError{status: http.StatusBadRequest, code: code, msg: fmt.Sprintf(format, args...)}
+}
+
+// toCSC validates the wire-level shape (lengths and ranges that would make
+// the CSC unreadable) and converts. Deeper invariants — monotone column
+// pointers, ordered rows, finite values — are the solver's
+// ValidateInputs screen, reported through the error taxonomy.
+func (mj *MatrixJSON) toCSC() (*basker.Matrix, error) {
+	if mj.M <= 0 || mj.N <= 0 {
+		return nil, badRequest("bad_input", "matrix dimensions %dx%d must be positive", mj.M, mj.N)
+	}
+	if len(mj.Colptr) != mj.N+1 {
+		return nil, badRequest("bad_input", "len(colptr) = %d, want n+1 = %d", len(mj.Colptr), mj.N+1)
+	}
+	nnz := mj.Colptr[mj.N]
+	if nnz < 0 || len(mj.Rowidx) != nnz || len(mj.Values) != nnz {
+		return nil, badRequest("bad_input", "colptr[n] = %d, len(rowidx) = %d, len(values) = %d; all three must agree",
+			nnz, len(mj.Rowidx), len(mj.Values))
+	}
+	return &basker.Matrix{M: mj.M, N: mj.N, Colptr: mj.Colptr, Rowidx: mj.Rowidx, Values: mj.Values}, nil
+}
+
+// toCSC assembles the triplets through the library's accumulator
+// (duplicates sum), yielding sorted CSC.
+func (tj *TripletsJSON) toCSC() (*basker.Matrix, error) {
+	if tj.M <= 0 || tj.N <= 0 {
+		return nil, badRequest("bad_input", "matrix dimensions %dx%d must be positive", tj.M, tj.N)
+	}
+	if len(tj.Rows) != len(tj.Cols) || len(tj.Rows) != len(tj.Values) {
+		return nil, badRequest("bad_input", "triplet arrays disagree: %d rows, %d cols, %d values",
+			len(tj.Rows), len(tj.Cols), len(tj.Values))
+	}
+	tr := basker.NewTriplets(tj.M, tj.N)
+	for k := range tj.Rows {
+		i, j := tj.Rows[k], tj.Cols[k]
+		if i < 0 || i >= tj.M || j < 0 || j >= tj.N {
+			return nil, badRequest("bad_input", "triplet %d at (%d,%d) outside %dx%d", k, i, j, tj.M, tj.N)
+		}
+		tr.Add(i, j, tj.Values[k])
+	}
+	return tr.Matrix(), nil
+}
+
+// SolveRequest asks for A·x = b (or a batch). Exactly one of Matrix,
+// Triplets or ID selects the matrix; with ID, Values optionally restamps
+// the registered pattern's values (refactor→solve traffic) and an absent
+// Values solves against the registered values (pure amortized solve).
+type SolveRequest struct {
+	Matrix   *MatrixJSON   `json:"matrix,omitempty"`
+	Triplets *TripletsJSON `json:"triplets,omitempty"`
+	ID       string        `json:"id,omitempty"`
+	Values   []float64     `json:"values,omitempty"`
+	// B is one right-hand side; Bs a batch. Exactly one must be set.
+	B  []float64   `json:"b,omitempty"`
+	Bs [][]float64 `json:"bs,omitempty"`
+	// Mode "refresh" (default) reuses a cached same-pattern factorization
+	// through the incremental refactorization path; "fresh" forces new
+	// pivots (values drifted far from the ones that chose them).
+	Mode string `json:"mode,omitempty"`
+	// TimeoutMillis bounds this request's factor+solve work; 0 uses the
+	// server default. The deadline propagates into the numeric sweeps.
+	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
+}
+
+// SolveResponse carries the solution(s) overwriting the request's b shape.
+type SolveResponse struct {
+	X         []float64   `json:"x,omitempty"`
+	Xs        [][]float64 `json:"xs,omitempty"`
+	ElapsedMS float64     `json:"elapsed_ms"`
+}
+
+// FactorRequest warms or refreshes the pool cache for a matrix without
+// solving — the assemble→factor half of the serving loop.
+type FactorRequest struct {
+	Matrix        *MatrixJSON   `json:"matrix,omitempty"`
+	Triplets      *TripletsJSON `json:"triplets,omitempty"`
+	ID            string        `json:"id,omitempty"`
+	Values        []float64     `json:"values,omitempty"`
+	Mode          string        `json:"mode,omitempty"`
+	TimeoutMillis int64         `json:"timeout_ms,omitempty"`
+}
+
+// FactorResponse reports what the factorization cost and produced.
+type FactorResponse struct {
+	N         int     `json:"n"`
+	NnzLU     int     `json:"nnz_lu"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// RegisterRequest registers a matrix template for values-only traffic.
+type RegisterRequest struct {
+	Matrix   *MatrixJSON   `json:"matrix,omitempty"`
+	Triplets *TripletsJSON `json:"triplets,omitempty"`
+	// Warm also factors the template into the cache before returning.
+	Warm          bool  `json:"warm,omitempty"`
+	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
+}
+
+// RegisterResponse names the registered pattern. IDs are content-derived
+// (a hash of the sparsity pattern), so re-registering the same pattern is
+// idempotent and updates the template values.
+type RegisterResponse struct {
+	ID    string `json:"id"`
+	N     int    `json:"n"`
+	Nnz   int    `json:"nnz"`
+	Shard int    `json:"shard"`
+}
+
+// ErrorBody is every non-2xx response's JSON shape.
+type ErrorBody struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// ErrorDetail carries the machine-readable code (stable, documented above)
+// and a human-readable message.
+type ErrorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// errorStatus maps the solver's typed error taxonomy onto HTTP status and
+// wire code — the serving layer's contract, locked by the error-mapping
+// table test. Order matters where errors wrap each other (ErrNotFinite
+// also matches ErrBadInput; the specific code wins).
+func errorStatus(err error) (int, string) {
+	var we *wireError
+	switch {
+	case errors.As(err, &we):
+		return we.status, we.code
+	case errors.Is(err, basker.ErrDimensionMismatch):
+		return http.StatusBadRequest, "dimension_mismatch"
+	case errors.Is(err, basker.ErrNotFinite):
+		return http.StatusBadRequest, "not_finite"
+	case errors.Is(err, basker.ErrBadInput):
+		return http.StatusBadRequest, "bad_input"
+	case errors.Is(err, basker.ErrSingular):
+		return http.StatusUnprocessableEntity, "singular"
+	case errors.Is(err, basker.ErrDeadlineExceeded):
+		return http.StatusGatewayTimeout, "deadline_exceeded"
+	case errors.Is(err, basker.ErrCanceled):
+		return StatusClientClosedRequest, "canceled"
+	case errors.Is(err, basker.ErrStalled):
+		return http.StatusServiceUnavailable, "stalled"
+	case errors.Is(err, basker.ErrInternalPanic):
+		return http.StatusInternalServerError, "internal_panic"
+	default:
+		return http.StatusInternalServerError, "internal"
+	}
+}
+
+// finiteSlice reports whether every component is a real number.
+func finiteSlice(xs []float64) bool {
+	for _, v := range xs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// patternID derives the content-addressed registration id from a sparsity
+// pattern (FNV-1a over dimensions, column pointers and row indices — the
+// same quantities the pool keys on).
+func patternID(a *basker.Matrix) string {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	h = (h ^ uint64(a.M)) * prime64
+	h = (h ^ uint64(a.N)) * prime64
+	for _, c := range a.Colptr {
+		h = (h ^ uint64(c)) * prime64
+	}
+	for _, r := range a.Rowidx {
+		h = (h ^ uint64(r)) * prime64
+	}
+	return fmt.Sprintf("p-%016x", h)
+}
